@@ -1,0 +1,99 @@
+// E18 — churn/failure injection (the §2.4 motivation for randomized
+// algorithms: "such a rigid construction may not be particularly robust").
+//
+// A fraction of clients departs at random ticks during the first half of
+// the nominal schedule. The randomized swarm routes around the losses; the
+// rigid binomial pipeline (run in lossy mode: severed flows drop silently)
+// strands the survivors that depended on departed relays; striped trees
+// lose whole subtrees per stripe.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "pob/analysis/bounds.h"
+#include "pob/sched/binomial_pipeline.h"
+#include "pob/sched/striped_trees.h"
+
+namespace pob::bench {
+namespace {
+
+std::vector<std::pair<Tick, NodeId>> draw_departures(std::uint32_t n, std::uint32_t k,
+                                                     double fraction, Rng& rng) {
+  std::vector<NodeId> clients(n - 1);
+  for (NodeId c = 1; c < n; ++c) clients[c - 1] = c;
+  rng.shuffle(clients);
+  const auto count = static_cast<std::uint32_t>(fraction * (n - 1));
+  std::vector<std::pair<Tick, NodeId>> departures;
+  const Tick horizon = (k + ceil_log2(n)) / 2 + 1;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    departures.push_back({1 + rng.below(horizon), clients[i]});
+  }
+  return departures;
+}
+
+int main_impl(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 256));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 256));
+  const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
+
+  Table table({"algorithm", "departed", "survivors-complete", "T (completed runs)",
+               "runs-completed"});
+  const Tick cap = 10 * cooperative_lower_bound(n, k);
+
+  for (const double fraction : {0.0, 0.1, 0.25}) {
+    for (const char* algo : {"randomized", "binomial-pipeline", "striped-trees"}) {
+      double t_sum = 0, departed_sum = 0, survivors_done_sum = 0;
+      std::uint32_t completed_runs = 0;
+      for (std::uint32_t i = 0; i < runs; ++i) {
+        Rng rng(0xC4A'0000 + static_cast<std::uint64_t>(fraction * 100) * 131 + i);
+        EngineConfig cfg;
+        cfg.num_nodes = n;
+        cfg.num_blocks = k;
+        cfg.max_ticks = cap;
+        cfg.stall_window = 200;
+        cfg.departures = draw_departures(n, k, fraction, rng);
+        cfg.drop_transfers_involving_inactive = true;
+
+        RunResult r;
+        if (std::string_view(algo) == "randomized") {
+          RandomizedScheduler sched(std::make_shared<CompleteOverlay>(n), {},
+                                    rng.split(1));
+          r = run(cfg, sched);
+        } else if (std::string_view(algo) == "binomial-pipeline") {
+          BinomialPipelineScheduler sched(n, k);
+          r = run(cfg, sched);
+        } else {
+          cfg.download_capacity = 4;
+          StripedTreesScheduler sched(n, k, 4);
+          r = run(cfg, sched);
+        }
+        departed_sum += r.departed;
+        std::uint32_t done = 0;
+        for (const Tick t : r.client_completion) done += t != 0;
+        survivors_done_sum +=
+            static_cast<double>(done) / static_cast<double>(n - 1 - r.departed);
+        if (r.completed) {
+          ++completed_runs;
+          t_sum += static_cast<double>(r.completion_tick);
+        }
+      }
+      table.add_row({std::string(algo) + " @" + fmt(fraction * 100, 0) + "%",
+                     fmt(departed_sum / runs, 1),
+                     fmt(100.0 * survivors_done_sum / runs, 1) + "%",
+                     completed_runs > 0 ? fmt(t_sum / completed_runs, 0) : "-",
+                     std::to_string(completed_runs) + "/" + std::to_string(runs)});
+    }
+  }
+  std::cout << "# E18: churn robustness (n = " << n << ", k = " << k
+            << "; departures in the first half, lossy mode, optimal = "
+            << cooperative_lower_bound(n, k) << ")\n";
+  emit(args, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pob::bench
+
+int main(int argc, char** argv) { return pob::bench::main_impl(argc, argv); }

@@ -1,0 +1,54 @@
+// E17 — §2.3.4 "Optimizing for Physical Network".
+//
+// Nodes placed in the plane (uniform and clustered layouts); the hypercube
+// ID assignment is optimized by local search to shorten the overlay's
+// physical links. Reported: total link cost before/after, and the mean link
+// length, which is what every binomial-pipeline transfer pays.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "pob/overlay/embedding.h"
+
+namespace pob::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  const Args args(argc, argv);
+  std::vector<std::int64_t> ns = args.get_int_list("n", {64, 256, 1000});
+  const auto iterations = static_cast<std::uint32_t>(args.get_int("iterations", 60000));
+  const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
+
+  Table table({"layout", "n", "initial-cost", "optimized-cost", "reduction",
+               "accepted-swaps"});
+  for (const std::int64_t n64 : ns) {
+    const auto n = static_cast<std::uint32_t>(n64);
+    for (const bool clustered : {false, true}) {
+      double init = 0, fin = 0, swaps = 0;
+      for (std::uint32_t i = 0; i < runs; ++i) {
+        Rng rng(0xE3B'0000 + 17ull * n + (clustered ? 999 : 0) + i);
+        const std::vector<Point> pts =
+            clustered ? clustered_points(n, 8, rng) : random_points(n, rng);
+        const EmbeddingResult res =
+            optimize_hypercube_embedding(make_hypercube_map(n), pts, rng, iterations);
+        init += res.initial_cost;
+        fin += res.final_cost;
+        swaps += res.accepted_swaps;
+      }
+      init /= runs;
+      fin /= runs;
+      table.add_row({clustered ? "clustered(8)" : "uniform", std::to_string(n),
+                     fmt(init), fmt(fin), fmt(100.0 * (1.0 - fin / init), 1) + "%",
+                     fmt(swaps / runs, 0)});
+    }
+  }
+  std::cout << "# E17/§2.3.4: physical-network-aware hypercube embedding "
+               "(local search, " << iterations << " proposals)\n";
+  emit(args, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pob::bench
+
+int main(int argc, char** argv) { return pob::bench::main_impl(argc, argv); }

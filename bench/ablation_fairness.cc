@@ -1,0 +1,75 @@
+// E19 — upload-load fairness across algorithms.
+//
+// Barter exists to make contribution compulsory; this table quantifies how
+// evenly each algorithm spreads upload work across clients (Gini over
+// per-client upload counts; the server is excluded). Deterministic optimal
+// schedules and barter mechanisms should be near-equal; tit-for-tat
+// concentrates load on the unchoke cliques.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "pob/analysis/bounds.h"
+#include "pob/core/metrics.h"
+#include "pob/mech/barter.h"
+#include "pob/rand/tit_for_tat.h"
+#include "pob/sched/binomial_pipeline.h"
+#include "pob/sched/riffle_pipeline.h"
+
+namespace pob::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 256));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 255));
+
+  Table table({"algorithm", "T", "uploads/client mean", "min", "max", "gini"});
+  const auto report = [&](const std::string& name, const RunResult& r) {
+    const FairnessSummary f = upload_fairness(r);
+    table.add_row({name,
+                   r.completed ? std::to_string(r.completion_tick) : "censored",
+                   fmt(f.mean, 1), fmt(f.min, 0), fmt(f.max, 0), fmt(f.gini, 3)});
+  };
+
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  {
+    BinomialPipelineScheduler sched(n, k);
+    report("binomial pipeline", run(cfg, sched));
+  }
+  {
+    EngineConfig barter_cfg = cfg;
+    barter_cfg.download_capacity = 2;
+    RifflePipelineScheduler sched(n, k, 1, 2);
+    StrictBarter mech;
+    report("riffle (strict barter)", run(barter_cfg, sched, &mech));
+  }
+  {
+    RandomizedScheduler sched(std::make_shared<CompleteOverlay>(n), {}, Rng(1));
+    report("randomized cooperative", run(cfg, sched));
+  }
+  {
+    auto cr = make_credit_randomized(std::make_shared<CompleteOverlay>(n), {}, Rng(2), 1);
+    report("randomized + credit(1)", run(cfg, *cr.scheduler, cr.mechanism.get()));
+  }
+  {
+    Rng grng(3);
+    auto overlay = std::make_shared<GraphOverlay>(make_random_regular(n, 20, grng));
+    TitForTatScheduler sched(overlay, {}, Rng(4));
+    report("tit-for-tat (deg 20)", run(cfg, sched));
+  }
+  std::cout << "# E19: upload-load fairness across clients (n = " << n
+            << ", k = " << k << "; total work = (n-1)*k = "
+            << static_cast<std::uint64_t>(n - 1) * k
+            << " uploads shared by the server and " << n - 1 << " clients)\n";
+  emit(args, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pob::bench
+
+int main(int argc, char** argv) { return pob::bench::main_impl(argc, argv); }

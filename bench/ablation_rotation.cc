@@ -1,0 +1,71 @@
+// E14b — §3.2.4's closing experiment: low-degree overlay with periodic
+// neighbor rotation under credit-limited barter ("initial results from this
+// approach appear promising").
+//
+// At degrees below the Figure-6 threshold, the static overlay starves (the
+// credit lines to all d neighbors exhaust); re-drawing the overlay every R
+// ticks opens fresh credit lines and restores progress.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "pob/analysis/bounds.h"
+#include "pob/rand/rotation.h"
+
+namespace pob::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 500));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 500));
+  const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
+  const auto d = static_cast<std::uint32_t>(args.get_int("degree", 8));
+  const Tick cap = static_cast<Tick>(
+      args.get_int("cap", 6 * static_cast<std::int64_t>(cooperative_lower_bound(n, k))));
+
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.max_ticks = cap;
+  cfg.stall_window = 250;
+
+  Table table({"overlay", "rotation-period", "T (mean +- 95% CI)", "optimal"});
+  const Tick optimal = cooperative_lower_bound(n, k);
+
+  const TrialStats static_stats = repeat_trials(runs, [&](std::uint32_t i) {
+    return credit_trial(cfg, d, 1, {}, 0xF16'F000 + i);
+  });
+  table.add_row({"static d=" + std::to_string(d), "-",
+                 completion_cell(static_stats, static_cast<double>(cap)),
+                 std::to_string(optimal)});
+
+  for (const Tick period : {4u, 16u, 64u}) {
+    const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
+      CreditLimited mech(1);
+      RotatingRandomizedScheduler sched(n, d, period, {}, Rng(0xF16'F100 + 13ull * period + i),
+                                        &mech);
+      const RunResult r = run(cfg, sched, &mech);
+      TrialOutcome out;
+      out.completed = r.completed;
+      if (r.completed) {
+        out.completion = static_cast<double>(r.completion_tick);
+        out.mean_completion = r.mean_client_completion();
+      }
+      return out;
+    });
+    table.add_row({"rotating d=" + std::to_string(d), std::to_string(period),
+                   completion_cell(stats, static_cast<double>(cap)),
+                   std::to_string(optimal)});
+  }
+  std::cout << "# E14b: neighbor rotation under credit-limited barter (n = " << n
+            << ", k = " << k << ", s = 1, Random policy)\n";
+  emit(args, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pob::bench
+
+int main(int argc, char** argv) { return pob::bench::main_impl(argc, argv); }

@@ -1,0 +1,48 @@
+// E3 / Figure 4 — randomized cooperative algorithm, completion time T vs k.
+//
+// Paper setup: n fixed at 1000, complete graph, Random selection, k from 1
+// to 10000 on a log-log plot. Expected shape: T linear in k with slope ~1.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "pob/analysis/bounds.h"
+
+namespace pob::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 1000));
+  const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
+  std::vector<std::int64_t> ks =
+      args.get_int_list("k", {1, 3, 10, 32, 100, 316, 1000, 3162, 10000});
+  if (args.has("quick")) ks = {1, 10, 100, 1000};
+
+  Table table({"n", "k", "T (mean +- 95% CI)", "optimal", "T/optimal"});
+  for (const std::int64_t k64 : ks) {
+    const auto k = static_cast<std::uint32_t>(k64);
+    EngineConfig cfg;
+    cfg.num_nodes = n;
+    cfg.num_blocks = k;
+    const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
+      return randomized_trial(cfg, std::make_shared<CompleteOverlay>(n), {},
+                              0xF16'4000 + 991ull * k + i);
+    });
+    const Tick opt = cooperative_lower_bound(n, k);
+    table.add_row({std::to_string(n), std::to_string(k),
+                   fmt_ci(stats.completion.mean, stats.completion.ci95),
+                   std::to_string(opt),
+                   fmt(stats.completion.mean / static_cast<double>(opt), 3)});
+  }
+  std::cout << "# E3/Figure 4: randomized cooperative, T vs k (complete graph, "
+               "Random policy, n = " << n << ")\n";
+  emit(args, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pob::bench
+
+int main(int argc, char** argv) { return pob::bench::main_impl(argc, argv); }

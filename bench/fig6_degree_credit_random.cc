@@ -1,0 +1,10 @@
+// E6 / Figure 6 — credit-limited randomized algorithm with the Random
+// block-selection policy. See fig67_common.h for the expected shape; the
+// paper's threshold with Random at n = k = 1000 is around degree 80.
+
+#include "fig67_common.h"
+
+int main(int argc, char** argv) {
+  return pob::bench::run_fig67(argc, argv, pob::BlockPolicy::kRandom,
+                               "E6/Figure 6");
+}

@@ -1,0 +1,10 @@
+// E7 / Figure 7 — credit-limited randomized algorithm with the Rarest-First
+// block-selection policy. Same sweep as Figure 6; the paper's threshold
+// drops ~4x (to around degree 20 at n = k = 1000).
+
+#include "fig67_common.h"
+
+int main(int argc, char** argv) {
+  return pob::bench::run_fig67(argc, argv, pob::BlockPolicy::kRarestFirst,
+                               "E7/Figure 7");
+}

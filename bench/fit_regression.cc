@@ -1,0 +1,66 @@
+// E4 — the §2.4.4 least-squares fit.
+//
+// "Using least-square estimates over a matrix of (n, k) data points, we
+// estimate the expected completion time [is ~linear in k and log n],
+// suggesting that the algorithm is [only a few percent] worse than the
+// optimal for large values of k."
+//
+// We run the randomized cooperative algorithm over an (n, k) grid and fit
+// T = a*k + b*log2(n) + c. Expect a ~ 1.0x (k coefficient within a few
+// percent of 1) and a modest b.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "pob/analysis/bounds.h"
+#include "pob/analysis/regression.h"
+#include "pob/overlay/builders.h"
+
+namespace pob::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
+  std::vector<std::int64_t> ns = args.get_int_list("n", {16, 64, 256, 1024});
+  std::vector<std::int64_t> ks = args.get_int_list("k", {64, 128, 256, 512, 1024});
+  if (args.has("quick")) {
+    ns = {16, 128};
+    ks = {64, 256};
+  }
+
+  std::vector<RegressionPoint> points;
+  Table table({"n", "k", "T-mean", "optimal"});
+  for (const std::int64_t n64 : ns) {
+    for (const std::int64_t k64 : ks) {
+      const auto n = static_cast<std::uint32_t>(n64);
+      const auto k = static_cast<std::uint32_t>(k64);
+      EngineConfig cfg;
+      cfg.num_nodes = n;
+      cfg.num_blocks = k;
+      const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
+        return randomized_trial(cfg, std::make_shared<CompleteOverlay>(n), {},
+                                0xF17'0000 + 1009ull * n + 31ull * k + i);
+      });
+      points.push_back({static_cast<double>(k),
+                        static_cast<double>(ceil_log2(n)), stats.completion.mean});
+      table.add_row({std::to_string(n), std::to_string(k), fmt(stats.completion.mean),
+                     std::to_string(cooperative_lower_bound(n, k))});
+    }
+  }
+  const RegressionFit fit = fit_two_predictor(points);
+  std::cout << "# E4: least-squares fit of randomized cooperative completion time\n";
+  emit(args, table);
+  std::cout << "\nfit: T = " << fmt(fit.a, 4) << " * k + " << fmt(fit.b, 2)
+            << " * log2(n) + " << fmt(fit.c, 2) << "   (R^2 = " << fmt(fit.r2, 4)
+            << ")\n";
+  std::cout << "paper: T ~= 1.0 * k + O(log n); k-coefficient within a few % of "
+               "optimal for large k\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pob::bench
+
+int main(int argc, char** argv) { return pob::bench::main_impl(argc, argv); }

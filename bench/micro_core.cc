@@ -1,0 +1,108 @@
+// E15 — library micro-benchmarks (google-benchmark): the primitives the
+// simulations spend their time in.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "pob/core/block_set.h"
+#include "pob/core/engine.h"
+#include "pob/core/rng.h"
+#include "pob/overlay/builders.h"
+#include "pob/rand/randomized.h"
+#include "pob/sched/binomial_pipeline.h"
+
+namespace pob {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBelow(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.below(1000));
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_BlockSetHasUseful(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  BlockSet src(k), dst(k);
+  Rng rng(2);
+  for (BlockId b = 0; b < k; ++b) {
+    if (rng.chance(0.5)) src.insert(b);
+    if (rng.chance(0.5)) dst.insert(b);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(src.has_useful(dst, nullptr));
+}
+BENCHMARK(BM_BlockSetHasUseful)->Arg(64)->Arg(1000)->Arg(10000);
+
+void BM_BlockSetPickRandom(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  BlockSet src(k), dst(k);
+  Rng rng(3);
+  for (BlockId b = 0; b < k; ++b) {
+    if (rng.chance(0.6)) src.insert(b);
+    if (rng.chance(0.3)) dst.insert(b);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(src.pick_random_useful(dst, nullptr, rng));
+  }
+}
+BENCHMARK(BM_BlockSetPickRandom)->Arg(64)->Arg(1000)->Arg(10000);
+
+void BM_BlockSetPickRarest(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  BlockSet src(k), dst(k);
+  std::vector<std::uint32_t> freq(k);
+  Rng rng(4);
+  for (BlockId b = 0; b < k; ++b) {
+    if (rng.chance(0.6)) src.insert(b);
+    if (rng.chance(0.3)) dst.insert(b);
+    freq[b] = rng.below(1000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(src.pick_rarest_useful(dst, nullptr, freq, rng));
+  }
+}
+BENCHMARK(BM_BlockSetPickRarest)->Arg(64)->Arg(1000);
+
+void BM_BinomialPipelineFullRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    EngineConfig cfg;
+    cfg.num_nodes = n;
+    cfg.num_blocks = 64;
+    cfg.download_capacity = 1;
+    BinomialPipelineScheduler sched(n, 64);
+    benchmark::DoNotOptimize(run(cfg, sched).completion_tick);
+  }
+}
+BENCHMARK(BM_BinomialPipelineFullRun)->Arg(64)->Arg(1024);
+
+void BM_RandomizedFullRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    EngineConfig cfg;
+    cfg.num_nodes = n;
+    cfg.num_blocks = 64;
+    RandomizedScheduler sched(std::make_shared<CompleteOverlay>(n), {}, Rng(seed++));
+    benchmark::DoNotOptimize(run(cfg, sched).completion_tick);
+  }
+}
+BENCHMARK(BM_RandomizedFullRun)->Arg(64)->Arg(512);
+
+void BM_MakeRandomRegular(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_random_regular(1000, d, rng).num_edges());
+  }
+}
+BENCHMARK(BM_MakeRandomRegular)->Arg(10)->Arg(80);
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,76 @@
+// E1 + E11 — §2.2 deterministic baselines vs Theorem 1.
+//
+// For each (n, k): simulated completion time of the pipeline, the d-ary
+// multicast trees (d = 2, 3), the block-at-a-time binomial tree, and the
+// binomial pipeline, against the cooperative lower bound k - 1 + ceil(log2 n).
+// The binomial pipeline column must equal the bound exactly (the paper's
+// central §2.3 result); the final column reports the completion-time spread
+// of the binomial pipeline (0 when k >= log2 n, §2.3.4).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "pob/analysis/bounds.h"
+#include "pob/core/metrics.h"
+#include "pob/sched/binomial_pipeline.h"
+#include "pob/sched/binomial_tree.h"
+#include "pob/sched/multicast_tree.h"
+#include "pob/sched/pipeline.h"
+
+namespace pob::bench {
+namespace {
+
+Tick measure(Scheduler& sched, std::uint32_t n, std::uint32_t k) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.download_capacity = 1;
+  const RunResult r = run(cfg, sched);
+  if (!r.completed) throw std::logic_error("deterministic schedule did not complete");
+  return r.completion_tick;
+}
+
+int main_impl(int argc, char** argv) {
+  const Args args(argc, argv);
+  std::vector<std::int64_t> ns = args.get_int_list("n", {8, 16, 64, 256, 100, 1000});
+  std::vector<std::int64_t> ks = args.get_int_list("k", {1, 16, 128, 1024});
+
+  Table table({"n", "k", "lower-bound", "binom-pipeline", "pipeline", "tree-d2",
+               "tree-d3", "binom-tree", "bp-spread"});
+  for (const std::int64_t n64 : ns) {
+    for (const std::int64_t k64 : ks) {
+      const auto n = static_cast<std::uint32_t>(n64);
+      const auto k = static_cast<std::uint32_t>(k64);
+
+      BinomialPipelineScheduler bp(n, k);
+      PipelineScheduler pipe(n, k);
+      MulticastTreeScheduler tree2(n, k, 2);
+      MulticastTreeScheduler tree3(n, k, 3);
+      BinomialTreeScheduler btree(n, k);
+
+      EngineConfig cfg;
+      cfg.num_nodes = n;
+      cfg.num_blocks = k;
+      cfg.download_capacity = 1;
+      const RunResult bp_run = run(cfg, bp);
+      const CompletionSpread spread = completion_spread(bp_run);
+
+      table.add_row({std::to_string(n), std::to_string(k),
+                     std::to_string(cooperative_lower_bound(n, k)),
+                     std::to_string(bp_run.completion_tick),
+                     std::to_string(measure(pipe, n, k)),
+                     std::to_string(measure(tree2, n, k)),
+                     std::to_string(measure(tree3, n, k)),
+                     std::to_string(measure(btree, n, k)),
+                     std::to_string(spread.spread)});
+    }
+  }
+  std::cout << "# E1/E11: deterministic algorithms vs Theorem 1 (ticks; u = d = 1)\n";
+  emit(args, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pob::bench
+
+int main(int argc, char** argv) { return pob::bench::main_impl(argc, argv); }

@@ -1,0 +1,84 @@
+// E9 — machine-checked mechanism compliance (§3.2.2, §3.3).
+//
+// Runs each deterministic algorithm under each incentive mechanism and
+// reports whether the engine's validator accepted every tick, plus the
+// completion time when it did. Documents the verified compliance map:
+// binomial pipeline needs only CreditLimited(1) at n = 2^m, CyclicBarter(4,1)
+// in general; the riffle pipeline satisfies strict barter everywhere.
+
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "pob/mech/barter.h"
+#include "pob/sched/binomial_pipeline.h"
+#include "pob/sched/riffle_pipeline.h"
+
+namespace pob::bench {
+namespace {
+
+std::string attempt(const std::function<std::unique_ptr<Scheduler>()>& make_sched,
+                    Mechanism& mech, std::uint32_t n, std::uint32_t k,
+                    std::uint32_t download) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.download_capacity = download;
+  auto sched = make_sched();
+  try {
+    const RunResult r = run(cfg, *sched, &mech);
+    return r.completed ? "OK T=" + std::to_string(r.completion_tick) : "incomplete";
+  } catch (const EngineViolation&) {
+    return "VIOLATION";
+  }
+}
+
+int main_impl(int argc, char** argv) {
+  const Args args(argc, argv);
+  std::vector<std::int64_t> ns = args.get_int_list("n", {16, 64, 11, 100, 200});
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 64));
+
+  Table table({"algorithm", "n", "k", "strict", "credit(1)", "triangular(3,1)",
+               "cyclic(4,1)"});
+  for (const std::int64_t n64 : ns) {
+    const auto n = static_cast<std::uint32_t>(n64);
+    {
+      const auto make = [&]() -> std::unique_ptr<Scheduler> {
+        return std::make_unique<BinomialPipelineScheduler>(n, k);
+      };
+      StrictBarter strict;
+      CreditLimited credit(1);
+      CyclicBarter tri(3, 1);
+      CyclicBarter quad(4, 1);
+      table.add_row({"binomial-pipeline", std::to_string(n), std::to_string(k),
+                     attempt(make, strict, n, k, 1), attempt(make, credit, n, k, 1),
+                     attempt(make, tri, n, k, 1), attempt(make, quad, n, k, 1)});
+    }
+    {
+      const auto make = [&]() -> std::unique_ptr<Scheduler> {
+        return std::make_unique<RifflePipelineScheduler>(n, k, 1, 2);
+      };
+      StrictBarter strict;
+      CreditLimited credit(1);
+      CyclicBarter tri(3, 1);
+      CyclicBarter quad(4, 1);
+      table.add_row({"riffle-pipeline", std::to_string(n), std::to_string(k),
+                     attempt(make, strict, n, k, 2), attempt(make, credit, n, k, 2),
+                     attempt(make, tri, n, k, 2), attempt(make, quad, n, k, 2)});
+    }
+  }
+  std::cout << "# E9: which algorithm satisfies which barter mechanism "
+               "(every tick engine-validated)\n";
+  emit(args, table);
+  std::cout << "\nnote: at n = 2^m the binomial pipeline's client transfers are pure\n"
+               "pairwise exchanges, so credit(1) suffices; at general n the doubled-\n"
+               "vertex construction produces quadrilateral barter cycles, hence\n"
+               "cyclic(4,1) passes where triangular(3,1) does not (refines §3.3).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pob::bench
+
+int main(int argc, char** argv) { return pob::bench::main_impl(argc, argv); }

@@ -1,0 +1,80 @@
+// E10 — the §2.4.3 amortization story, measured.
+//
+// The paper's intuition argued that after the opening, ~1/6 of the nodes get
+// stranded holding only fully-replicated blocks, predicting at most 5/6
+// utilization every tick and hence a >=20% gap from optimal. The measured
+// runs refute the conclusion: "bad" ticks exist but are compensated by long
+// stretches of 100% utilization, and the overall completion time lands
+// within a few percent of optimal. This binary prints the per-run
+// utilization summary plus a tick-by-tick strip around the worst tick.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "pob/analysis/bounds.h"
+#include "pob/core/metrics.h"
+
+namespace pob::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 512));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 512));
+  const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
+
+  Table table({"run", "T", "optimal", "mean-util", "full-ticks", "bad-ticks(<5/6)",
+               "worst-tick-util"});
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    EngineConfig cfg;
+    cfg.num_nodes = n;
+    cfg.num_blocks = k;
+    RandomizedScheduler sched(std::make_shared<CompleteOverlay>(n), {},
+                              Rng(0xF16'A000 + i));
+    const RunResult r = run(cfg, sched);
+    if (!r.completed) throw std::logic_error("randomized run did not complete");
+    const UtilizationSummary u = summarize_utilization(r, cfg);
+    table.add_row({std::to_string(i), std::to_string(r.completion_tick),
+                   std::to_string(cooperative_lower_bound(n, k)), fmt(u.mean, 4),
+                   std::to_string(u.full_ticks), std::to_string(u.bad_ticks),
+                   fmt(u.min, 3)});
+
+    if (i == 0) {
+      // Strip around the worst mid-run tick (after the opening ramp has
+      // saturated): shows a bad tick followed by recovery at ~100%.
+      Tick steady = 1;
+      while (steady < r.uploads_per_tick.size() && r.utilization(steady, cfg) < 0.95) {
+        ++steady;
+      }
+      Tick worst = steady;
+      double worst_util = 1.0;
+      for (Tick t = steady; t + 5 < r.uploads_per_tick.size(); ++t) {
+        const double util = r.utilization(t, cfg);
+        if (util < worst_util) {
+          worst_util = util;
+          worst = t;
+        }
+      }
+      std::cout << "utilization strip around the worst mid-run tick (run 0):\n  ";
+      const Tick from = worst > 4 ? worst - 4 : 1;
+      for (Tick t = from; t < from + 12 && t <= r.uploads_per_tick.size(); ++t) {
+        std::cout << "t" << t << "=" << fmt(r.utilization(t, cfg), 2) << "  ";
+      }
+      std::cout << "\n\n";
+    }
+  }
+  std::cout << "# E10: amortization in the randomized cooperative algorithm (n = "
+            << n << ", k = " << k << ", complete graph)\n";
+  std::cout << "# naive 5/6-utilization intuition predicts T >= "
+            << fmt(1.2 * static_cast<double>(cooperative_lower_bound(n, k)), 0)
+            << "; measurements refute it\n";
+  emit(args, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pob::bench
+
+int main(int argc, char** argv) { return pob::bench::main_impl(argc, argv); }

@@ -1,0 +1,87 @@
+// Scenario: distributing to selfish clients (§3). Every client-to-client
+// transfer must be justified by an incentive mechanism, and the engine
+// validates that on every tick. This example measures the price of barter on
+// one concrete swarm: strict barter (Riffle Pipeline) and credit-limited
+// randomized swarms at several overlay degrees, against the cooperative
+// optimum.
+//
+//   $ ./barter_swarm [--clients=255] [--blocks=255] [--seed=1]
+
+#include <iostream>
+#include <memory>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/exp/cli.h"
+#include "pob/exp/table.h"
+#include "pob/mech/barter.h"
+#include "pob/overlay/builders.h"
+#include "pob/rand/randomized.h"
+#include "pob/sched/binomial_pipeline.h"
+#include "pob/sched/riffle_pipeline.h"
+
+int main(int argc, char** argv) {
+  const pob::Args args(argc, argv);
+  const auto clients = static_cast<std::uint32_t>(args.get_int("clients", 255));
+  const auto k = static_cast<std::uint32_t>(args.get_int("blocks", 255));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::uint32_t n = clients + 1;
+  const auto optimal = static_cast<double>(pob::cooperative_lower_bound(n, k));
+
+  std::cout << "barter swarm: " << clients << " selfish clients, " << k
+            << " blocks; every tick validated against the active mechanism\n\n";
+
+  pob::Table table({"mechanism", "algorithm", "T (ticks)", "price (T/optimal)"});
+
+  {  // Cooperative reference.
+    pob::EngineConfig cfg;
+    cfg.num_nodes = n;
+    cfg.num_blocks = k;
+    cfg.download_capacity = 1;
+    pob::BinomialPipelineScheduler sched(n, k);
+    const pob::RunResult r = pob::run(cfg, sched);
+    table.add_row({"none (cooperative)", "binomial pipeline",
+                   std::to_string(r.completion_tick),
+                   pob::fmt(r.completion_tick / optimal, 2)});
+  }
+  {  // Strict barter: simultaneous pairwise exchange only.
+    pob::EngineConfig cfg;
+    cfg.num_nodes = n;
+    cfg.num_blocks = k;
+    cfg.download_capacity = 2;  // Theorem 3 needs d >= 2u
+    pob::RifflePipelineScheduler sched(n, k, 1, 2);
+    pob::StrictBarter mech;
+    const pob::RunResult r = pob::run(cfg, sched, &mech);
+    table.add_row({"strict barter", "riffle pipeline", std::to_string(r.completion_tick),
+                   pob::fmt(r.completion_tick / optimal, 2)});
+  }
+  // Credit-limited barter (s = 1) on overlays of increasing degree: below
+  // the threshold the swarm starves; above it, near-cooperative speed.
+  for (const std::uint32_t degree : {8u, 16u, 32u, 64u}) {
+    pob::EngineConfig cfg;
+    cfg.num_nodes = n;
+    cfg.num_blocks = k;
+    cfg.max_ticks = static_cast<pob::Tick>(8 * optimal);
+    cfg.stall_window = 200;
+    pob::Rng graph_rng(seed + degree);
+    auto overlay = std::make_shared<pob::GraphOverlay>(
+        pob::make_random_regular(n, degree, graph_rng));
+    pob::RandomizedOptions opt;
+    opt.policy = pob::BlockPolicy::kRarestFirst;
+    pob::CreditRandomized cr =
+        pob::make_credit_randomized(std::move(overlay), opt, pob::Rng(seed), 1);
+    const pob::RunResult r = pob::run(cfg, *cr.scheduler, cr.mechanism.get());
+    table.add_row({"credit s=1, degree " + std::to_string(degree),
+                   "randomized rarest-first",
+                   r.completed ? std::to_string(r.completion_tick)
+                               : std::string("starved (censored)"),
+                   r.completed ? pob::fmt(r.completion_tick / optimal, 2)
+                               : std::string("-")});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nstrict barter pays a ~2x price at k ~ n (Theorem 2's n + k - 2 vs the\n"
+               "cooperative k + log n); credit-limited barter recovers cooperative\n"
+               "speed, but only once the overlay degree clears the threshold.\n";
+  return 0;
+}

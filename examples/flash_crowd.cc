@@ -1,0 +1,78 @@
+// Scenario: a flash crowd with churn. A popular file hits a swarm of
+// impatient clients — a fraction of them give up and leave mid-download
+// (failure injection), and the engine models their connections breaking.
+// The randomized swarm absorbs the churn; the optimal-but-rigid binomial
+// pipeline strands everyone downstream of a departed relay (the paper's
+// §2.4 argument for randomized designs, made runnable).
+//
+//   $ ./flash_crowd [--clients=300] [--blocks=200] [--leave-pct=20] [--seed=7]
+
+#include <iostream>
+#include <memory>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/exp/cli.h"
+#include "pob/exp/table.h"
+#include "pob/overlay/builders.h"
+#include "pob/rand/randomized.h"
+#include "pob/sched/binomial_pipeline.h"
+
+int main(int argc, char** argv) {
+  const pob::Args args(argc, argv);
+  const auto clients = static_cast<std::uint32_t>(args.get_int("clients", 300));
+  const auto k = static_cast<std::uint32_t>(args.get_int("blocks", 200));
+  const double leave = args.get_double("leave-pct", 20.0) / 100.0;
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const std::uint32_t n = clients + 1;
+
+  // Random clients leave at random ticks in the first half of the nominal
+  // schedule.
+  pob::Rng churn_rng(seed);
+  std::vector<pob::NodeId> order(clients);
+  for (pob::NodeId c = 1; c <= clients; ++c) order[c - 1] = c;
+  churn_rng.shuffle(order);
+  std::vector<std::pair<pob::Tick, pob::NodeId>> departures;
+  const auto leavers = static_cast<std::uint32_t>(leave * clients);
+  const pob::Tick horizon = (k + pob::ceil_log2(n)) / 2 + 1;
+  for (std::uint32_t i = 0; i < leavers; ++i) {
+    departures.push_back({1 + churn_rng.below(horizon), order[i]});
+  }
+
+  std::cout << "flash crowd: " << clients << " clients, " << k << " blocks, "
+            << leavers << " clients leave mid-download\n\n";
+
+  pob::Table table({"algorithm", "completed", "departed", "survivors done", "T"});
+  const auto report = [&](const std::string& name, const pob::RunResult& r) {
+    std::uint32_t done = 0;
+    for (const pob::Tick t : r.client_completion) done += t != 0;
+    table.add_row({name, r.completed ? "yes" : "NO", std::to_string(r.departed),
+                   std::to_string(done) + "/" + std::to_string(clients - r.departed),
+                   r.completed ? std::to_string(r.completion_tick) : "-"});
+  };
+
+  pob::EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.departures = departures;
+  cfg.drop_transfers_involving_inactive = true;  // broken connections drop
+  cfg.max_ticks = 10 * pob::cooperative_lower_bound(n, k);
+  cfg.stall_window = 200;
+
+  {
+    pob::RandomizedScheduler sched(std::make_shared<pob::CompleteOverlay>(n), {},
+                                   pob::Rng(seed + 1));
+    report("randomized swarm", pob::run(cfg, sched));
+  }
+  {
+    pob::BinomialPipelineScheduler sched(n, k);
+    report("binomial pipeline (rigid)", pob::run(cfg, sched));
+  }
+
+  table.print(std::cout);
+  std::cout << "\noptimal without churn: " << pob::cooperative_lower_bound(n, k)
+            << " ticks. The rigid hypercube schedule cannot re-route around\n"
+               "departed relays; the randomized swarm re-matches peers every tick\n"
+               "and finishes with only the churn's bandwidth loss as overhead.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Scenario: pushing a 100 MB security patch to 2000 hosts over 4 Mbit/s
+// uplinks — the paper's opening motivation ("the file could be a software
+// patch desired by all end hosts"). Compares the strategies of §2.2-2.4 and
+// converts ticks to wall-clock time.
+//
+//   $ ./patch_rollout [--hosts=2000] [--mb=100] [--mbps=4] [--block-kb=256]
+
+#include <iostream>
+#include <memory>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/exp/cli.h"
+#include "pob/exp/table.h"
+#include "pob/overlay/overlay.h"
+#include "pob/rand/randomized.h"
+#include "pob/sched/binomial_pipeline.h"
+#include "pob/sched/multicast_tree.h"
+#include "pob/sched/pipeline.h"
+
+namespace {
+
+std::string wall_clock(double ticks, double seconds_per_tick) {
+  const double s = ticks * seconds_per_tick;
+  if (s < 120) return pob::fmt(s, 1) + " s";
+  if (s < 7200) return pob::fmt(s / 60, 1) + " min";
+  return pob::fmt(s / 3600, 2) + " h";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const pob::Args args(argc, argv);
+  const auto hosts = static_cast<std::uint32_t>(args.get_int("hosts", 2000));
+  const double mb = args.get_double("mb", 100.0);
+  const double mbps = args.get_double("mbps", 4.0);
+  const double block_kb = args.get_double("block-kb", 256.0);
+
+  const std::uint32_t n = hosts + 1;  // + the patch server
+  const auto k = static_cast<std::uint32_t>(mb * 1024.0 / block_kb);
+  // One tick = time to upload one block at full uplink rate (§2.1).
+  const double seconds_per_tick = block_kb * 8.0 / (mbps * 1000.0);
+
+  std::cout << "patch rollout: " << mb << " MB to " << hosts << " hosts, "
+            << mbps << " Mbit/s uplinks, " << block_kb << " KiB blocks -> k = "
+            << k << " blocks, 1 tick = " << pob::fmt(seconds_per_tick, 2) << " s\n\n";
+
+  pob::EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+
+  pob::Table table({"strategy", "ticks", "wall-clock", "x optimal"});
+  const auto optimal = static_cast<double>(pob::cooperative_lower_bound(n, k));
+
+  const auto report = [&](const std::string& name, double ticks) {
+    table.add_row({name, pob::fmt(ticks, 0), wall_clock(ticks, seconds_per_tick),
+                   pob::fmt(ticks / optimal, 2)});
+  };
+
+  // Server unicasts to every host, one after another (no cooperation).
+  report("server unicast (no p2p)", static_cast<double>(hosts) * k);
+
+  {
+    pob::PipelineScheduler sched(n, k);
+    report("chain pipeline", static_cast<double>(pob::run(cfg, sched).completion_tick));
+  }
+  {
+    pob::MulticastTreeScheduler sched(n, k, 2);
+    report("binary multicast tree",
+           static_cast<double>(pob::run(cfg, sched).completion_tick));
+  }
+  {
+    pob::BinomialPipelineScheduler sched(n, k);
+    report("binomial pipeline (optimal)",
+           static_cast<double>(pob::run(cfg, sched).completion_tick));
+  }
+  {
+    // Practical deployment: randomized swarm on a low-degree random overlay.
+    pob::Rng graph_rng(1);
+    auto overlay = std::make_shared<pob::GraphOverlay>(
+        pob::make_random_regular(n, 20, graph_rng));
+    pob::RandomizedScheduler sched(std::move(overlay), {}, pob::Rng(2));
+    report("randomized swarm (degree 20)",
+           static_cast<double>(pob::run(cfg, sched).completion_tick));
+  }
+
+  table.print(std::cout);
+  std::cout << "\ncooperation buys a ~" << pob::fmt(static_cast<double>(hosts) * k / optimal, 0)
+            << "x speedup over naive unicast; the randomized swarm needs no rigid\n"
+               "structure and its gap to the provable optimum shrinks further as the\n"
+               "file grows (see bench/fig4_completion_vs_k).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Scenario: an ESPN-Motion-style service pushing a sports-highlights video
+// to subscribers (§1), exploring what extra server bandwidth buys (§2.3.4's
+// multi-server strategy) and when every subscriber finishes.
+//
+//   $ ./video_subscribers [--subs=500] [--mb=600] [--block-kb=512]
+
+#include <iostream>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/core/metrics.h"
+#include "pob/exp/cli.h"
+#include "pob/exp/table.h"
+#include "pob/sched/multi_server.h"
+
+int main(int argc, char** argv) {
+  const pob::Args args(argc, argv);
+  const auto subs = static_cast<std::uint32_t>(args.get_int("subs", 500));
+  const double mb = args.get_double("mb", 600.0);
+  const double block_kb = args.get_double("block-kb", 512.0);
+
+  const std::uint32_t n = subs + 1;
+  const auto k = static_cast<std::uint32_t>(mb * 1024.0 / block_kb);
+
+  std::cout << "video push: " << mb << " MB to " << subs << " subscribers, k = "
+            << k << " blocks\n";
+  std::cout << "server bandwidth scaled as m x client uplink; clients split into m\n"
+               "groups, one virtual server each (the §2.3.4 optimal strategy)\n\n";
+
+  pob::Table table({"m", "ticks", "per-group optimal", "first-finish", "last-finish",
+                    "spread"});
+  for (const std::uint32_t m : {1u, 2u, 4u, 8u, 16u}) {
+    pob::EngineConfig cfg;
+    cfg.num_nodes = n;
+    cfg.num_blocks = k;
+    cfg.server_upload_capacity = m;
+    cfg.download_capacity = 1;
+    pob::MultiServerScheduler sched(n, k, m);
+    const pob::RunResult r = pob::run(cfg, sched);
+    if (!r.completed) {
+      std::cerr << "run failed to complete\n";
+      return 1;
+    }
+    const pob::CompletionSpread spread = pob::completion_spread(r);
+    table.add_row({std::to_string(m), std::to_string(r.completion_tick),
+                   std::to_string(pob::multi_server_estimate(n, k, m)),
+                   std::to_string(spread.first), std::to_string(spread.last),
+                   std::to_string(spread.spread)});
+  }
+  table.print(std::cout);
+  std::cout << "\nnote the diminishing returns: with k >> log2(n), the k-block serial\n"
+               "injection dominates and extra server bandwidth shaves only the\n"
+               "log-term — cooperation, not server capacity, is what scales.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "pob/analysis/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pob/overlay/builders.h"
+
+namespace pob {
+
+Tick cooperative_lower_bound(std::uint32_t num_nodes, std::uint32_t num_blocks) {
+  return num_blocks - 1 + ceil_log2(num_nodes);
+}
+
+Tick pipeline_completion(std::uint32_t num_nodes, std::uint32_t num_blocks) {
+  return num_blocks + num_nodes - 2;
+}
+
+Tick binomial_tree_completion(std::uint32_t num_nodes, std::uint32_t num_blocks) {
+  return num_blocks * ceil_log2(num_nodes);
+}
+
+Tick multicast_tree_estimate(std::uint32_t num_nodes, std::uint32_t num_blocks,
+                             std::uint32_t arity) {
+  if (arity < 2) throw std::invalid_argument("multicast estimate: arity >= 2");
+  // ceil(log_arity(num_nodes)) without floating point drift.
+  std::uint32_t depth = 0;
+  std::uint64_t reach = 1;
+  while (reach < num_nodes) {
+    reach *= arity;
+    ++depth;
+  }
+  return arity * (num_blocks + depth - 1);
+}
+
+Tick strict_barter_lower_bound_equal_bw(std::uint32_t num_nodes,
+                                        std::uint32_t num_blocks) {
+  return num_nodes + num_blocks - 2;
+}
+
+Tick strict_barter_lower_bound_ramp(std::uint32_t num_nodes, std::uint32_t num_blocks) {
+  const std::uint64_t needed =
+      static_cast<std::uint64_t>(num_nodes - 1) * num_blocks;
+  std::uint64_t delivered = 0;
+  Tick t = 0;
+  while (delivered < needed) {
+    ++t;
+    const std::uint32_t capable = std::min(t - 1, num_nodes - 1);
+    delivered += 1 + 2ull * (capable / 2);
+    if (t > 0x7fffffffu) throw std::logic_error("ramp bound diverged");
+  }
+  // Everyone also needs a first (server) block, which takes n - 1 ticks.
+  return std::max<Tick>(t, num_nodes - 1);
+}
+
+double price_of_barter(std::uint32_t num_nodes, std::uint32_t num_blocks) {
+  return static_cast<double>(strict_barter_lower_bound_equal_bw(num_nodes, num_blocks)) /
+         static_cast<double>(cooperative_lower_bound(num_nodes, num_blocks));
+}
+
+Tick multi_server_estimate(std::uint32_t num_nodes, std::uint32_t num_blocks,
+                           std::uint32_t num_virtual_servers) {
+  const std::uint32_t clients = num_nodes - 1;
+  const std::uint32_t biggest_group =
+      (clients + num_virtual_servers - 1) / num_virtual_servers;
+  return num_blocks - 1 + ceil_log2(biggest_group + 1);
+}
+
+}  // namespace pob

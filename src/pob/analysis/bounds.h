@@ -1,0 +1,50 @@
+// Closed-form completion times and lower bounds from the paper (§2.2, §3.1,
+// §3.2), used by tests to pin measured schedules to theory and by benches to
+// report "paper vs measured".
+
+#pragma once
+
+#include <cstdint>
+
+#include "pob/core/types.h"
+
+namespace pob {
+
+/// Theorem 1: any cooperative algorithm needs >= k - 1 + ceil(log2 n) ticks
+/// to deliver k blocks to n - 1 clients (n nodes counting the server).
+Tick cooperative_lower_bound(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+/// §2.2.1: the pipeline completes in exactly k + n - 2 ticks.
+Tick pipeline_completion(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+/// §2.2.3: sending one block at a time through binomial trees completes in
+/// k * ceil(log2 n) ticks.
+Tick binomial_tree_completion(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+/// §2.2.2's estimate for the d-ary multicast tree,
+/// d * (k + ceil(log_d(n)) - 1) — an upper-bound-flavored approximation; the
+/// simulated schedule may finish slightly earlier for ragged trees.
+Tick multicast_tree_estimate(std::uint32_t num_nodes, std::uint32_t num_blocks,
+                             std::uint32_t arity);
+
+/// Theorem 2, d = u case: strict barter needs >= n + k - 2 ticks.
+Tick strict_barter_lower_bound_equal_bw(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+/// Theorem 2, d >= 2u case: the capability ramp. Clients can only start
+/// bartering after the server seeds them (at most one new client per tick),
+/// and barter moves blocks in pairs, so uploads at tick t are at most
+/// 1 + 2*floor(min(t - 1, n - 1) / 2). The bound is the smallest T whose
+/// cumulative upload budget covers the (n - 1) * k blocks clients must
+/// receive.
+Tick strict_barter_lower_bound_ramp(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+/// The "price of barter": strict-barter lower bound over cooperative lower
+/// bound, the paper's headline efficiency-loss ratio.
+double price_of_barter(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+/// §2.3.4 multi-server: with server bandwidth m*u and clients split into m
+/// groups, the per-group optimum is k - 1 + ceil(log2(group + 1)).
+Tick multi_server_estimate(std::uint32_t num_nodes, std::uint32_t num_blocks,
+                           std::uint32_t num_virtual_servers);
+
+}  // namespace pob

@@ -1,0 +1,73 @@
+#include "pob/analysis/regression.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace pob {
+namespace {
+
+/// Solves A x = b for 3x3 A, in place, with partial pivoting.
+std::array<double, 3> solve3(std::array<std::array<double, 4>, 3> m) {
+  double scale = 0.0;
+  for (const auto& row : m) {
+    for (std::size_t c = 0; c < 3; ++c) scale = std::max(scale, std::fabs(row[c]));
+  }
+  const double tolerance = std::max(scale, 1.0) * 1e-9;
+  for (std::size_t col = 0; col < 3; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < 3; ++r) {
+      if (std::fabs(m[r][col]) > std::fabs(m[pivot][col])) pivot = r;
+    }
+    if (std::fabs(m[pivot][col]) < tolerance) {
+      throw std::invalid_argument("regression: singular normal equations");
+    }
+    std::swap(m[col], m[pivot]);
+    for (std::size_t r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double f = m[r][col] / m[col][col];
+      for (std::size_t c = col; c < 4; ++c) m[r][c] -= f * m[col][c];
+    }
+  }
+  return {m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2]};
+}
+
+}  // namespace
+
+RegressionFit fit_two_predictor(std::span<const RegressionPoint> points) {
+  if (points.size() < 3) {
+    throw std::invalid_argument("regression: need >= 3 points");
+  }
+  // Normal equations for [a b c]: X^T X beta = X^T y with X rows [x1 x2 1].
+  double s11 = 0, s12 = 0, s1 = 0, s22 = 0, s2 = 0, s1y = 0, s2y = 0, sy = 0;
+  const double n = static_cast<double>(points.size());
+  for (const auto& p : points) {
+    s11 += p.x1 * p.x1;
+    s12 += p.x1 * p.x2;
+    s1 += p.x1;
+    s22 += p.x2 * p.x2;
+    s2 += p.x2;
+    s1y += p.x1 * p.y;
+    s2y += p.x2 * p.y;
+    sy += p.y;
+  }
+  const auto beta = solve3({{{s11, s12, s1, s1y}, {s12, s22, s2, s2y}, {s1, s2, n, sy}}});
+  RegressionFit fit;
+  fit.a = beta[0];
+  fit.b = beta[1];
+  fit.c = beta[2];
+
+  const double mean_y = sy / n;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (const auto& p : points) {
+    const double e = p.y - fit.predict(p.x1, p.x2);
+    ss_res += e * e;
+    ss_tot += (p.y - mean_y) * (p.y - mean_y);
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace pob

@@ -1,0 +1,35 @@
+// Ordinary least squares for the paper's §2.4.4 model fit:
+//
+//   "Using least-square estimates over a matrix of (n, k) data points, we
+//    estimate that the expected completion time is [approximately linear in
+//    k and log n]."
+//
+// We fit T = a*k + b*log2(n) + c and report coefficients plus R^2.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pob {
+
+struct RegressionPoint {
+  double x1 = 0.0;  ///< k
+  double x2 = 0.0;  ///< log2(n)
+  double y = 0.0;   ///< T
+};
+
+struct RegressionFit {
+  double a = 0.0;   ///< coefficient on x1 (k)
+  double b = 0.0;   ///< coefficient on x2 (log2 n)
+  double c = 0.0;   ///< intercept
+  double r2 = 0.0;  ///< coefficient of determination
+  double predict(double x1, double x2) const { return a * x1 + b * x2 + c; }
+};
+
+/// Solves the 3x3 normal equations by Gaussian elimination with partial
+/// pivoting. Requires >= 3 points spanning both predictors (throws on a
+/// singular system).
+RegressionFit fit_two_predictor(std::span<const RegressionPoint> points);
+
+}  // namespace pob

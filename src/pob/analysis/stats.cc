@@ -1,0 +1,47 @@
+#include "pob/analysis/stats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace pob {
+
+double t_critical_975(std::size_t dof) {
+  // Standard table; values beyond 30 dof are within ~1% of the normal 1.96.
+  static constexpr std::array<double, 31> kTable = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179,  2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+      2.074,  2.069,  2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof == 0) return 0.0;
+  if (dof < kTable.size()) return kTable[dof];
+  return 1.96;
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (s.count == 0) return s;
+  double sum = 0.0;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (const double x : samples) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (const double x : samples) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+    s.ci95 = t_critical_975(s.count - 1) * s.stddev /
+             std::sqrt(static_cast<double>(s.count));
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = s.count / 2;
+  s.median = s.count % 2 == 1 ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+}  // namespace pob

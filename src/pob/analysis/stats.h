@@ -1,0 +1,30 @@
+// Summary statistics for repeated randomized runs: the paper reports mean
+// completion times with 95% confidence intervals ("the error bars on each
+// point represent the 95% confidence intervals on the mean, obtained through
+// multiple algorithm runs", §2.4.4).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pob {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   ///< sample standard deviation (n - 1 denominator)
+  double ci95 = 0.0;     ///< 95% CI half-width on the mean
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes a Summary; the CI uses Student-t critical values for small
+/// samples (n <= 30) and the normal 1.96 beyond.
+Summary summarize(std::span<const double> samples);
+
+/// Two-sided 97.5% Student-t critical value for `dof` degrees of freedom.
+double t_critical_975(std::size_t dof);
+
+}  // namespace pob

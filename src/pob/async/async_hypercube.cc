@@ -1,0 +1,66 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "pob/async/policies.h"
+#include "pob/overlay/builders.h"
+
+namespace pob {
+
+AsyncHypercubePolicy::AsyncHypercubePolicy(std::uint32_t num_nodes) {
+  if (num_nodes < 2 || (num_nodes & (num_nodes - 1)) != 0) {
+    throw std::invalid_argument("async hypercube: n must be a power of two >= 2");
+  }
+  dims_ = floor_log2(num_nodes);
+  next_dim_.assign(num_nodes, 0);
+}
+
+Transfer AsyncHypercubePolicy::next_upload(NodeId node, double /*now*/,
+                                           const AsyncView& view) {
+  // Round-robin over dimensions at the node's own pace: try each link once,
+  // starting from the cursor; send the highest-index block the partner
+  // lacks (and is not already being sent); idle if no link has useful work.
+  const BlockSet& have = view.blocks_of(node);
+  if (have.empty()) return {};
+  for (std::uint32_t attempt = 0; attempt < dims_; ++attempt) {
+    const std::uint32_t dim = (next_dim_[node] + attempt) % dims_;
+    const NodeId partner = node ^ (1u << dim);
+    if (view.is_complete(partner)) continue;
+    const auto& ph = view.blocks_of(partner);
+    const auto& pin = view.inbound_of(partner);
+    BlockId best = kNoBlock;
+    if (node == kServer) {
+      // The server injects blocks in ascending order, mirroring the
+      // synchronous rule "transmit b_min(t,k)": one new block per upload
+      // slot, then the last block forever.
+      const BlockId capped =
+          std::min<BlockId>(server_rank_, view.num_blocks()) - 1;
+      if (!ph.contains(capped) && !pin.contains(capped)) {
+        best = capped;
+      } else {
+        // Partner already has/was promised it; offer its highest gap below.
+        have.for_each([&](BlockId b) {
+          if (b <= capped && !ph.contains(b) && !pin.contains(b)) best = b;
+        });
+      }
+      if (best != kNoBlock) ++server_rank_;
+    } else {
+      // Clients transmit the highest-index block they have that the partner
+      // lacks and is not already being sent.
+      const BlockId candidate = have.max_missing_from(ph);
+      if (candidate == kNoBlock) continue;
+      if (!pin.contains(candidate)) {
+        best = candidate;
+      } else {
+        have.for_each([&](BlockId b) {
+          if (!ph.contains(b) && !pin.contains(b)) best = b;  // ascending -> last wins
+        });
+      }
+    }
+    if (best == kNoBlock) continue;
+    next_dim_[node] = (dim + 1) % dims_;
+    return {node, partner, best};
+  }
+  return {};
+}
+
+}  // namespace pob

@@ -1,0 +1,56 @@
+#include <stdexcept>
+
+#include "pob/async/policies.h"
+
+namespace pob {
+
+AsyncSwarmPolicy::AsyncSwarmPolicy(std::shared_ptr<const Overlay> overlay,
+                                   BlockPolicy block_policy,
+                                   std::uint32_t download_ports, Rng rng,
+                                   std::uint32_t max_probes)
+    : overlay_(std::move(overlay)),
+      block_policy_(block_policy),
+      download_ports_(download_ports),
+      rng_(rng),
+      max_probes_(max_probes) {
+  if (overlay_ == nullptr) throw std::invalid_argument("async swarm: null overlay");
+}
+
+bool AsyncSwarmPolicy::acceptable(NodeId u, NodeId v, const AsyncView& view) const {
+  if (v == u || v == kServer) return false;
+  if (view.is_complete(v)) return false;
+  if (download_ports_ != kUnlimited && view.inbound_count(v) >= download_ports_) {
+    return false;
+  }
+  return view.blocks_of(u).has_useful(view.blocks_of(v), &view.inbound_of(v));
+}
+
+Transfer AsyncSwarmPolicy::next_upload(NodeId node, double /*now*/,
+                                       const AsyncView& view) {
+  if (view.blocks_of(node).empty()) return {};
+  const std::uint32_t deg = overlay_->degree(node);
+  if (deg == 0) return {};
+  NodeId target = kNoNode;
+  for (std::uint32_t probe = 0; probe < max_probes_ && target == kNoNode; ++probe) {
+    const NodeId v = overlay_->neighbor(node, rng_.below(deg));
+    if (acceptable(node, v, view)) target = v;
+  }
+  if (target == kNoNode) {
+    const std::uint32_t offset = rng_.below(deg);
+    for (std::uint32_t i = 0; i < deg && target == kNoNode; ++i) {
+      const NodeId v = overlay_->neighbor(node, (offset + i) % deg);
+      if (acceptable(node, v, view)) target = v;
+    }
+  }
+  if (target == kNoNode) return {};
+  const BlockSet& have = view.blocks_of(node);
+  const BlockSet* excl = &view.inbound_of(target);
+  const BlockId b =
+      block_policy_ == BlockPolicy::kRandom
+          ? have.pick_random_useful(view.blocks_of(target), excl, rng_)
+          : have.pick_rarest_useful(view.blocks_of(target), excl,
+                                    view.block_frequency(), rng_);
+  return {node, target, b};
+}
+
+}  // namespace pob

@@ -1,0 +1,101 @@
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "pob/async/policies.h"
+
+namespace pob {
+
+AsyncTitForTatPolicy::AsyncTitForTatPolicy(std::shared_ptr<const Overlay> overlay,
+                                           std::uint32_t regular_unchokes,
+                                           std::uint32_t optimistic_unchokes,
+                                           double rechoke_interval,
+                                           BlockPolicy block_policy,
+                                           std::uint32_t download_ports, Rng rng)
+    : overlay_(std::move(overlay)),
+      regular_(regular_unchokes),
+      optimistic_(optimistic_unchokes),
+      interval_(rechoke_interval),
+      block_policy_(block_policy),
+      download_ports_(download_ports),
+      rng_(rng) {
+  if (overlay_ == nullptr) throw std::invalid_argument("async tft: null overlay");
+  if (regular_ + optimistic_ == 0) {
+    throw std::invalid_argument("async tft: need at least one unchoke slot");
+  }
+  if (interval_ <= 0.0) throw std::invalid_argument("async tft: interval > 0");
+  const std::uint32_t n = overlay_->num_nodes();
+  received_.resize(n);
+  for (NodeId u = 0; u < n; ++u) received_[u].assign(overlay_->degree(u), 0);
+  unchoked_.assign(n, {});
+  next_rechoke_.assign(n, 0.0);  // everyone rechokes on first wake-up
+}
+
+void AsyncTitForTatPolicy::rechoke(NodeId node, const AsyncView& /*view*/) {
+  const std::uint32_t deg = overlay_->degree(node);
+  auto& slots = unchoked_[node];
+  slots.clear();
+  if (deg == 0) return;
+  std::vector<std::uint32_t> order(deg);
+  std::iota(order.begin(), order.end(), 0u);
+  rng_.shuffle(order);
+  if (node != kServer) {
+    std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return received_[node][a] > received_[node][b];
+    });
+    for (const std::uint32_t idx : order) {
+      if (slots.size() >= regular_) break;
+      if (received_[node][idx] == 0) break;
+      slots.push_back(overlay_->neighbor(node, idx));
+    }
+  }
+  const std::uint32_t target =
+      node == kServer ? regular_ + optimistic_
+                      : static_cast<std::uint32_t>(slots.size()) + optimistic_;
+  for (const std::uint32_t idx : order) {
+    if (slots.size() >= std::min(target, deg)) break;
+    const NodeId v = overlay_->neighbor(node, idx);
+    if (std::find(slots.begin(), slots.end(), v) == slots.end()) slots.push_back(v);
+  }
+  std::fill(received_[node].begin(), received_[node].end(), 0u);
+}
+
+Transfer AsyncTitForTatPolicy::next_upload(NodeId node, double now,
+                                           const AsyncView& view) {
+  if (now >= next_rechoke_[node]) {
+    rechoke(node, view);
+    next_rechoke_[node] = now + interval_;
+  }
+  const BlockSet& have = view.blocks_of(node);
+  if (have.empty()) return {};
+
+  std::vector<NodeId> candidates;
+  for (const NodeId v : unchoked_[node]) {
+    if (v == kServer || view.is_complete(v)) continue;
+    if (download_ports_ != kUnlimited && view.inbound_count(v) >= download_ports_) {
+      continue;
+    }
+    if (have.has_useful(view.blocks_of(v), &view.inbound_of(v))) candidates.push_back(v);
+  }
+  if (candidates.empty()) return {};
+  const NodeId v = candidates[rng_.below(static_cast<std::uint32_t>(candidates.size()))];
+  const BlockId b =
+      block_policy_ == BlockPolicy::kRandom
+          ? have.pick_random_useful(view.blocks_of(v), &view.inbound_of(v), rng_)
+          : have.pick_rarest_useful(view.blocks_of(v), &view.inbound_of(v),
+                                    view.block_frequency(), rng_);
+  // Reciprocation accounting: v credits node when the packet lands; we
+  // approximate by crediting at send time (the view has no completion hook).
+  const std::uint32_t idx = overlay_->neighbor_index(v, node);
+  if (idx != kUnlimited) received_[v][idx] += 1;
+  return {node, v, b};
+}
+
+double AsyncTitForTatPolicy::retry_after(NodeId node, double now) {
+  // Wake up for the next rechoke; a fresh optimistic unchoke may create
+  // work even if no transfer completes meanwhile.
+  const double until = next_rechoke_[node] - now;
+  return until > 0.0 ? until : interval_;
+}
+
+}  // namespace pob

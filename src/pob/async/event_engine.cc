@@ -1,0 +1,156 @@
+#include "pob/async/event_engine.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace pob {
+namespace {
+
+struct Event {
+  double time;
+  std::uint64_t seq;  // FIFO tiebreak for simultaneous completions
+  Transfer transfer;  // transfer.to == kNoNode encodes a policy wakeup timer
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+class EngineView final : public AsyncView {
+ public:
+  EngineView(std::uint32_t n, std::uint32_t k) : k_(k) {
+    have_.reserve(n);
+    inbound_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      have_.emplace_back(k);
+      inbound_.emplace_back(k);
+    }
+    have_[kServer].fill();
+    inbound_count_.assign(n, 0);
+    freq_.assign(k, 1);
+  }
+
+  std::uint32_t num_nodes() const override {
+    return static_cast<std::uint32_t>(have_.size());
+  }
+  std::uint32_t num_blocks() const override { return k_; }
+  const BlockSet& blocks_of(NodeId node) const override { return have_[node]; }
+  const BlockSet& inbound_of(NodeId node) const override { return inbound_[node]; }
+  std::uint32_t inbound_count(NodeId node) const override { return inbound_count_[node]; }
+  bool is_complete(NodeId node) const override { return have_[node].full(); }
+  std::span<const std::uint32_t> block_frequency() const override { return freq_; }
+
+  std::uint32_t k_;
+  std::vector<BlockSet> have_;
+  std::vector<BlockSet> inbound_;
+  std::vector<std::uint32_t> inbound_count_;
+  std::vector<std::uint32_t> freq_;
+};
+
+}  // namespace
+
+AsyncResult run_async(const AsyncConfig& config, AsyncPolicy& policy) {
+  const std::uint32_t n = config.num_nodes;
+  const std::uint32_t k = config.num_blocks;
+  if (n < 2) throw std::invalid_argument("async: num_nodes < 2");
+  if (k < 1) throw std::invalid_argument("async: num_blocks < 1");
+  std::vector<double> rate = config.upload_rate;
+  if (rate.empty()) rate.assign(n, 1.0);
+  if (rate.size() != n) throw std::invalid_argument("async: upload_rate size mismatch");
+  for (const double r : rate) {
+    if (r <= 0.0) throw std::invalid_argument("async: rates must be positive");
+  }
+  const double time_cap =
+      config.max_time > 0.0
+          ? config.max_time
+          : 1024.0 + 2.0 * n + 66.0 * k;  // mirrors the synchronous default cap
+
+  EngineView view(n, k);
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::vector<char> busy(n, 0);
+  std::uint64_t seq = 0;
+
+  AsyncResult result;
+  result.client_completion.assign(n - 1, 0.0);
+  std::uint32_t incomplete_clients = n - 1;
+
+  std::vector<char> wakeup_pending(n, 0);
+
+  // Tries to start an upload from `u` at time `now`.
+  const auto try_start = [&](NodeId u, double now) {
+    if (busy[u]) return;
+    const Transfer tr = policy.next_upload(u, now, view);
+    if (tr.from == kNoNode || tr.to == kNoNode || tr.block == kNoBlock) {
+      // Idle: honor a policy timer so a fully idle swarm can still make
+      // progress (e.g. tit-for-tat rechoking).
+      const double delay = policy.retry_after(u, now);
+      if (delay > 0.0 && !wakeup_pending[u]) {
+        wakeup_pending[u] = 1;
+        events.push({now + delay, seq++, Transfer{u, kNoNode, kNoBlock}});
+      }
+      return;
+    }
+    if (tr.from != u) throw std::logic_error("async policy: transfer.from mismatch");
+    if (!view.have_[u].contains(tr.block)) {
+      throw std::logic_error("async policy: sender lacks block");
+    }
+    if (view.have_[tr.to].contains(tr.block) || view.inbound_[tr.to].contains(tr.block)) {
+      throw std::logic_error("async policy: duplicate delivery");
+    }
+    if (config.download_ports != kUnlimited &&
+        view.inbound_count_[tr.to] >= config.download_ports) {
+      throw std::logic_error("async policy: receiver out of download ports");
+    }
+    busy[u] = 1;
+    view.inbound_[tr.to].insert(tr.block);
+    ++view.inbound_count_[tr.to];
+    events.push({now + 1.0 / rate[u], seq++, tr});
+  };
+
+  for (NodeId u = 0; u < n; ++u) try_start(u, 0.0);
+
+  double now = 0.0;
+  while (!events.empty() && incomplete_clients > 0) {
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    if (now > time_cap) break;
+    const Transfer& tr = ev.transfer;
+    if (tr.to == kNoNode) {  // policy wakeup timer
+      wakeup_pending[tr.from] = 0;
+      try_start(tr.from, now);
+      continue;
+    }
+    busy[tr.from] = 0;
+    view.inbound_[tr.to].erase(tr.block);
+    --view.inbound_count_[tr.to];
+    view.have_[tr.to].insert(tr.block);
+    ++view.freq_[tr.block];
+    ++result.total_transfers;
+    if (view.have_[tr.to].full() && tr.to != kServer) {
+      result.client_completion[tr.to - 1] = now;
+      --incomplete_clients;
+    }
+    if (incomplete_clients == 0) break;
+    // Wake every idle node: the completed transfer may have created work
+    // for any of them (new holder, freed download port).
+    for (NodeId u = 0; u < n; ++u) try_start(u, now);
+  }
+
+  result.completed = incomplete_clients == 0;
+  if (result.completed) {
+    double sum = 0.0;
+    for (const double t : result.client_completion) {
+      result.completion_time = std::max(result.completion_time, t);
+      sum += t;
+    }
+    result.mean_completion_time = sum / static_cast<double>(n - 1);
+  }
+  return result;
+}
+
+}  // namespace pob

@@ -1,0 +1,76 @@
+// Event-driven (asynchronous) simulation, modeling §2.3.4's "dealing with
+// asynchrony": nodes have individual upload rates, a transfer of one block
+// from u occupies u's upload port for 1/rate(u) time units, and each node
+// proceeds at its own pace instead of in lock-step. Receivers gain a block
+// only when the transfer completes ("a node cannot begin transmitting a
+// block until it has received that block in its entirety").
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pob/core/block_set.h"
+#include "pob/core/rng.h"
+#include "pob/core/types.h"
+
+namespace pob {
+
+/// Read-only view the upload policies consult when a node's port frees up.
+class AsyncView {
+ public:
+  virtual ~AsyncView() = default;
+  virtual std::uint32_t num_nodes() const = 0;
+  virtual std::uint32_t num_blocks() const = 0;
+  virtual const BlockSet& blocks_of(NodeId node) const = 0;
+  /// Blocks currently in flight toward `node` (counted as promised).
+  virtual const BlockSet& inbound_of(NodeId node) const = 0;
+  virtual std::uint32_t inbound_count(NodeId node) const = 0;
+  virtual bool is_complete(NodeId node) const = 0;
+  virtual std::span<const std::uint32_t> block_frequency() const = 0;
+};
+
+/// Decides what an idle uploader sends next; return {kNoNode, ...} to idle.
+/// Idle nodes are re-consulted whenever any transfer completes.
+class AsyncPolicy {
+ public:
+  virtual ~AsyncPolicy() = default;
+  virtual Transfer next_upload(NodeId node, double now, const AsyncView& view) = 0;
+
+  /// When next_upload returned nothing: delay until the engine should ask
+  /// this node again even if no transfer completes meanwhile (for policies
+  /// with internal timers, like tit-for-tat's rechoke clock). Return 0 for
+  /// "only wake me on events" (the default); without timers a fully idle
+  /// swarm ends the simulation.
+  virtual double retry_after(NodeId node, double now) {
+    (void)node;
+    (void)now;
+    return 0.0;
+  }
+};
+
+struct AsyncConfig {
+  std::uint32_t num_nodes = 0;
+  std::uint32_t num_blocks = 0;
+  /// Per-node upload rate in blocks per time unit; empty = all 1.0. A rate
+  /// of 1.0 for everyone makes times comparable to synchronous ticks.
+  std::vector<double> upload_rate;
+  /// Max concurrent inbound transfers per node (download ports).
+  std::uint32_t download_ports = kUnlimited;
+  /// Simulation time cap; 0 picks a generous default.
+  double max_time = 0.0;
+};
+
+struct AsyncResult {
+  bool completed = false;
+  double completion_time = 0.0;          ///< last client finish time
+  double mean_completion_time = 0.0;     ///< mean client finish time
+  std::vector<double> client_completion; ///< per client (index 0 = node 1)
+  std::uint64_t total_transfers = 0;
+};
+
+/// Runs the asynchronous simulation to completion (or the time cap).
+AsyncResult run_async(const AsyncConfig& config, AsyncPolicy& policy);
+
+}  // namespace pob

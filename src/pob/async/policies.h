@@ -1,0 +1,81 @@
+// Asynchronous upload policies:
+//
+//   AsyncSwarmPolicy      the randomized algorithm of §2.4, run event-driven:
+//                         an idle node picks a random interested neighbor
+//                         with a free download port and sends a policy-chosen
+//                         useful block.
+//   AsyncHypercubePolicy  §2.3.4's asynchronous hypercube: "each node simply
+//                         using its links in round-robin order at its own
+//                         pace", sending the highest-index block the partner
+//                         lacks. Requires n to be a power of two.
+
+#pragma once
+
+#include <memory>
+
+#include "pob/async/event_engine.h"
+#include "pob/overlay/overlay.h"
+#include "pob/rand/randomized.h"
+
+namespace pob {
+
+class AsyncSwarmPolicy final : public AsyncPolicy {
+ public:
+  AsyncSwarmPolicy(std::shared_ptr<const Overlay> overlay, BlockPolicy block_policy,
+                   std::uint32_t download_ports, Rng rng, std::uint32_t max_probes = 24);
+
+  Transfer next_upload(NodeId node, double now, const AsyncView& view) override;
+
+ private:
+  bool acceptable(NodeId u, NodeId v, const AsyncView& view) const;
+
+  std::shared_ptr<const Overlay> overlay_;
+  BlockPolicy block_policy_;
+  std::uint32_t download_ports_;
+  Rng rng_;
+  std::uint32_t max_probes_;
+};
+
+class AsyncHypercubePolicy final : public AsyncPolicy {
+ public:
+  explicit AsyncHypercubePolicy(std::uint32_t num_nodes);
+
+  Transfer next_upload(NodeId node, double now, const AsyncView& view) override;
+
+ private:
+  std::uint32_t dims_;
+  std::vector<std::uint32_t> next_dim_;  // per-node round-robin cursor
+  std::uint32_t server_rank_ = 1;        // server injects blocks in order, like b_min(t,k)
+};
+
+/// Asynchronous tit-for-tat — the §4 comparison in the paper's own setting
+/// ("we are studying the performance of BitTorrent ... through asynchronous
+/// simulations"). Same unchoke structure as the synchronous
+/// TitForTatScheduler, but reciprocation windows are measured in simulation
+/// time and each node rechokes on its own clock when its upload port frees.
+class AsyncTitForTatPolicy final : public AsyncPolicy {
+ public:
+  AsyncTitForTatPolicy(std::shared_ptr<const Overlay> overlay,
+                       std::uint32_t regular_unchokes, std::uint32_t optimistic_unchokes,
+                       double rechoke_interval, BlockPolicy block_policy,
+                       std::uint32_t download_ports, Rng rng);
+
+  Transfer next_upload(NodeId node, double now, const AsyncView& view) override;
+  double retry_after(NodeId node, double now) override;
+
+ private:
+  void rechoke(NodeId node, const AsyncView& view);
+
+  std::shared_ptr<const Overlay> overlay_;
+  std::uint32_t regular_;
+  std::uint32_t optimistic_;
+  double interval_;
+  BlockPolicy block_policy_;
+  std::uint32_t download_ports_;
+  Rng rng_;
+  std::vector<std::vector<std::uint32_t>> received_;  // per node, per neighbor idx
+  std::vector<std::vector<NodeId>> unchoked_;
+  std::vector<double> next_rechoke_;
+};
+
+}  // namespace pob

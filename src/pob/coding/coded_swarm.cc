@@ -1,0 +1,101 @@
+#include "pob/coding/coded_swarm.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "pob/core/engine.h"  // default_tick_cap
+
+namespace pob {
+
+CodedSwarmResult run_coded_swarm(std::uint32_t num_nodes, std::uint32_t num_blocks,
+                                 std::shared_ptr<const Overlay> overlay,
+                                 CodedSwarmOptions options, Rng rng) {
+  if (num_nodes < 2) throw std::invalid_argument("coded swarm: need >= 2 nodes");
+  if (num_blocks < 1) throw std::invalid_argument("coded swarm: need >= 1 block");
+  if (overlay == nullptr || overlay->num_nodes() != num_nodes) {
+    throw std::invalid_argument("coded swarm: overlay mismatch");
+  }
+  const Tick cap = options.max_ticks != 0 ? options.max_ticks
+                                          : default_tick_cap(num_nodes, num_blocks);
+
+  std::vector<Gf2Basis> span(num_nodes, Gf2Basis(num_blocks));
+  for (std::uint32_t i = 0; i < num_blocks; ++i) {
+    span[kServer].insert(Gf2Vector::unit(num_blocks, i));
+  }
+
+  CodedSwarmResult result;
+  result.client_completion.assign(num_nodes - 1, 0);
+  std::uint32_t incomplete = num_nodes - 1;
+
+  std::vector<NodeId> order(num_nodes);
+  std::iota(order.begin(), order.end(), NodeId{0});
+
+  // Per-tick staged deliveries: packets sent in tick t become usable at
+  // t+1, matching the block-based engine's store-and-forward rule.
+  struct Delivery {
+    NodeId to;
+    Gf2Vector packet;
+  };
+  std::vector<Delivery> staged;
+
+  const auto acceptable = [&](NodeId u, NodeId v) {
+    if (v == u || v == kServer) return false;
+    if (span[v].full_rank()) return false;
+    if (options.check_innovative && !span[v].is_innovative_source(span[u])) return false;
+    return true;
+  };
+
+  Tick tick = 0;
+  while (incomplete > 0 && tick < cap) {
+    ++tick;
+    staged.clear();
+    rng.shuffle(order);
+    for (const NodeId u : order) {
+      if (span[u].rank() == 0) continue;
+      const std::uint32_t deg = overlay->degree(u);
+      if (deg == 0) continue;
+      NodeId target = kNoNode;
+      for (std::uint32_t probe = 0; probe < options.max_probes && target == kNoNode;
+           ++probe) {
+        const NodeId v = overlay->neighbor(u, rng.below(deg));
+        if (acceptable(u, v)) target = v;
+      }
+      if (target == kNoNode) {
+        const std::uint32_t offset = rng.below(deg);
+        const std::uint32_t limit = std::min(deg, 256u);
+        for (std::uint32_t i = 0; i < limit && target == kNoNode; ++i) {
+          const NodeId v = overlay->neighbor(u, (offset + i) % deg);
+          if (acceptable(u, v)) target = v;
+        }
+      }
+      if (target == kNoNode) continue;
+      staged.push_back({target, span[u].random_combination(rng)});
+    }
+    for (Delivery& d : staged) {
+      ++result.packets_sent;
+      const bool was_complete = span[d.to].full_rank();
+      if (!span[d.to].insert(std::move(d.packet))) {
+        ++result.packets_wasted;
+        continue;
+      }
+      if (!was_complete && span[d.to].full_rank()) {
+        result.client_completion[d.to - 1] = tick;
+        --incomplete;
+      }
+    }
+  }
+
+  result.completed = incomplete == 0;
+  if (result.completed) {
+    double sum = 0.0;
+    for (const Tick t : result.client_completion) {
+      result.completion_tick = std::max(result.completion_tick, t);
+      sum += t;
+    }
+    result.mean_completion = sum / static_cast<double>(num_nodes - 1);
+  }
+  return result;
+}
+
+}  // namespace pob

@@ -1,0 +1,109 @@
+#include "pob/coding/gf2.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace pob {
+
+Gf2Vector::Gf2Vector(std::uint32_t dimension)
+    : dimension_(dimension), words_((dimension + 63) / 64, 0) {}
+
+void Gf2Vector::operator^=(const Gf2Vector& other) {
+  assert(dimension_ == other.dimension_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+}
+
+bool Gf2Vector::is_zero() const {
+  for (const std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::uint32_t Gf2Vector::leading() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<std::uint32_t>(
+          (w << 6) + static_cast<std::uint32_t>(std::countr_zero(words_[w])));
+    }
+  }
+  return dimension_;
+}
+
+Gf2Vector Gf2Vector::random_nonzero(std::uint32_t dimension, Rng& rng) {
+  Gf2Vector v(dimension);
+  do {
+    for (std::size_t w = 0; w < v.words_.size(); ++w) v.words_[w] = rng.next();
+    // Mask stray high bits in the last word.
+    if (dimension & 63) v.words_.back() &= (1ULL << (dimension & 63)) - 1;
+  } while (v.is_zero());
+  return v;
+}
+
+Gf2Vector Gf2Vector::unit(std::uint32_t dimension, std::uint32_t i) {
+  Gf2Vector v(dimension);
+  v.set(i);
+  return v;
+}
+
+Gf2Basis::Gf2Basis(std::uint32_t dimension) : dimension_(dimension) {}
+
+Gf2Vector Gf2Basis::reduce(Gf2Vector v) const {
+  for (const Gf2Vector& row : rows_) {
+    if (v.is_zero()) break;
+    const std::uint32_t lead = v.leading();
+    const std::uint32_t row_lead = row.leading();
+    if (row_lead > lead) break;  // rows_ sorted; nothing can cancel v's lead
+    if (row_lead == lead) v ^= row;
+  }
+  return v;
+}
+
+bool Gf2Basis::insert(Gf2Vector v) {
+  if (v.dimension() != dimension_) throw std::invalid_argument("Gf2Basis: dimension");
+  // Full reduction loop: reduce() only runs one pass; repeat until stable.
+  for (;;) {
+    const Gf2Vector reduced = reduce(v);
+    if (reduced == v) break;
+    v = reduced;
+  }
+  if (v.is_zero()) return false;
+  const std::uint32_t lead = v.leading();
+  const auto pos = std::lower_bound(
+      rows_.begin(), rows_.end(), lead,
+      [](const Gf2Vector& row, std::uint32_t l) { return row.leading() < l; });
+  rows_.insert(pos, std::move(v));
+  return true;
+}
+
+bool Gf2Basis::contains(const Gf2Vector& v) const {
+  Gf2Vector r = v;
+  for (;;) {
+    const Gf2Vector reduced = reduce(r);
+    if (reduced == r) break;
+    r = reduced;
+  }
+  return r.is_zero();
+}
+
+bool Gf2Basis::is_innovative_source(const Gf2Basis& other) const {
+  for (const Gf2Vector& row : other.rows_) {
+    if (!contains(row)) return true;
+  }
+  return false;
+}
+
+Gf2Vector Gf2Basis::random_combination(Rng& rng) const {
+  if (rows_.empty()) throw std::logic_error("Gf2Basis: empty span");
+  Gf2Vector v(dimension_);
+  do {
+    for (const Gf2Vector& row : rows_) {
+      if (rng.chance(0.5)) v ^= row;
+    }
+  } while (v.is_zero());
+  return v;
+}
+
+}  // namespace pob

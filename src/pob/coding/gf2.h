@@ -1,0 +1,78 @@
+// GF(2) linear algebra for random linear network coding (the §4 related-work
+// baseline of Gkantsidis & Rodriguez [13]): coded packets are XOR
+// combinations of blocks, identified by their coefficient vectors over
+// GF(2). A node's knowledge is the span of the coefficient vectors it
+// holds; it can decode once the span has full rank k.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pob/core/rng.h"
+
+namespace pob {
+
+/// Dense bit vector over GF(2), dimension fixed at construction.
+class Gf2Vector {
+ public:
+  Gf2Vector() = default;
+  explicit Gf2Vector(std::uint32_t dimension);
+
+  std::uint32_t dimension() const { return dimension_; }
+  bool get(std::uint32_t i) const { return (words_[i >> 6] >> (i & 63)) & 1u; }
+  void set(std::uint32_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void operator^=(const Gf2Vector& other);
+  bool is_zero() const;
+  /// Index of the lowest set bit, or dimension() if zero.
+  std::uint32_t leading() const;
+
+  /// Uniformly random nonzero vector.
+  static Gf2Vector random_nonzero(std::uint32_t dimension, Rng& rng);
+
+  /// Unit vector e_i.
+  static Gf2Vector unit(std::uint32_t dimension, std::uint32_t i);
+
+  friend bool operator==(const Gf2Vector&, const Gf2Vector&) = default;
+
+ private:
+  std::uint32_t dimension_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Incremental row-echelon basis over GF(2): insert vectors one at a time;
+/// rank grows by one per linearly independent insertion.
+class Gf2Basis {
+ public:
+  Gf2Basis() = default;
+  explicit Gf2Basis(std::uint32_t dimension);
+
+  std::uint32_t dimension() const { return dimension_; }
+  std::uint32_t rank() const { return static_cast<std::uint32_t>(rows_.size()); }
+  bool full_rank() const { return rank() == dimension_; }
+
+  /// Reduces `v` against the basis; true if it was independent (and was
+  /// added), false if it lies in the span (wasted packet).
+  bool insert(Gf2Vector v);
+
+  /// True iff `v` lies in the current span (zero vector included).
+  bool contains(const Gf2Vector& v) const;
+
+  /// True if some vector of `other`'s basis is outside this span, i.e.
+  /// `other` has innovative information for us... from the RECEIVER's view:
+  /// rank(this ∪ other) > rank(this).
+  bool is_innovative_source(const Gf2Basis& other) const;
+
+  /// A uniformly random vector from the span's nonzero elements — what a
+  /// coding node transmits. Requires rank() >= 1.
+  Gf2Vector random_combination(Rng& rng) const;
+
+ private:
+  Gf2Vector reduce(Gf2Vector v) const;
+
+  std::uint32_t dimension_ = 0;
+  // Rows kept in echelon form, sorted by leading index.
+  std::vector<Gf2Vector> rows_;
+};
+
+}  // namespace pob

@@ -1,0 +1,185 @@
+#include "pob/core/block_set.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace pob {
+
+BlockSet::BlockSet(std::uint32_t universe)
+    : universe_(universe), words_((universe + 63) / 64, 0) {}
+
+bool BlockSet::insert(BlockId b) {
+  assert(b < universe_);
+  std::uint64_t& w = words_[b >> 6];
+  const std::uint64_t bit = 1ULL << (b & 63);
+  if (w & bit) return false;
+  w |= bit;
+  ++count_;
+  return true;
+}
+
+bool BlockSet::erase(BlockId b) {
+  assert(b < universe_);
+  std::uint64_t& w = words_[b >> 6];
+  const std::uint64_t bit = 1ULL << (b & 63);
+  if (!(w & bit)) return false;
+  w &= ~bit;
+  --count_;
+  return true;
+}
+
+void BlockSet::clear() {
+  for (auto& w : words_) w = 0;
+  count_ = 0;
+}
+
+std::uint64_t BlockSet::word_mask(std::size_t w) const {
+  // All words are full except possibly the last.
+  if (w + 1 < words_.size() || (universe_ & 63) == 0) return ~0ULL;
+  return (1ULL << (universe_ & 63)) - 1;
+}
+
+void BlockSet::fill() {
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] = word_mask(w);
+  count_ = universe_;
+}
+
+BlockId BlockSet::min() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<BlockId>((w << 6) + static_cast<std::uint32_t>(std::countr_zero(words_[w])));
+    }
+  }
+  return kNoBlock;
+}
+
+BlockId BlockSet::max() const {
+  for (std::size_t w = words_.size(); w-- > 0;) {
+    if (words_[w] != 0) {
+      return static_cast<BlockId>((w << 6) + 63 - static_cast<std::uint32_t>(std::countl_zero(words_[w])));
+    }
+  }
+  return kNoBlock;
+}
+
+BlockId BlockSet::first_missing() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t missing = ~words_[w] & word_mask(w);
+    if (missing != 0) {
+      return static_cast<BlockId>((w << 6) + static_cast<std::uint32_t>(std::countr_zero(missing)));
+    }
+  }
+  return kNoBlock;
+}
+
+bool BlockSet::has_block_missing_from(const BlockSet& other) const {
+  assert(universe_ == other.universe_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] & ~other.words_[w]) return true;
+  }
+  return false;
+}
+
+BlockId BlockSet::max_missing_from(const BlockSet& other) const {
+  assert(universe_ == other.universe_);
+  for (std::size_t w = words_.size(); w-- > 0;) {
+    const std::uint64_t diff = words_[w] & ~other.words_[w];
+    if (diff != 0) {
+      return static_cast<BlockId>((w << 6) + 63 - static_cast<std::uint32_t>(std::countl_zero(diff)));
+    }
+  }
+  return kNoBlock;
+}
+
+std::uint32_t BlockSet::count_missing_from(const BlockSet& other) const {
+  assert(universe_ == other.universe_);
+  std::uint32_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    total += static_cast<std::uint32_t>(std::popcount(words_[w] & ~other.words_[w]));
+  }
+  return total;
+}
+
+bool BlockSet::covers_complement_of(const BlockSet& have) const {
+  assert(universe_ == have.universe_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (~have.words_[w] & word_mask(w) & ~words_[w]) return false;
+  }
+  return true;
+}
+
+bool BlockSet::has_useful(const BlockSet& dst, const BlockSet* excl) const {
+  assert(universe_ == dst.universe_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t diff = words_[w] & ~dst.words_[w];
+    if (excl != nullptr) diff &= ~excl->words_[w];
+    if (diff != 0) return true;
+  }
+  return false;
+}
+
+BlockId BlockSet::pick_random_useful(const BlockSet& dst, const BlockSet* excl,
+                                     Rng& rng) const {
+  assert(universe_ == dst.universe_);
+  // Pass 1: count candidates. Pass 2: select the r-th by rank.
+  std::uint32_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t diff = words_[w] & ~dst.words_[w];
+    if (excl != nullptr) diff &= ~excl->words_[w];
+    total += static_cast<std::uint32_t>(std::popcount(diff));
+  }
+  if (total == 0) return kNoBlock;
+  std::uint32_t r = rng.below(total);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t diff = words_[w] & ~dst.words_[w];
+    if (excl != nullptr) diff &= ~excl->words_[w];
+    const auto pc = static_cast<std::uint32_t>(std::popcount(diff));
+    if (r < pc) {
+      // Select the r-th set bit of diff.
+      while (r-- > 0) diff &= diff - 1;
+      return static_cast<BlockId>((w << 6) + static_cast<std::uint32_t>(std::countr_zero(diff)));
+    }
+    r -= pc;
+  }
+  return kNoBlock;  // unreachable
+}
+
+BlockId BlockSet::pick_rarest_useful(const BlockSet& dst, const BlockSet* excl,
+                                     std::span<const std::uint32_t> freq,
+                                     Rng& rng) const {
+  assert(universe_ == dst.universe_);
+  if (freq.size() != universe_) {
+    throw std::invalid_argument("pick_rarest_useful: freq size mismatch");
+  }
+  BlockId best = kNoBlock;
+  std::uint32_t best_freq = 0;
+  std::uint32_t ties = 0;  // reservoir over equally-rare candidates
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t diff = words_[w] & ~dst.words_[w];
+    if (excl != nullptr) diff &= ~excl->words_[w];
+    while (diff != 0) {
+      const auto b = static_cast<BlockId>((w << 6) + static_cast<std::uint32_t>(std::countr_zero(diff)));
+      diff &= diff - 1;
+      const std::uint32_t f = freq[b];
+      if (best == kNoBlock || f < best_freq) {
+        best = b;
+        best_freq = f;
+        ties = 1;
+      } else if (f == best_freq) {
+        ++ties;
+        if (rng.below(ties) == 0) best = b;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<BlockId> BlockSet::to_vector() const {
+  std::vector<BlockId> out;
+  out.reserve(count_);
+  for_each([&out](BlockId b) { out.push_back(b); });
+  return out;
+}
+
+}  // namespace pob

@@ -1,0 +1,125 @@
+// Dense, word-packed set of block ids with the selection primitives the
+// dissemination algorithms need on their hot paths:
+//
+//   * "does u have a block that v lacks?"            (interest test)
+//   * "pick a uniformly random block of u \ v \ x"   (Random policy)
+//   * "pick the globally rarest block of u \ v \ x"  (Rarest-First policy)
+//
+// where x is the set of blocks v is already receiving this tick (the
+// handshake protocol of §2.4.2 prevents v from being sent the same block by
+// two uploaders at once).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pob/core/rng.h"
+#include "pob/core/types.h"
+
+namespace pob {
+
+class BlockSet {
+ public:
+  BlockSet() = default;
+
+  /// An empty set over a universe of `universe` blocks (ids 0..universe-1).
+  explicit BlockSet(std::uint32_t universe);
+
+  /// Number of blocks in the universe (not the number contained).
+  std::uint32_t universe() const { return universe_; }
+
+  /// Number of blocks contained.
+  std::uint32_t count() const { return count_; }
+
+  bool empty() const { return count_ == 0; }
+
+  /// True when every block in the universe is contained.
+  bool full() const { return count_ == universe_; }
+
+  bool contains(BlockId b) const {
+    return (words_[b >> 6] >> (b & 63)) & 1u;
+  }
+
+  /// Inserts `b`; returns true if it was newly inserted.
+  bool insert(BlockId b);
+
+  /// Removes `b`; returns true if it was present.
+  bool erase(BlockId b);
+
+  /// Removes all blocks.
+  void clear();
+
+  /// Inserts every block of the universe.
+  void fill();
+
+  /// Lowest-id block contained, or kNoBlock if empty.
+  BlockId min() const;
+
+  /// Highest-id block contained, or kNoBlock if empty. This is the block the
+  /// hypercube rule transmits ("the block b_i with the largest i").
+  BlockId max() const;
+
+  /// Lowest-id block of the universe NOT contained, or kNoBlock if full.
+  BlockId first_missing() const;
+
+  /// True if this set contains a block that `other` lacks.
+  bool has_block_missing_from(const BlockSet& other) const;
+
+  /// Highest-id block in `*this \ other`, or kNoBlock if none.
+  BlockId max_missing_from(const BlockSet& other) const;
+
+  /// Number of blocks in `*this \ other`.
+  std::uint32_t count_missing_from(const BlockSet& other) const;
+
+  /// True if `*this \ dst \ excl` is non-empty. `excl` may be null.
+  bool has_useful(const BlockSet& dst, const BlockSet* excl) const;
+
+  /// True if every block of the universe missing from `have` is contained
+  /// in *this — i.e. *this covers the complement of `have`. Used to detect
+  /// receivers whose every missing block is already inbound this tick.
+  bool covers_complement_of(const BlockSet& have) const;
+
+  /// Uniformly random element of `*this \ dst \ excl`, or kNoBlock if the
+  /// difference is empty. `excl` may be null.
+  BlockId pick_random_useful(const BlockSet& dst, const BlockSet* excl, Rng& rng) const;
+
+  /// Element of `*this \ dst \ excl` minimizing `freq[b]`, ties broken
+  /// uniformly at random; kNoBlock if the difference is empty.
+  /// `freq.size()` must equal the universe size. `excl` may be null.
+  BlockId pick_rarest_useful(const BlockSet& dst, const BlockSet* excl,
+                             std::span<const std::uint32_t> freq, Rng& rng) const;
+
+  /// All contained block ids in increasing order.
+  std::vector<BlockId> to_vector() const;
+
+  /// Calls `fn(BlockId)` for each contained block in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(bits));
+        fn(static_cast<BlockId>((w << 6) + bit));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Raw word storage (little-endian bit order), for tests and diagnostics.
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  friend bool operator==(const BlockSet& a, const BlockSet& b) {
+    return a.universe_ == b.universe_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::uint64_t word_mask(std::size_t w) const;  // valid-bit mask for word w
+
+  std::uint32_t universe_ = 0;
+  std::uint32_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pob

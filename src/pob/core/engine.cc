@@ -1,0 +1,214 @@
+#include "pob/core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace pob {
+
+double RunResult::mean_client_completion() const {
+  if (client_completion.empty()) return 0.0;
+  const auto sum = std::accumulate(client_completion.begin(),
+                                   client_completion.end(), std::uint64_t{0});
+  return static_cast<double>(sum) / static_cast<double>(client_completion.size());
+}
+
+double RunResult::utilization(Tick t, const EngineConfig& cfg) const {
+  if (t == 0 || t > uploads_per_tick.size()) return 0.0;
+  double slots = 0.0;
+  if (!cfg.upload_capacities.empty()) {
+    for (const std::uint32_t c : cfg.upload_capacities) slots += c;
+  } else {
+    const std::uint32_t server_up = cfg.server_upload_capacity != 0
+                                        ? cfg.server_upload_capacity
+                                        : cfg.upload_capacity;
+    slots = static_cast<double>(cfg.upload_capacity) *
+                static_cast<double>(cfg.num_nodes - 1) +
+            static_cast<double>(server_up);
+  }
+  return static_cast<double>(uploads_per_tick[t - 1]) / slots;
+}
+
+Tick default_tick_cap(std::uint32_t num_nodes, std::uint32_t num_blocks) {
+  // Generous: covers even the slowest deterministic baseline in this repo
+  // (binomial tree sending one block at a time, T = k * ceil(log2 n)) with
+  // ample headroom for n up to 2^64th... practically, log2 n <= 64.
+  return 1024 + 2 * num_nodes + 66 * num_blocks;
+}
+
+namespace {
+
+[[noreturn]] void violation(Tick tick, const Transfer& tr, const char* why) {
+  std::ostringstream os;
+  os << "tick " << tick << ": transfer " << tr.from << " -> " << tr.to
+     << " (block " << tr.block << "): " << why;
+  throw EngineViolation(os.str());
+}
+
+}  // namespace
+
+RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
+                         Mechanism* mechanism, SwarmState& state) {
+  if (config.num_nodes < 2) throw std::invalid_argument("engine: num_nodes < 2");
+  if (config.num_blocks < 1) throw std::invalid_argument("engine: num_blocks < 1");
+  if (config.upload_capacity < 1) throw std::invalid_argument("engine: upload_capacity < 1");
+  if (config.download_capacity < 1) throw std::invalid_argument("engine: download_capacity < 1");
+  if (state.num_nodes() != config.num_nodes || state.num_blocks() != config.num_blocks) {
+    throw std::invalid_argument("engine: state dimensions do not match config");
+  }
+
+  const std::uint32_t n = config.num_nodes;
+  if (!config.upload_capacities.empty() && config.upload_capacities.size() != n) {
+    throw std::invalid_argument("engine: upload_capacities size mismatch");
+  }
+  if (!config.download_capacities.empty() && config.download_capacities.size() != n) {
+    throw std::invalid_argument("engine: download_capacities size mismatch");
+  }
+  const std::uint32_t server_up = config.server_upload_capacity != 0
+                                      ? config.server_upload_capacity
+                                      : config.upload_capacity;
+  const auto up_cap_of = [&](NodeId node) -> std::uint32_t {
+    if (!config.upload_capacities.empty()) return config.upload_capacities[node];
+    return node == kServer ? server_up : config.upload_capacity;
+  };
+  const auto down_cap_of = [&](NodeId node) -> std::uint32_t {
+    if (!config.download_capacities.empty()) return config.download_capacities[node];
+    return config.download_capacity;
+  };
+  const Tick cap = config.max_ticks != 0
+                       ? config.max_ticks
+                       : default_tick_cap(config.num_nodes, config.num_blocks);
+
+  // Departures sorted by tick; applied at the start of their tick.
+  std::vector<std::pair<Tick, NodeId>> departures = config.departures;
+  std::sort(departures.begin(), departures.end());
+  std::size_t next_departure = 0;
+
+  RunResult result;
+  result.uploads_per_node.assign(n, 0);
+  std::vector<Transfer> tick_transfers;
+  std::vector<Transfer> kept;
+  std::vector<std::uint32_t> up_used(n), down_used(n);
+
+  double slots_per_tick = 0.0;
+  for (NodeId u = 0; u < n; ++u) slots_per_tick += up_cap_of(u);
+  std::uint64_t window_sum = 0;
+
+  std::vector<NodeId> leaving;  // depart_on_complete: who finished last tick
+
+  Tick tick = 0;
+  while (!state.all_complete() && tick < cap) {
+    ++tick;
+    while (next_departure < departures.size() && departures[next_departure].first <= tick) {
+      state.deactivate(departures[next_departure].second);
+      ++next_departure;
+    }
+    if (config.depart_on_complete) {
+      for (const NodeId c : leaving) state.deactivate(c);
+      leaving.clear();
+    }
+    if (state.all_complete()) break;  // survivors may already all be done
+
+    tick_transfers.clear();
+    scheduler.plan_tick(tick, state, tick_transfers);
+
+    // --- Validate the tick against the bandwidth / data-transfer model. ---
+    std::fill(up_used.begin(), up_used.end(), 0u);
+    std::fill(down_used.begin(), down_used.end(), 0u);
+    kept.clear();
+    for (const Transfer& tr : tick_transfers) {
+      if (tr.from >= n || tr.to >= n) violation(tick, tr, "node id out of range");
+      if (tr.from == tr.to) violation(tick, tr, "self transfer");
+      if (tr.block >= config.num_blocks) violation(tick, tr, "block id out of range");
+      if (!state.is_active(tr.from) || !state.is_active(tr.to)) {
+        if (config.drop_transfers_involving_inactive) continue;
+        violation(tick, tr, "transfer involves a departed node");
+      }
+      if (!state.has(tr.from, tr.block)) {
+        if (config.drop_transfers_involving_inactive) continue;  // lost upstream
+        violation(tick, tr, "sender does not hold the block at tick start");
+      }
+      if (state.has(tr.to, tr.block)) {
+        if (config.drop_transfers_involving_inactive) continue;
+        violation(tick, tr, "receiver already holds the block");
+      }
+      if (++up_used[tr.from] > up_cap_of(tr.from)) {
+        violation(tick, tr, "sender over upload capacity");
+      }
+      const std::uint32_t dcap = down_cap_of(tr.to);
+      if (dcap != kUnlimited && ++down_used[tr.to] > dcap) {
+        violation(tick, tr, "receiver over download capacity");
+      }
+      kept.push_back(tr);
+    }
+    tick_transfers.swap(kept);
+    // No duplicate delivery of one block to one receiver within a tick (the
+    // handshake protocol of §2.4.2 exists precisely to prevent this).
+    {
+      std::vector<std::uint64_t> keys;
+      keys.reserve(tick_transfers.size());
+      for (const Transfer& tr : tick_transfers) {
+        keys.push_back((static_cast<std::uint64_t>(tr.to) << 32) | tr.block);
+      }
+      std::sort(keys.begin(), keys.end());
+      if (std::adjacent_find(keys.begin(), keys.end()) != keys.end()) {
+        violation(tick, tick_transfers.front(),
+                  "same block delivered twice to one receiver in one tick");
+      }
+    }
+    if (mechanism != nullptr) {
+      if (auto err = mechanism->check_tick(tick, tick_transfers, state)) {
+        throw EngineViolation("tick " + std::to_string(tick) + ": mechanism '" +
+                              std::string(mechanism->name()) + "' violated: " + *err);
+      }
+    }
+
+    // --- Commit. ---
+    if (mechanism != nullptr) mechanism->commit_tick(tick, tick_transfers, state);
+    for (const Transfer& tr : tick_transfers) {
+      const bool became_complete = !state.is_complete(tr.to);
+      const bool added = state.add_block(tr.to, tr.block, tick);
+      assert(added);
+      (void)added;
+      ++result.uploads_per_node[tr.from];
+      if (config.depart_on_complete && became_complete && state.is_complete(tr.to)) {
+        leaving.push_back(tr.to);
+      }
+    }
+    result.total_transfers += tick_transfers.size();
+    result.uploads_per_tick.push_back(static_cast<std::uint32_t>(tick_transfers.size()));
+    if (config.record_trace) result.trace.push_back(tick_transfers);
+
+    if (config.stall_window != 0) {
+      window_sum += tick_transfers.size();
+      if (tick > config.stall_window) {
+        window_sum -= result.uploads_per_tick[tick - config.stall_window - 1];
+      }
+      if (tick >= config.stall_window &&
+          static_cast<double>(window_sum) <
+              config.stall_utilization * slots_per_tick *
+                  static_cast<double>(config.stall_window)) {
+        result.stalled = true;
+        break;
+      }
+    }
+  }
+
+  result.ticks_executed = tick;
+  result.completed = state.all_complete();
+  result.departed = state.num_departed();
+  result.client_completion = state.client_completion_ticks();
+  if (result.completed) {
+    result.completion_tick =
+        *std::max_element(result.client_completion.begin(), result.client_completion.end());
+  }
+  return result;
+}
+
+RunResult run(const EngineConfig& config, Scheduler& scheduler, Mechanism* mechanism) {
+  SwarmState state(config.num_nodes, config.num_blocks);
+  return run_with_state(config, scheduler, mechanism, state);
+}
+
+}  // namespace pob

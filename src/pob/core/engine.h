@@ -1,0 +1,130 @@
+// Synchronous tick engine.
+//
+// Implements the paper's bandwidth and data-transfer model (§2.1): per tick,
+// each node uploads at most `upload_capacity` blocks and downloads at most
+// `download_capacity` blocks; a block can only be forwarded starting the tick
+// after it was fully received; a transfer's sender must hold the block and
+// its receiver must lack it. Any violation by a scheduler is a bug and makes
+// the engine throw EngineViolation — algorithms ship with machine-checked
+// model compliance.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pob/core/mechanism.h"
+#include "pob/core/scheduler.h"
+#include "pob/core/swarm_state.h"
+#include "pob/core/types.h"
+
+namespace pob {
+
+/// Thrown when a scheduler plans a transfer that violates the bandwidth /
+/// data-transfer model or the active incentive mechanism.
+class EngineViolation : public std::runtime_error {
+ public:
+  explicit EngineViolation(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct EngineConfig {
+  std::uint32_t num_nodes = 0;   ///< total nodes, server included (>= 2)
+  std::uint32_t num_blocks = 0;  ///< file size in blocks (>= 1)
+
+  /// Client upload capacity in blocks/tick (paper: 1).
+  std::uint32_t upload_capacity = 1;
+
+  /// Download capacity in blocks/tick; kUnlimited models d = infinity. The
+  /// paper requires d >= u and notes cooperative results are insensitive to
+  /// d, while the barter bounds (Theorems 2-3) depend on it.
+  std::uint32_t download_capacity = kUnlimited;
+
+  /// Server upload capacity; 0 means "same as upload_capacity". §2.3.4's
+  /// higher-server-bandwidth variant sets this to m * upload_capacity.
+  std::uint32_t server_upload_capacity = 0;
+
+  /// Per-node capacity overrides (heterogeneous bandwidths, §2.3.4's
+  /// asynchrony discussion). When non-empty, must have num_nodes entries
+  /// and takes precedence over the scalar fields above (including
+  /// server_upload_capacity).
+  std::vector<std::uint32_t> upload_capacities;
+  std::vector<std::uint32_t> download_capacities;
+
+  /// Churn injection: node `second` departs at the START of tick `first`
+  /// (it can neither send nor receive from that tick on, its replicas stop
+  /// counting, and it no longer needs to complete). The server cannot
+  /// depart.
+  std::vector<std::pair<Tick, NodeId>> departures;
+
+  /// Selfish-leecher mode: every client departs the tick after it completes
+  /// (it grabs the file and leaves, contributing nothing further) — the
+  /// regime where upload incentives matter most. The server stays.
+  bool depart_on_complete = false;
+
+  /// Lossy churn mode: when true, transfers touching a departed node are
+  /// silently dropped (broken connections), and so are the downstream
+  /// casualties of rigid schedules — sends of blocks that never arrived and
+  /// re-sends of blocks the receiver already has. Capacity violations still
+  /// throw (those are genuine scheduler bugs). This is what lets the
+  /// binomial pipeline run under churn and simply lose the affected flows —
+  /// the §2.4 robustness story.
+  bool drop_transfers_involving_inactive = false;
+
+  /// Hard tick cap; 0 selects a generous default that any terminating
+  /// algorithm in this codebase stays far below. Runs that hit the cap
+  /// return completed = false (used to censor the "off the charts" region
+  /// of Figures 6-7).
+  Tick max_ticks = 0;
+
+  /// Record the full transfer log (memory-heavy; for tests/diagnostics).
+  bool record_trace = false;
+
+  /// Stall detection: when nonzero, a run whose total transfers over the
+  /// last `stall_window` ticks fall below `stall_utilization` of the
+  /// available upload slots is declared stalled and censored (completed =
+  /// false, stalled = true). The credit-starved regimes of Figures 6-7
+  /// creep along on server bandwidth alone (~1/n utilization); this cuts
+  /// those runs off in O(window) instead of the full tick cap.
+  Tick stall_window = 0;
+  double stall_utilization = 0.02;
+};
+
+struct RunResult {
+  bool completed = false;       ///< all clients complete within the cap
+  bool stalled = false;         ///< cut off by stall detection
+  Tick completion_tick = 0;     ///< paper's T (valid when completed)
+  Tick ticks_executed = 0;      ///< ticks actually simulated
+  std::uint64_t total_transfers = 0;
+  std::uint32_t departed = 0;              ///< nodes that left (churn runs)
+  std::vector<Tick> client_completion;     ///< per client (index 0 = node 1)
+  std::vector<std::uint32_t> uploads_per_node;  ///< fairness accounting
+  std::vector<std::uint32_t> uploads_per_tick;  ///< utilization trace
+  std::vector<std::vector<Transfer>> trace;     ///< per tick, if recorded
+
+  /// Mean client completion tick ("average time for nodes to finish",
+  /// §3.2.4 remarks on it being less dramatic than the maximum).
+  double mean_client_completion() const;
+
+  /// Fraction of upload slots used in tick t (1-based), given capacities.
+  double utilization(Tick t, const EngineConfig& cfg) const;
+};
+
+/// Runs `scheduler` under `config` until all clients are complete or the
+/// tick cap is reached. If `mechanism` is non-null every tick is validated
+/// against it (and committed to it). The final swarm state is discarded;
+/// use run_with_state to keep it.
+RunResult run(const EngineConfig& config, Scheduler& scheduler,
+              Mechanism* mechanism = nullptr);
+
+/// As run(), but executes against a caller-provided state (must be freshly
+/// constructed with matching dimensions) so callers can inspect final
+/// possession.
+RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
+                         Mechanism* mechanism, SwarmState& state);
+
+/// The default tick cap used when EngineConfig::max_ticks == 0.
+Tick default_tick_cap(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+}  // namespace pob

@@ -1,0 +1,64 @@
+// The Mechanism interface: an incentive mechanism (§3) constrains which
+// transfers may legally occur in a tick. The engine validates every tick's
+// transfer set against the active mechanism before committing it, so an
+// algorithm's claimed mechanism-compliance is machine-checked, not assumed.
+//
+// Implementations live in pob/mech; the interface lives in core because the
+// engine depends on it.
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "pob/core/swarm_state.h"
+#include "pob/core/types.h"
+
+namespace pob {
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Validates a full tick's worth of simultaneous transfers against the
+  /// mechanism, given the start-of-tick state. Returns an error description
+  /// if the tick is illegal, std::nullopt if it complies.
+  virtual std::optional<std::string> check_tick(
+      Tick tick, std::span<const Transfer> transfers, const SwarmState& state) = 0;
+
+  /// Called after a tick validates and is applied; mechanisms with history
+  /// (e.g. credit ledgers) update themselves here.
+  virtual void commit_tick(Tick tick, std::span<const Transfer> transfers,
+                           const SwarmState& state) {
+    (void)tick;
+    (void)transfers;
+    (void)state;
+  }
+
+  /// Conservative single-transfer pre-check for schedulers that want to ask
+  /// "may `from` upload one more block to `to` right now?" before planning.
+  /// A true result must not depend on the rest of the tick's transfers being
+  /// absent (mechanisms where it would, like strict barter, return true and
+  /// rely on check_tick).
+  virtual bool may_upload(NodeId from, NodeId to) const {
+    (void)from;
+    (void)to;
+    return true;
+  }
+};
+
+/// The cooperative baseline of §2: no constraint at all.
+class Cooperative final : public Mechanism {
+ public:
+  std::string_view name() const override { return "cooperative"; }
+  std::optional<std::string> check_tick(Tick, std::span<const Transfer>,
+                                        const SwarmState&) override {
+    return std::nullopt;
+  }
+};
+
+}  // namespace pob

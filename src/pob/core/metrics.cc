@@ -1,0 +1,78 @@
+#include "pob/core/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pob {
+
+UtilizationSummary summarize_utilization(const RunResult& result,
+                                         const EngineConfig& config,
+                                         double bad_threshold) {
+  UtilizationSummary s;
+  s.bad_threshold = bad_threshold;
+  s.total_ticks = static_cast<std::uint32_t>(result.uploads_per_tick.size());
+  if (s.total_ticks == 0) return s;
+  double sum = 0.0;
+  s.min = 1.0;
+  for (Tick t = 1; t <= s.total_ticks; ++t) {
+    const double u = result.utilization(t, config);
+    sum += u;
+    s.min = std::min(s.min, u);
+    if (u >= 1.0) ++s.full_ticks;
+    if (u < bad_threshold) ++s.bad_ticks;
+  }
+  s.mean = sum / s.total_ticks;
+  return s;
+}
+
+CompletionSpread completion_spread(const RunResult& result) {
+  if (!result.completed || result.client_completion.empty()) {
+    throw std::invalid_argument("completion_spread: run did not complete");
+  }
+  CompletionSpread c;
+  const auto [lo, hi] = std::minmax_element(result.client_completion.begin(),
+                                            result.client_completion.end());
+  c.first = *lo;
+  c.last = *hi;
+  c.spread = c.last - c.first;
+  const auto sum = std::accumulate(result.client_completion.begin(),
+                                   result.client_completion.end(), std::uint64_t{0});
+  c.mean = static_cast<double>(sum) / static_cast<double>(result.client_completion.size());
+  return c;
+}
+
+FairnessSummary upload_fairness(const RunResult& result) {
+  FairnessSummary f;
+  if (result.uploads_per_node.size() < 2) return f;
+  // Clients only: skip index 0 (the server).
+  std::vector<double> loads(result.uploads_per_node.begin() + 1,
+                            result.uploads_per_node.end());
+  std::sort(loads.begin(), loads.end());
+  const auto n = static_cast<double>(loads.size());
+  double sum = 0.0;
+  double weighted = 0.0;  // sum of (rank * load), ranks 1..n over sorted loads
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    sum += loads[i];
+    weighted += static_cast<double>(i + 1) * loads[i];
+  }
+  f.min = loads.front();
+  f.max = loads.back();
+  f.mean = sum / n;
+  if (sum > 0.0) {
+    // Gini via the sorted-rank formula: G = (2*sum_i i*x_i)/(n*sum) - (n+1)/n.
+    f.gini = 2.0 * weighted / (n * sum) - (n + 1.0) / n;
+  }
+  return f;
+}
+
+double mean_client_goodput(const RunResult& result, std::uint32_t num_blocks) {
+  if (!result.completed || result.client_completion.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Tick t : result.client_completion) {
+    sum += static_cast<double>(num_blocks) / static_cast<double>(t);
+  }
+  return sum / static_cast<double>(result.client_completion.size());
+}
+
+}  // namespace pob

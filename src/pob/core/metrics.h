@@ -1,0 +1,57 @@
+// Derived metrics over RunResults: utilization statistics for the
+// "amortization" analysis of §2.4.3 and completion-spread statistics for the
+// individual-completion-time observation of §2.3.4.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pob/core/engine.h"
+#include "pob/core/types.h"
+
+namespace pob {
+
+struct UtilizationSummary {
+  double mean = 0.0;            ///< mean upload-slot utilization over the run
+  double min = 0.0;             ///< worst single tick
+  std::uint32_t full_ticks = 0; ///< ticks at 100% utilization
+  std::uint32_t bad_ticks = 0;  ///< ticks below `bad_threshold`
+  double bad_threshold = 0.0;
+  std::uint32_t total_ticks = 0;
+};
+
+/// Summarizes per-tick upload utilization of a finished run. `bad_threshold`
+/// defines a "bad" tick (paper's intuition argued >= 1/6 of nodes idle every
+/// tick, i.e. utilization <= 5/6; the measured amortization refutes that).
+UtilizationSummary summarize_utilization(const RunResult& result,
+                                         const EngineConfig& config,
+                                         double bad_threshold = 5.0 / 6.0);
+
+struct CompletionSpread {
+  Tick first = 0;   ///< earliest client completion tick
+  Tick last = 0;    ///< latest client completion tick (= T)
+  Tick spread = 0;  ///< last - first (0 means all finish simultaneously)
+  double mean = 0.0;
+};
+
+/// Completion-time spread across clients of a completed run.
+CompletionSpread completion_spread(const RunResult& result);
+
+/// Effective per-client goodput in blocks/tick: k / T_i, averaged.
+double mean_client_goodput(const RunResult& result, std::uint32_t num_blocks);
+
+/// Distribution of upload work across CLIENTS (the server is excluded: it
+/// is paid to upload). Barter mechanisms exist to equalize exactly this.
+struct FairnessSummary {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Gini coefficient of client upload counts: 0 = perfectly equal,
+  /// -> 1 = one client does all the work.
+  double gini = 0.0;
+};
+
+FairnessSummary upload_fairness(const RunResult& result);
+
+}  // namespace pob

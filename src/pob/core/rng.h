@@ -1,0 +1,62 @@
+// Deterministic, splittable random number generator.
+//
+// Experiments must be reproducible across platforms and standard-library
+// versions, so we implement xoshiro256** (Blackman & Vigna) directly instead
+// of relying on std:: distributions, whose outputs are not portable.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pob {
+
+/// Small, fast, deterministic PRNG (xoshiro256**), seeded via splitmix64.
+///
+/// Not cryptographically secure; intended for simulation only. Copyable:
+/// copies continue the same stream independently.
+class Rng {
+ public:
+  /// Seeds the generator. Two generators with different seeds produce
+  /// independent-looking streams; the all-zero state is impossible because
+  /// splitmix64 never maps a seed to four zero words.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero. Uses rejection
+  /// sampling (Lemire-style) so results are exactly uniform.
+  std::uint32_t below(std::uint32_t bound);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  std::uint32_t range(std::uint32_t lo, std::uint32_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Derives an independent generator for a sub-task. Streams derived with
+  /// different `stream` values from the same parent are independent, and
+  /// deriving does not perturb the parent's own stream.
+  [[nodiscard]] Rng split(std::uint64_t stream) const;
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    using std::size;
+    const auto n = static_cast<std::uint32_t>(size(c));
+    for (std::uint32_t i = n; i > 1; --i) {
+      const std::uint32_t j = below(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace pob

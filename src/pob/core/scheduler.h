@@ -1,0 +1,32 @@
+// The Scheduler interface: a content-distribution algorithm, in the paper's
+// sense, is exactly "a strategy that determines, at every tick, which node
+// transmits which block to which client" (§2.3.1). The engine calls
+// plan_tick() once per tick with the start-of-tick state and executes the
+// returned transfers simultaneously.
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pob/core/swarm_state.h"
+#include "pob/core/types.h"
+
+namespace pob {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable algorithm name for tables and traces.
+  virtual std::string_view name() const = 0;
+
+  /// Appends this tick's transfers to `out`. `tick` is 1-based; `state`
+  /// reflects possession at the start of the tick. Transfers must satisfy
+  /// the bandwidth and data-transfer model — the engine validates and throws
+  /// on violations, treating them as scheduler bugs.
+  virtual void plan_tick(Tick tick, const SwarmState& state,
+                         std::vector<Transfer>& out) = 0;
+};
+
+}  // namespace pob

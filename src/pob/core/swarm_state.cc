@@ -1,0 +1,71 @@
+#include "pob/core/swarm_state.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pob {
+
+SwarmState::SwarmState(std::uint32_t num_nodes, std::uint32_t num_blocks)
+    : num_blocks_(num_blocks) {
+  if (num_nodes < 2) throw std::invalid_argument("SwarmState: need >= 2 nodes");
+  if (num_blocks < 1) throw std::invalid_argument("SwarmState: need >= 1 block");
+  have_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) have_.emplace_back(num_blocks);
+  have_[kServer].fill();
+  completion_tick_.assign(num_nodes, 0);
+  position_.assign(num_nodes, kNotListed);
+  incomplete_.reserve(num_nodes - 1);
+  for (NodeId c = 1; c < num_nodes; ++c) {
+    position_[c] = static_cast<std::uint32_t>(incomplete_.size());
+    incomplete_.push_back(c);
+  }
+  freq_.assign(num_blocks, 1);  // the server's copy
+  active_.assign(num_nodes, 1);
+  total_held_ = num_blocks;
+}
+
+void SwarmState::deactivate(NodeId node) {
+  assert(node < num_nodes());
+  if (node == kServer) throw std::invalid_argument("deactivate: the server cannot depart");
+  if (!active_[node]) return;
+  active_[node] = 0;
+  ++num_departed_;
+  have_[node].for_each([this](BlockId b) { --freq_[b]; });
+  total_held_ -= have_[node].count();
+  const std::uint32_t pos = position_[node];
+  if (pos != kNotListed) {
+    const NodeId moved = incomplete_.back();
+    incomplete_[pos] = moved;
+    position_[moved] = pos;
+    incomplete_.pop_back();
+    position_[node] = kNotListed;
+  }
+}
+
+bool SwarmState::add_block(NodeId node, BlockId block, Tick tick) {
+  assert(node < num_nodes());
+  assert(block < num_blocks_);
+  if (!have_[node].insert(block)) return false;
+  ++freq_[block];
+  ++total_held_;
+  if (have_[node].full() && node != kServer) {
+    completion_tick_[node] = tick;
+    const std::uint32_t pos = position_[node];
+    assert(pos != kNotListed);
+    const NodeId moved = incomplete_.back();
+    incomplete_[pos] = moved;
+    position_[moved] = pos;
+    incomplete_.pop_back();
+    position_[node] = kNotListed;
+  }
+  return true;
+}
+
+std::vector<Tick> SwarmState::client_completion_ticks() const {
+  std::vector<Tick> out;
+  out.reserve(num_clients());
+  for (NodeId c = 1; c < num_nodes(); ++c) out.push_back(completion_tick_[c]);
+  return out;
+}
+
+}  // namespace pob

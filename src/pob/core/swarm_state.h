@@ -1,0 +1,92 @@
+// Possession state of every node in the swarm, plus the derived indexes the
+// randomized algorithms need to stay fast at scale:
+//
+//   * a swap-removable list of incomplete nodes (endgame target sampling),
+//   * global per-block replica counts (Rarest-First with "perfect statistics",
+//     exactly as the paper's simulations assume in §3.2.4).
+//
+// The server (node 0) starts with every block; clients start empty. State is
+// mutated only by the engine (or by schedulers running their own private
+// simulations, e.g. to precompute a deterministic schedule).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pob/core/block_set.h"
+#include "pob/core/types.h"
+
+namespace pob {
+
+class SwarmState {
+ public:
+  /// `num_nodes` includes the server; requires num_nodes >= 2, num_blocks >= 1.
+  SwarmState(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+  std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(have_.size()); }
+  std::uint32_t num_clients() const { return num_nodes() - 1; }
+  std::uint32_t num_blocks() const { return num_blocks_; }
+
+  const BlockSet& blocks_of(NodeId node) const { return have_[node]; }
+
+  bool has(NodeId node, BlockId block) const { return have_[node].contains(block); }
+
+  bool is_complete(NodeId node) const { return have_[node].full(); }
+
+  /// True when every client holds every block.
+  bool all_complete() const { return incomplete_.empty(); }
+
+  std::uint32_t num_incomplete() const {
+    return static_cast<std::uint32_t>(incomplete_.size());
+  }
+
+  /// Clients (and never the server — it starts complete) still missing blocks,
+  /// in unspecified order. Stable only until the next mutation.
+  std::span<const NodeId> incomplete_nodes() const { return incomplete_; }
+
+  /// Number of nodes (server included) possessing each block.
+  std::span<const std::uint32_t> block_frequency() const { return freq_; }
+
+  /// Grants `block` to `node` at tick `tick`. Returns true if newly added;
+  /// updates the incomplete index, replica counts, and — if the node became
+  /// complete — its completion tick.
+  bool add_block(NodeId node, BlockId block, Tick tick);
+
+  /// Removes `node` from the swarm (churn/failure injection): it no longer
+  /// counts toward completion, leaves the incomplete index, and its block
+  /// replicas stop counting toward block_frequency(). Idempotent; the
+  /// server cannot depart.
+  void deactivate(NodeId node);
+
+  /// False once the node departed.
+  bool is_active(NodeId node) const { return active_[node] != 0; }
+
+  std::uint32_t num_departed() const { return num_departed_; }
+
+  /// Tick at which `node` became complete, or 0 if it has not (the server
+  /// reports 0: it never "completes", it starts full).
+  Tick completion_tick(NodeId node) const { return completion_tick_[node]; }
+
+  /// Completion ticks of all clients (index 0 = client 1).
+  std::vector<Tick> client_completion_ticks() const;
+
+  /// Total number of blocks held across all nodes (server included).
+  std::uint64_t total_blocks_held() const { return total_held_; }
+
+ private:
+  std::uint32_t num_blocks_;
+  std::vector<BlockSet> have_;
+  std::vector<Tick> completion_tick_;
+  std::vector<NodeId> incomplete_;      // swap-remove list of incomplete clients
+  std::vector<std::uint32_t> position_; // node -> index in incomplete_, or npos
+  std::vector<std::uint32_t> freq_;     // block -> replica count (active nodes)
+  std::vector<char> active_;            // 0 once departed
+  std::uint32_t num_departed_ = 0;
+  std::uint64_t total_held_ = 0;
+
+  static constexpr std::uint32_t kNotListed = 0xffffffffu;
+};
+
+}  // namespace pob

@@ -1,0 +1,50 @@
+// Core value types shared by every pob subsystem.
+//
+// The model follows the paper exactly: `n` nodes numbered 0..n-1, where node
+// 0 is the server and nodes 1..n-1 are clients; a file of `k` blocks numbered
+// 0..k-1; and discrete time measured in ticks, where one tick is the time a
+// node needs to upload one block at its full upload bandwidth.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pob {
+
+/// Identifies a node in the swarm. Node 0 is always the server.
+using NodeId = std::uint32_t;
+
+/// Identifies a block of the file, 0-based. Paper block `b_i` (1-based) is
+/// BlockId `i - 1` here.
+using BlockId = std::uint32_t;
+
+/// Discrete simulation time. Tick 1 is the first tick in which transfers
+/// happen; tick 0 denotes "before the simulation starts".
+using Tick = std::uint32_t;
+
+/// The server's NodeId.
+inline constexpr NodeId kServer = 0;
+
+/// Sentinel for "no block".
+inline constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for an unbounded capacity (e.g. infinite download bandwidth).
+inline constexpr std::uint32_t kUnlimited = std::numeric_limits<std::uint32_t>::max();
+
+/// One block transfer scheduled within a tick. Transfers scheduled in the
+/// same tick are simultaneous: the sender must possess `block` at the start
+/// of the tick (a node cannot forward a block it is still receiving), and
+/// the receiver must not already possess it.
+struct Transfer {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  BlockId block = kNoBlock;
+
+  friend bool operator==(const Transfer&, const Transfer&) = default;
+};
+
+}  // namespace pob

@@ -1,0 +1,41 @@
+#include "pob/exp/sweep.h"
+
+#include <vector>
+
+#include "pob/exp/table.h"
+
+namespace pob {
+
+TrialStats repeat_trials(std::uint32_t runs,
+                         const std::function<TrialOutcome(std::uint32_t)>& trial) {
+  TrialStats stats;
+  stats.runs = runs;
+  std::vector<double> completions;
+  std::vector<double> means;
+  completions.reserve(runs);
+  means.reserve(runs);
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    const TrialOutcome outcome = trial(i);
+    if (!outcome.completed) {
+      ++stats.censored;
+      continue;
+    }
+    completions.push_back(outcome.completion);
+    means.push_back(outcome.mean_completion);
+  }
+  stats.completion = summarize(completions);
+  stats.mean_completion = summarize(means);
+  return stats;
+}
+
+std::string completion_cell(const TrialStats& stats, double cap, int precision) {
+  if (stats.all_censored()) return ">" + fmt(cap, 0) + " (censored)";
+  std::string cell = fmt_ci(stats.completion.mean, stats.completion.ci95, precision);
+  if (stats.censored > 0) {
+    cell += " [" + std::to_string(stats.censored) + "/" + std::to_string(stats.runs) +
+            " censored]";
+  }
+  return cell;
+}
+
+}  // namespace pob

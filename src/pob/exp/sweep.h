@@ -1,0 +1,37 @@
+// Repeated-trial runner: executes a randomized experiment `runs` times with
+// per-run derived seeds and aggregates completion statistics, with explicit
+// censoring support for runs that hit the tick cap (Figures 6-7's "off the
+// charts" region).
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "pob/analysis/stats.h"
+
+namespace pob {
+
+struct TrialOutcome {
+  bool completed = false;
+  double completion = 0.0;       ///< T in ticks (valid when completed)
+  double mean_completion = 0.0;  ///< mean client finish tick (valid when completed)
+};
+
+struct TrialStats {
+  Summary completion;       ///< over completed runs only
+  Summary mean_completion;  ///< over completed runs only
+  std::uint32_t runs = 0;
+  std::uint32_t censored = 0;  ///< runs that hit the tick cap
+
+  bool all_censored() const { return runs > 0 && censored == runs; }
+};
+
+/// Runs `trial(run_index)` `runs` times and aggregates.
+TrialStats repeat_trials(std::uint32_t runs,
+                         const std::function<TrialOutcome(std::uint32_t)>& trial);
+
+/// Renders the completion column: "mean +- ci" or ">cap (censored)".
+std::string completion_cell(const TrialStats& stats, double cap, int precision = 1);
+
+}  // namespace pob

@@ -1,0 +1,35 @@
+// Fixed-width table printer for bench output (and optional CSV emission),
+// so every experiment binary prints the same shape of row the paper's
+// figures/tables report.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pob {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the point.
+std::string fmt(double value, int precision = 1);
+
+/// Formats "mean ± ci95".
+std::string fmt_ci(double mean, double ci, int precision = 1);
+
+}  // namespace pob

@@ -1,0 +1,93 @@
+#include "pob/exp/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pob {
+
+EngineConfig LoadedTrace::to_config() const {
+  EngineConfig cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.num_blocks = num_blocks;
+  cfg.upload_capacity = upload_capacity;
+  cfg.download_capacity = download_capacity;
+  cfg.server_upload_capacity = server_upload_capacity;
+  return cfg;
+}
+
+void write_trace(std::ostream& os, const EngineConfig& config, const RunResult& result) {
+  os << "pobtrace 1 " << config.num_nodes << ' ' << config.num_blocks << ' '
+     << config.upload_capacity << ' '
+     << (config.download_capacity == kUnlimited ? 0 : config.download_capacity) << ' '
+     << config.server_upload_capacity << '\n';
+  for (const auto& tick : result.trace) {
+    bool first = true;
+    for (const Transfer& tr : tick) {
+      if (!first) os << ' ';
+      first = false;
+      os << tr.from << ':' << tr.to << ':' << tr.block;
+    }
+    os << '\n';
+  }
+}
+
+LoadedTrace read_trace(std::istream& is) {
+  LoadedTrace trace;
+  std::string line;
+  // Header (skipping comments/blank lines before it).
+  for (;;) {
+    if (!std::getline(is, line)) {
+      throw std::invalid_argument("pobtrace: missing header");
+    }
+    if (line.empty() || line[0] == '#') continue;
+    break;
+  }
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    std::uint32_t download = 0;
+    header >> magic >> version >> trace.num_nodes >> trace.num_blocks >>
+        trace.upload_capacity >> download >> trace.server_upload_capacity;
+    if (!header || magic != "pobtrace" || version != 1) {
+      throw std::invalid_argument("pobtrace: bad header: " + line);
+    }
+    trace.download_capacity = download == 0 ? kUnlimited : download;
+  }
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    std::vector<Transfer>& tick = trace.ticks.emplace_back();
+    std::istringstream cells(line);
+    std::string cell;
+    while (cells >> cell) {
+      Transfer tr;
+      char c1 = 0, c2 = 0;
+      std::istringstream parts(cell);
+      parts >> tr.from >> c1 >> tr.to >> c2 >> tr.block;
+      if (!parts || c1 != ':' || c2 != ':') {
+        throw std::invalid_argument("pobtrace: bad transfer cell: " + cell);
+      }
+      tick.push_back(tr);
+    }
+  }
+  return trace;
+}
+
+void TraceScheduler::plan_tick(Tick tick, const SwarmState& /*state*/,
+                               std::vector<Transfer>& out) {
+  if (tick == 0 || tick > trace_->ticks.size()) return;
+  const auto& planned = trace_->ticks[tick - 1];
+  out.insert(out.end(), planned.begin(), planned.end());
+}
+
+RunResult replay_trace(const LoadedTrace& trace, Mechanism* mechanism) {
+  EngineConfig cfg = trace.to_config();
+  cfg.max_ticks = static_cast<Tick>(trace.ticks.size()) + 1;
+  TraceScheduler sched(trace);
+  return run(cfg, sched, mechanism);
+}
+
+}  // namespace pob

@@ -1,0 +1,57 @@
+// Trace (de)serialization and replay: save a run's full transfer schedule to
+// a compact text format, reload it later, and replay it through the
+// validating engine (optionally under a different mechanism — e.g. record a
+// cooperative schedule and ask "would this have been legal under strict
+// barter?").
+//
+// Format (line-oriented, '#' comments allowed before the header):
+//
+//   pobtrace 1 <n> <k> <upload> <download> <server_upload>
+//   <from>:<to>:<block> <from>:<to>:<block> ...     # tick 1
+//   ...                                             # one line per tick
+//
+// An empty line encodes an idle tick. `download` of 0 encodes unlimited.
+
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "pob/core/engine.h"
+#include "pob/core/scheduler.h"
+
+namespace pob {
+
+struct LoadedTrace {
+  std::uint32_t num_nodes = 0;
+  std::uint32_t num_blocks = 0;
+  std::uint32_t upload_capacity = 1;
+  std::uint32_t download_capacity = kUnlimited;
+  std::uint32_t server_upload_capacity = 0;
+  std::vector<std::vector<Transfer>> ticks;
+
+  EngineConfig to_config() const;
+};
+
+/// Writes the run's trace (config.record_trace must have been set).
+void write_trace(std::ostream& os, const EngineConfig& config, const RunResult& result);
+
+/// Parses a trace; throws std::invalid_argument on malformed input.
+LoadedTrace read_trace(std::istream& is);
+
+/// Scheduler that plays back a loaded trace verbatim.
+class TraceScheduler final : public Scheduler {
+ public:
+  explicit TraceScheduler(const LoadedTrace& trace) : trace_(&trace) {}
+  std::string_view name() const override { return "trace-replay"; }
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override;
+
+ private:
+  const LoadedTrace* trace_;
+};
+
+/// Replays the trace through the validating engine (throws EngineViolation
+/// if it breaks the model or `mechanism`).
+RunResult replay_trace(const LoadedTrace& trace, Mechanism* mechanism = nullptr);
+
+}  // namespace pob

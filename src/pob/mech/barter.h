@@ -1,0 +1,126 @@
+// Incentive mechanisms of §3, as machine-checkable constraints on each
+// tick's simultaneous transfer set.
+//
+//   StrictBarter   (§3.1)  client->client transfers must come in simultaneous
+//                          pairwise exchanges; only the server gives freely.
+//   CreditLimited  (§3.2)  node u uploads to v only while the net blocks
+//                          sent from u to v (minus those received back)
+//                          stays <= s, the credit limit.
+//   CyclicBarter   (§3.3)  transfers clear if they lie on a simultaneous
+//                          directed barter cycle of length <= max_cycle_len
+//                          (3 = the paper's "triangular barter"); transfers
+//                          that do not clear cyclically fall back to the
+//                          pairwise credit limit.
+//
+// The server is exempt everywhere: "the one exception to barter-based
+// transfers is for the server itself, which uploads data without receiving
+// anything in return" (§3.1). Transfers *to* the server are never legal.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "pob/core/mechanism.h"
+#include "pob/core/types.h"
+
+namespace pob {
+
+/// Pairwise net-transfer ledger between clients. Positive net(u, v) means u
+/// has sent more blocks to v than it received back.
+class CreditLedger {
+ public:
+  /// Net blocks sent from `from` to `to` minus blocks received back.
+  std::int64_t net(NodeId from, NodeId to) const;
+
+  /// Records one block sent from `from` to `to`.
+  void record(NodeId from, NodeId to);
+
+  std::size_t num_pairs() const { return balance_.size(); }
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  // Keyed on (min, max); value is net from min-id to max-id.
+  std::unordered_map<std::uint64_t, std::int64_t> balance_;
+};
+
+/// §3.1 strict barter: within a tick, client->client transfers must form
+/// simultaneous exchange pairs — for every transfer u->v there is a matching
+/// v->u (counted with multiplicity).
+class StrictBarter final : public Mechanism {
+ public:
+  std::string_view name() const override { return "strict-barter"; }
+  std::optional<std::string> check_tick(Tick tick, std::span<const Transfer> transfers,
+                                        const SwarmState& state) override;
+};
+
+/// §3.2 credit-limited barter with credit limit s >= 1: at the end of every
+/// tick, net(u -> v) <= s must hold for every ordered client pair that
+/// transferred this tick. Simultaneous reciprocal transfers within a tick
+/// cancel, exactly like the symmetric exchanges of the hypercube algorithm.
+class CreditLimited final : public Mechanism {
+ public:
+  explicit CreditLimited(std::uint32_t credit_limit);
+
+  std::string_view name() const override { return "credit-limited"; }
+  std::optional<std::string> check_tick(Tick tick, std::span<const Transfer> transfers,
+                                        const SwarmState& state) override;
+  void commit_tick(Tick tick, std::span<const Transfer> transfers,
+                   const SwarmState& state) override;
+
+  /// Conservative pre-check: guarantees a single u->v upload this tick stays
+  /// within the limit regardless of what else happens (reciprocal transfers
+  /// only help).
+  bool may_upload(NodeId from, NodeId to) const override;
+
+  std::uint32_t credit_limit() const { return credit_limit_; }
+  const CreditLedger& ledger() const { return ledger_; }
+
+ private:
+  std::uint32_t credit_limit_;
+  CreditLedger ledger_;
+};
+
+/// §3.3 cyclic ("triangular" at max_cycle_len = 3) barter with an optional
+/// credit fallback: a transfer clears for free if it lies on a simultaneous
+/// directed cycle of client transfers of length <= max_cycle_len (the barter
+/// value returns around the cycle within the tick); transfers that do not
+/// clear must respect the pairwise credit limit, like CreditLimited.
+/// Cleared transfers do not touch the ledger.
+class CyclicBarter final : public Mechanism {
+ public:
+  CyclicBarter(std::uint32_t max_cycle_len, std::uint32_t credit_limit);
+
+  std::string_view name() const override { return "cyclic-barter"; }
+  std::optional<std::string> check_tick(Tick tick, std::span<const Transfer> transfers,
+                                        const SwarmState& state) override;
+  void commit_tick(Tick tick, std::span<const Transfer> transfers,
+                   const SwarmState& state) override;
+  bool may_upload(NodeId from, NodeId to) const override;
+
+  std::uint32_t max_cycle_len() const { return max_cycle_len_; }
+  std::uint32_t credit_limit() const { return credit_limit_; }
+  const CreditLedger& ledger() const { return ledger_; }
+
+ private:
+  /// Marks which of `transfers` lie on a directed client-transfer cycle of
+  /// length <= max_cycle_len_. Returns an error for transfers to the server.
+  std::optional<std::string> classify(std::span<const Transfer> transfers,
+                                      std::vector<char>& cleared) const;
+
+  std::uint32_t max_cycle_len_;
+  std::uint32_t credit_limit_;
+  CreditLedger ledger_;
+};
+
+/// Convenience: the paper's triangular barter with credit limit 1.
+inline CyclicBarter make_triangular_barter(std::uint32_t credit_limit = 1) {
+  return CyclicBarter(3, credit_limit);
+}
+
+}  // namespace pob

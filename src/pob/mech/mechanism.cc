@@ -1,0 +1,23 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "pob/mech/barter.h"
+
+namespace pob {
+
+std::int64_t CreditLedger::net(NodeId from, NodeId to) const {
+  const bool flip = from > to;
+  const auto it = balance_.find(flip ? key(to, from) : key(from, to));
+  if (it == balance_.end()) return 0;
+  return flip ? -it->second : it->second;
+}
+
+void CreditLedger::record(NodeId from, NodeId to) {
+  if (from < to) {
+    balance_[key(from, to)] += 1;
+  } else {
+    balance_[key(to, from)] -= 1;
+  }
+}
+
+}  // namespace pob

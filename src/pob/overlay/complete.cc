@@ -1,0 +1,27 @@
+#include "pob/overlay/overlay.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pob {
+
+double Overlay::average_degree() const {
+  const std::uint32_t n = num_nodes();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId u = 0; u < n; ++u) total += degree(u);
+  return total / n;
+}
+
+GraphOverlay::GraphOverlay(Graph graph) : graph_(std::move(graph)) {
+  if (!graph_.finalized()) throw std::invalid_argument("GraphOverlay: graph not finalized");
+}
+
+std::uint32_t GraphOverlay::neighbor_index(NodeId u, NodeId v) const {
+  const auto nb = graph_.neighbors(u);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  if (it == nb.end() || *it != v) return kUnlimited;
+  return static_cast<std::uint32_t>(it - nb.begin());
+}
+
+}  // namespace pob

@@ -1,0 +1,153 @@
+#include "pob/overlay/embedding.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pob {
+namespace {
+
+/// Cost of all overlay edges incident to `vertex`: its intra-pair edge plus
+/// every cross edge to its hypercube neighbors.
+double incident_cost(const HypercubeMap& map, std::span<const Point> positions,
+                     std::uint32_t vertex) {
+  double total = 0.0;
+  const auto& members = map.members[vertex];
+  if (members[1] != kNoNode) {
+    total += distance(positions[members[0]], positions[members[1]]);
+  }
+  for (std::uint32_t dim = 0; dim < map.dims; ++dim) {
+    const std::uint32_t w = vertex ^ (1u << dim);
+    for (const NodeId a : members) {
+      if (a == kNoNode) continue;
+      for (const NodeId b : map.members[w]) {
+        if (b == kNoNode) continue;
+        total += distance(positions[a], positions[b]);
+      }
+    }
+  }
+  return total;
+}
+
+double cross_cost(const HypercubeMap& map, std::span<const Point> positions,
+                  std::uint32_t v, std::uint32_t w) {
+  double total = 0.0;
+  for (const NodeId a : map.members[v]) {
+    if (a == kNoNode) continue;
+    for (const NodeId b : map.members[w]) {
+      if (b == kNoNode) continue;
+      total += distance(positions[a], positions[b]);
+    }
+  }
+  return total;
+}
+
+bool hypercube_adjacent(std::uint32_t v, std::uint32_t w) {
+  const std::uint32_t x = v ^ w;
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Cost of the neighborhood a swap of members in vertices va, vb can touch.
+double swap_neighborhood_cost(const HypercubeMap& map, std::span<const Point> positions,
+                              std::uint32_t va, std::uint32_t vb) {
+  if (va == vb) return incident_cost(map, positions, va);
+  double total = incident_cost(map, positions, va) + incident_cost(map, positions, vb);
+  if (hypercube_adjacent(va, vb)) total -= cross_cost(map, positions, va, vb);
+  return total;
+}
+
+}  // namespace
+
+double distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double hypercube_embedding_cost(const HypercubeMap& map,
+                                std::span<const Point> positions) {
+  if (positions.size() < map.vertex_of.size()) {
+    throw std::invalid_argument("embedding: positions do not cover all nodes");
+  }
+  double total = 0.0;
+  for (std::uint32_t v = 0; v < map.num_vertices; ++v) {
+    const auto& members = map.members[v];
+    if (members[1] != kNoNode) {
+      total += distance(positions[members[0]], positions[members[1]]);
+    }
+    for (std::uint32_t dim = 0; dim < map.dims; ++dim) {
+      const std::uint32_t w = v ^ (1u << dim);
+      if (w < v) continue;  // each cube edge once
+      total += cross_cost(map, positions, v, w);
+    }
+  }
+  return total;
+}
+
+EmbeddingResult optimize_hypercube_embedding(HypercubeMap map,
+                                             std::span<const Point> positions, Rng& rng,
+                                             std::uint32_t iterations) {
+  const auto n = static_cast<std::uint32_t>(map.vertex_of.size());
+  if (n < 3) {
+    return {map, hypercube_embedding_cost(map, positions),
+            hypercube_embedding_cost(map, positions), 0};
+  }
+  EmbeddingResult result;
+  result.initial_cost = hypercube_embedding_cost(map, positions);
+
+  // Member slot of a node inside its vertex.
+  const auto slot_of = [&](NodeId node) -> std::uint32_t {
+    return map.members[map.vertex_of[node]][0] == node ? 0u : 1u;
+  };
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    // Two distinct clients (never the server).
+    const NodeId a = 1 + rng.below(n - 1);
+    const NodeId b = 1 + rng.below(n - 1);
+    if (a == b) continue;
+    const std::uint32_t va = map.vertex_of[a];
+    const std::uint32_t vb = map.vertex_of[b];
+    if (va == vb) continue;
+
+    const double before = swap_neighborhood_cost(map, positions, va, vb);
+    const std::uint32_t sa = slot_of(a);
+    const std::uint32_t sb = slot_of(b);
+    map.members[va][sa] = b;
+    map.members[vb][sb] = a;
+    map.vertex_of[a] = vb;
+    map.vertex_of[b] = va;
+    const double after = swap_neighborhood_cost(map, positions, va, vb);
+    if (after < before) {
+      ++result.accepted_swaps;
+    } else {  // revert
+      map.members[va][sa] = a;
+      map.members[vb][sb] = b;
+      map.vertex_of[a] = va;
+      map.vertex_of[b] = vb;
+    }
+  }
+  result.final_cost = hypercube_embedding_cost(map, positions);
+  result.map = std::move(map);
+  return result;
+}
+
+std::vector<Point> random_points(std::uint32_t count, Rng& rng) {
+  std::vector<Point> pts(count);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  return pts;
+}
+
+std::vector<Point> clustered_points(std::uint32_t count, std::uint32_t clusters,
+                                    Rng& rng) {
+  if (clusters == 0) throw std::invalid_argument("clustered_points: clusters >= 1");
+  std::vector<Point> centers(clusters);
+  for (auto& c : centers) c = {rng.uniform(), rng.uniform()};
+  std::vector<Point> pts(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Random cluster membership: node id must carry no positional hint, or
+    // the identity embedding would already be aligned with the clusters.
+    const Point& c = centers[rng.below(clusters)];
+    pts[i] = {c.x + 0.02 * (rng.uniform() - 0.5), c.y + 0.02 * (rng.uniform() - 0.5)};
+  }
+  return pts;
+}
+
+}  // namespace pob

@@ -1,0 +1,58 @@
+// §2.3.4 "Optimizing for Physical Network": when pairwise bandwidth/latency
+// depends on where nodes sit in the physical network, the hypercube can be
+// "optimized" by choosing WHICH node gets which hypercube ID (the paper
+// cites the Apocrypha embedding techniques [12]).
+//
+// We model the physical network as points in the plane (distance = link
+// cost) and optimize the ID assignment by randomized local search: swap the
+// vertex assignments of two clients whenever that lowers the total cost of
+// the hypercube's overlay links. The schedule and tick count are unchanged —
+// the win is that every hypercube link, which the binomial pipeline uses
+// constantly, becomes physically shorter.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pob/core/rng.h"
+#include "pob/overlay/builders.h"
+
+namespace pob {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Point& a, const Point& b);
+
+/// Total physical cost of the overlay induced by `map`: every hypercube edge
+/// contributes the distance between each cross-vertex node pair, and doubled
+/// vertices contribute their intra-pair distance. `positions` is indexed by
+/// NodeId and must cover every node in the map.
+double hypercube_embedding_cost(const HypercubeMap& map, std::span<const Point> positions);
+
+struct EmbeddingResult {
+  HypercubeMap map;
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  std::uint32_t accepted_swaps = 0;
+};
+
+/// Local search: `iterations` random client-pair swap proposals, each
+/// accepted iff it strictly lowers hypercube_embedding_cost. The server's
+/// all-zero ID never moves. Deterministic given `rng`.
+EmbeddingResult optimize_hypercube_embedding(HypercubeMap map,
+                                             std::span<const Point> positions, Rng& rng,
+                                             std::uint32_t iterations);
+
+/// `count` points uniform in the unit square.
+std::vector<Point> random_points(std::uint32_t count, Rng& rng);
+
+/// `count` points in `clusters` tight Gaussian-ish clusters spread across the
+/// unit square — the interesting regime for embedding (keep cluster-mates
+/// adjacent in the cube).
+std::vector<Point> clustered_points(std::uint32_t count, std::uint32_t clusters, Rng& rng);
+
+}  // namespace pob

@@ -1,0 +1,104 @@
+#include "pob/overlay/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace pob {
+
+Graph::Graph(std::uint32_t num_nodes) : num_nodes_(num_nodes) {
+  offsets_.assign(num_nodes_ + 1, 0);
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  if (finalized_) throw std::logic_error("Graph::add_edge after finalize");
+  if (u == v) throw std::invalid_argument("Graph: self loop");
+  if (u >= num_nodes_ || v >= num_nodes_) throw std::invalid_argument("Graph: node out of range");
+  pending_.emplace_back(u, v);
+}
+
+void Graph::finalize() {
+  if (finalized_) return;
+  std::vector<std::uint64_t> counts(num_nodes_ + 1, 0);
+  for (const auto& [u, v] : pending_) {
+    ++counts[u + 1];
+    ++counts[v + 1];
+  }
+  offsets_.assign(num_nodes_ + 1, 0);
+  for (std::uint32_t i = 0; i < num_nodes_; ++i) offsets_[i + 1] = offsets_[i] + counts[i + 1];
+  edges_.assign(offsets_[num_nodes_], 0);
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : pending_) {
+    edges_[cursor[u]++] = v;
+    edges_[cursor[v]++] = u;
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  for (std::uint32_t u = 0; u < num_nodes_; ++u) {
+    auto begin = edges_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
+    auto end = edges_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]);
+    std::sort(begin, end);
+    if (std::adjacent_find(begin, end) != end) {
+      throw std::invalid_argument("Graph: duplicate edge at node " + std::to_string(u));
+    }
+  }
+  finalized_ = true;
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  assert(finalized_);
+  return {edges_.data() + offsets_[u], edges_.data() + offsets_[u + 1]};
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  assert(finalized_);
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::uint32_t Graph::min_degree() const {
+  std::uint32_t m = kUnreachable;
+  for (NodeId u = 0; u < num_nodes_; ++u) m = std::min(m, degree(u));
+  return m;
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t m = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) m = std::max(m, degree(u));
+  return m;
+}
+
+double Graph::average_degree() const {
+  if (num_nodes_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(num_nodes_);
+}
+
+bool Graph::is_connected() const {
+  return eccentricity(0) != kUnreachable;
+}
+
+std::uint32_t Graph::eccentricity(NodeId source) const {
+  assert(finalized_);
+  std::vector<std::uint32_t> dist(num_nodes_, kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  std::uint32_t seen = 1;
+  std::uint32_t ecc = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        ecc = std::max(ecc, dist[v]);
+        ++seen;
+        frontier.push(v);
+      }
+    }
+  }
+  return seen == num_nodes_ ? ecc : kUnreachable;
+}
+
+}  // namespace pob

@@ -1,0 +1,67 @@
+// Simple undirected graph with CSR-style adjacency after finalization, plus
+// the structural queries the experiments need (connectivity, degree stats,
+// BFS eccentricity). Overlay networks in the paper are undirected: an edge
+// means the two endpoints know each other's content and may transfer either
+// way (§2.4.1).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pob/core/types.h"
+
+namespace pob {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::uint32_t num_nodes);
+
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  std::uint64_t num_edges() const { return edges_.size() / 2; }
+
+  /// Adds the undirected edge {u, v}. Requires u != v and both in range.
+  /// Must be called before finalize(); duplicate edges are rejected at
+  /// finalize() time.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Sorts adjacency lists and validates simplicity (no parallel edges).
+  /// Throws std::invalid_argument on duplicates. Idempotent.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Sorted neighbor list of `u`. Requires finalize().
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+  std::uint32_t degree(NodeId u) const {
+    return static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Binary search over the sorted adjacency. Requires finalize().
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::uint32_t min_degree() const;
+  std::uint32_t max_degree() const;
+  double average_degree() const;
+
+  /// True when every node is reachable from node 0. Requires finalize().
+  bool is_connected() const;
+
+  /// BFS eccentricity of `source` (max hop distance to any reachable node);
+  /// returns kUnreachable if some node is unreachable. Requires finalize().
+  std::uint32_t eccentricity(NodeId source) const;
+
+  static constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+ private:
+  std::uint32_t num_nodes_ = 0;
+  bool finalized_ = false;
+  std::vector<std::pair<NodeId, NodeId>> pending_;  // pre-finalize edge list
+  std::vector<NodeId> edges_;                       // CSR payload (both directions)
+  std::vector<std::uint64_t> offsets_;              // CSR offsets, size n+1
+};
+
+}  // namespace pob

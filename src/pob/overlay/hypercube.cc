@@ -1,0 +1,66 @@
+#include <bit>
+#include <stdexcept>
+
+#include "pob/overlay/builders.h"
+
+namespace pob {
+
+std::uint32_t floor_log2(std::uint32_t x) {
+  if (x == 0) throw std::invalid_argument("floor_log2(0)");
+  return 31u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+std::uint32_t ceil_log2(std::uint32_t x) {
+  if (x == 0) throw std::invalid_argument("ceil_log2(0)");
+  const std::uint32_t f = floor_log2(x);
+  return (x & (x - 1)) == 0 ? f : f + 1;
+}
+
+HypercubeMap make_hypercube_map(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("make_hypercube_map: need n >= 2");
+  HypercubeMap map;
+  map.dims = floor_log2(n);
+  map.num_vertices = 1u << map.dims;
+  const std::uint32_t v = map.num_vertices;
+  // Server alone on the all-zero ID; clients 1..v-1 on their own IDs;
+  // clients v..n-1 doubled onto IDs 1..n-v. Feasible because
+  // v <= n < 2v implies n - v <= v - 1.
+  map.vertex_of.assign(n, 0);
+  map.members.assign(v, {kNoNode, kNoNode});
+  map.members[0] = {kServer, kNoNode};
+  for (NodeId c = 1; c < n; ++c) {
+    const std::uint32_t id = c < v ? c : c - v + 1;
+    map.vertex_of[c] = id;
+    if (map.members[id][0] == kNoNode) {
+      map.members[id][0] = c;
+    } else {
+      map.members[id][1] = c;
+    }
+  }
+  return map;
+}
+
+Graph make_hypercube_overlay(std::uint32_t n) {
+  const HypercubeMap map = make_hypercube_map(n);
+  Graph g(n);
+  for (std::uint32_t v = 0; v < map.num_vertices; ++v) {
+    // Intra-vertex edge for doubled vertices.
+    if (map.members[v][1] != kNoNode) g.add_edge(map.members[v][0], map.members[v][1]);
+    // Hypercube edges, emitted once per dimension with v < w.
+    for (std::uint32_t dim = 0; dim < map.dims; ++dim) {
+      const std::uint32_t w = v ^ (1u << dim);
+      if (w < v) continue;
+      for (const NodeId a : map.members[v]) {
+        if (a == kNoNode) continue;
+        for (const NodeId b : map.members[w]) {
+          if (b == kNoNode) continue;
+          g.add_edge(a, b);
+        }
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace pob

@@ -1,0 +1,19 @@
+#include <stdexcept>
+
+#include "pob/overlay/builders.h"
+
+namespace pob {
+
+Graph make_kary_tree(std::uint32_t n, std::uint32_t arity) {
+  if (n < 2) throw std::invalid_argument("make_kary_tree: need n >= 2");
+  if (arity < 1) throw std::invalid_argument("make_kary_tree: need arity >= 1");
+  Graph g(n);
+  for (NodeId child = 1; child < n; ++child) {
+    const NodeId parent = (child - 1) / arity;
+    g.add_edge(parent, child);
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace pob

@@ -1,0 +1,79 @@
+// The Overlay abstraction the randomized algorithms sample neighbors from.
+//
+// A complete graph on 10^4 nodes has ~5*10^7 edges; materializing it would
+// dominate memory and setup time, so CompleteOverlay answers neighbor
+// queries arithmetically while GraphOverlay wraps an explicit Graph
+// (random regular, hypercube-like, ring, tree).
+
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "pob/core/types.h"
+#include "pob/overlay/graph.h"
+
+namespace pob {
+
+class Overlay {
+ public:
+  virtual ~Overlay() = default;
+
+  virtual std::uint32_t num_nodes() const = 0;
+
+  virtual std::uint32_t degree(NodeId u) const = 0;
+
+  /// The idx-th neighbor of u, 0 <= idx < degree(u). Ordering is arbitrary
+  /// but stable; uniform sampling of idx yields a uniform random neighbor.
+  virtual NodeId neighbor(NodeId u, std::uint32_t idx) const = 0;
+
+  virtual bool adjacent(NodeId u, NodeId v) const = 0;
+
+  /// Index of `v` within `u`'s neighbor ordering (neighbor(u, idx) == v), or
+  /// kUnlimited when not adjacent.
+  virtual std::uint32_t neighbor_index(NodeId u, NodeId v) const = 0;
+
+  double average_degree() const;
+};
+
+/// Every pair of nodes is connected (§2.4.4's baseline overlay).
+class CompleteOverlay final : public Overlay {
+ public:
+  explicit CompleteOverlay(std::uint32_t num_nodes) : n_(num_nodes) {}
+
+  std::uint32_t num_nodes() const override { return n_; }
+  std::uint32_t degree(NodeId) const override { return n_ - 1; }
+  NodeId neighbor(NodeId u, std::uint32_t idx) const override {
+    return idx < u ? idx : idx + 1;
+  }
+  bool adjacent(NodeId u, NodeId v) const override { return u != v; }
+  std::uint32_t neighbor_index(NodeId u, NodeId v) const override {
+    if (u == v) return kUnlimited;
+    return v < u ? v : v - 1;
+  }
+
+ private:
+  std::uint32_t n_;
+};
+
+/// Adapter over an explicit Graph.
+class GraphOverlay final : public Overlay {
+ public:
+  /// Takes ownership; the graph must be finalized.
+  explicit GraphOverlay(Graph graph);
+
+  std::uint32_t num_nodes() const override { return graph_.num_nodes(); }
+  std::uint32_t degree(NodeId u) const override { return graph_.degree(u); }
+  NodeId neighbor(NodeId u, std::uint32_t idx) const override {
+    return graph_.neighbors(u)[idx];
+  }
+  bool adjacent(NodeId u, NodeId v) const override { return graph_.has_edge(u, v); }
+  std::uint32_t neighbor_index(NodeId u, NodeId v) const override;
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  Graph graph_;
+};
+
+}  // namespace pob

@@ -1,0 +1,15 @@
+#include <stdexcept>
+
+#include "pob/overlay/builders.h"
+
+namespace pob {
+
+Graph make_ring(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("make_ring: need n >= 3");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) g.add_edge(u, (u + 1) % n);
+  g.finalize();
+  return g;
+}
+
+}  // namespace pob

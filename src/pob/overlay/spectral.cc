@@ -1,0 +1,77 @@
+#include "pob/overlay/spectral.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace pob {
+namespace {
+
+/// Removes the component of `v` along the stationary left-null direction.
+/// For the row-stochastic P = D^-1 A, the RIGHT eigenvector for eigenvalue 1
+/// is all-ones, so we deflate against 1 under the pi-weighted inner product
+/// (pi_i proportional to degree), which keeps the iteration inside the
+/// complement of the top eigenspace.
+void deflate(std::vector<double>& v, const std::vector<double>& pi) {
+  double dot = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) dot += pi[i] * v[i];
+  for (double& x : v) x -= dot;  // <v,1>_pi * 1
+}
+
+double norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (const double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+SpectralEstimate estimate_lambda2(const Graph& graph, Rng& rng,
+                                  std::uint32_t iterations) {
+  const std::uint32_t n = graph.num_nodes();
+  if (n < 2) throw std::invalid_argument("estimate_lambda2: need >= 2 nodes");
+  if (graph.min_degree() == 0) {
+    throw std::invalid_argument("estimate_lambda2: isolated node");
+  }
+  if (!graph.is_connected()) {
+    // Disconnected: lambda2 = 1 exactly (no mixing across components).
+    return {1.0, 0.0, 0};
+  }
+
+  std::vector<double> pi(n);
+  double total_degree = 0.0;
+  for (NodeId u = 0; u < n; ++u) total_degree += graph.degree(u);
+  for (NodeId u = 0; u < n; ++u) pi[u] = graph.degree(u) / total_degree;
+
+  std::vector<double> v(n), next(n);
+  for (double& x : v) x = rng.uniform() - 0.5;
+  deflate(v, pi);
+  {
+    const double len = norm2(v);
+    if (len < 1e-12) throw std::logic_error("estimate_lambda2: degenerate start");
+    for (double& x : v) x /= len;
+  }
+  double lazy_lambda = 0.0;
+  std::uint32_t it = 0;
+  for (; it < iterations; ++it) {
+    // next = (I + P)/2 v — the lazy walk's spectrum is nonnegative, so the
+    // deflated dominant eigenvalue is (1 + lambda2)/2 with SIGNED lambda2.
+    for (NodeId u = 0; u < n; ++u) {
+      double sum = 0.0;
+      for (const NodeId w : graph.neighbors(u)) sum += v[w];
+      next[u] = 0.5 * (v[u] + sum / graph.degree(u));
+    }
+    deflate(next, pi);
+    const double len = norm2(next);
+    if (len < 1e-300) {  // collapsed into the top eigenspace
+      return {-1.0, 2.0, it};
+    }
+    lazy_lambda = len;  // v is unit length
+    for (NodeId u = 0; u < n; ++u) v[u] = next[u] / len;
+  }
+  double lambda2 = 2.0 * lazy_lambda - 1.0;
+  if (lambda2 > 1.0) lambda2 = 1.0;  // numerical overshoot
+  return {lambda2, 1.0 - lambda2, it};
+}
+
+}  // namespace pob

@@ -1,0 +1,15 @@
+#include "pob/rand/randomized.h"
+
+namespace pob {
+
+CreditRandomized make_credit_randomized(std::shared_ptr<const Overlay> overlay,
+                                        RandomizedOptions options, Rng rng,
+                                        std::uint32_t credit_limit) {
+  CreditRandomized result;
+  result.mechanism = std::make_unique<CreditLimited>(credit_limit);
+  result.scheduler = std::make_unique<RandomizedScheduler>(
+      std::move(overlay), options, rng, result.mechanism.get());
+  return result;
+}
+
+}  // namespace pob

@@ -1,0 +1,109 @@
+// §2.4 randomized content distribution, and its §3.2.3 credit-limited
+// variant.
+//
+// Every tick, each node u (in random order, emulating the asynchronous
+// handshake protocol's collision resolution):
+//
+//   1. finds a random neighbor v that is interested in u's content — v lacks
+//      a block u has that v is not already being sent this tick — and that
+//      still has download capacity (and, under credit-limited barter,
+//      headroom on the u->v credit line);
+//   2. uploads one block of u \ v chosen by the block-selection policy:
+//      Random, or Rarest-First using global replica counts ("perfect
+//      statistics about block frequencies", §3.2.4).
+//
+// Neighbor choice uses rejection sampling over the overlay with a
+// deterministic fallback scan, so the planner stays O(probes) per node in
+// the common case and exact in the endgame.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pob/core/mechanism.h"
+#include "pob/core/rng.h"
+#include "pob/core/scheduler.h"
+#include "pob/mech/barter.h"
+#include "pob/overlay/overlay.h"
+
+namespace pob {
+
+enum class BlockPolicy {
+  kRandom,       ///< uniform over the useful blocks
+  kRarestFirst,  ///< globally least-replicated useful block
+};
+
+const char* to_string(BlockPolicy policy);
+
+struct RandomizedOptions {
+  BlockPolicy policy = BlockPolicy::kRandom;
+  std::uint32_t upload_capacity = 1;
+  std::uint32_t download_capacity = kUnlimited;
+  /// Per-node overrides for heterogeneous swarms (empty = uniform). Must
+  /// mirror the EngineConfig the run uses, or the engine will veto.
+  std::vector<std::uint32_t> upload_capacities;
+  std::vector<std::uint32_t> download_capacities;
+  /// Rejection-sampling attempts before the deterministic fallback scan.
+  std::uint32_t max_probes = 24;
+  /// Cap on the fallback scan when many nodes are still incomplete; 0 means
+  /// exhaustive (exact "transmit iff any neighbor is interested" semantics).
+  /// A bounded scan models a practical protocol that gives up after a few
+  /// failed handshakes; it only matters for uploaders whose whole inventory
+  /// is nearly fully replicated, and measurably changes T by well under 1%.
+  std::uint32_t max_scan = 256;
+};
+
+class RandomizedScheduler : public Scheduler {
+ public:
+  /// `precheck`, when set, vetoes candidate uploads via
+  /// Mechanism::may_upload — pass the CreditLimited mechanism here (and to
+  /// the engine) to obtain the §3.2.3 algorithm.
+  RandomizedScheduler(std::shared_ptr<const Overlay> overlay, RandomizedOptions options,
+                      Rng rng, const Mechanism* precheck = nullptr);
+
+  std::string_view name() const override { return "randomized"; }
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override;
+
+  /// Swaps the overlay between ticks (used by the neighbor-rotation
+  /// extension of §3.2.4).
+  void set_overlay(std::shared_ptr<const Overlay> overlay);
+
+  const Overlay& overlay() const { return *overlay_; }
+
+ private:
+  void ensure_scratch(const SwarmState& state);
+  bool acceptable(NodeId u, NodeId v, Tick tick, const SwarmState& state) const;
+  NodeId find_target(NodeId u, Tick tick, const SwarmState& state);
+  const BlockSet* incoming_of(NodeId v, Tick tick) const;
+
+  std::shared_ptr<const Overlay> overlay_;
+  RandomizedOptions opt_;
+  Rng rng_;
+  const Mechanism* precheck_;
+
+  // Per-tick scratch, tick-stamped to avoid O(n) clears.
+  BlockSet dead_;  // blocks already held by every node ("dead": nobody wants them)
+  std::vector<NodeId> order_;
+  std::vector<BlockSet> incoming_;
+  std::vector<Tick> incoming_stamp_;
+  std::vector<Tick> saturated_stamp_;
+  std::vector<std::uint32_t> down_used_;
+  std::vector<Tick> down_stamp_;
+  std::vector<NodeId> chosen_;  // targets the current uploader already picked
+};
+
+/// Builds the §3.2.3 credit-limited randomized pair: the scheduler consults
+/// the mechanism's ledger before planning, and the same mechanism instance
+/// must be passed to the engine so the ledger advances and every tick is
+/// validated.
+struct CreditRandomized {
+  std::unique_ptr<CreditLimited> mechanism;
+  std::unique_ptr<RandomizedScheduler> scheduler;
+};
+
+CreditRandomized make_credit_randomized(std::shared_ptr<const Overlay> overlay,
+                                        RandomizedOptions options, Rng rng,
+                                        std::uint32_t credit_limit);
+
+}  // namespace pob

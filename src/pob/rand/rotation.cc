@@ -1,0 +1,35 @@
+#include "pob/rand/rotation.h"
+
+#include <stdexcept>
+
+#include "pob/overlay/builders.h"
+
+namespace pob {
+
+RotatingRandomizedScheduler::RotatingRandomizedScheduler(std::uint32_t num_nodes,
+                                                         std::uint32_t degree,
+                                                         Tick rotation_period,
+                                                         RandomizedOptions options,
+                                                         Rng rng,
+                                                         const Mechanism* precheck)
+    : num_nodes_(num_nodes),
+      degree_(degree),
+      rotation_period_(rotation_period),
+      graph_rng_(rng.split(0xc0ffee)) {
+  if (rotation_period_ < 1) throw std::invalid_argument("rotation: period must be >= 1");
+  auto overlay = std::make_shared<GraphOverlay>(
+      make_random_regular(num_nodes_, degree_, graph_rng_));
+  inner_ = std::make_unique<RandomizedScheduler>(std::move(overlay), options,
+                                                 rng.split(0xdeed), precheck);
+}
+
+void RotatingRandomizedScheduler::plan_tick(Tick tick, const SwarmState& state,
+                                            std::vector<Transfer>& out) {
+  if (tick > 1 && (tick - 1) % rotation_period_ == 0) {
+    inner_->set_overlay(std::make_shared<GraphOverlay>(
+        make_random_regular(num_nodes_, degree_, graph_rng_)));
+  }
+  inner_->plan_tick(tick, state, out);
+}
+
+}  // namespace pob

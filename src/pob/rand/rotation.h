@@ -1,0 +1,37 @@
+// §3.2.4's closing experiment: "nodes are constrained in a low-degree
+// overlay network, but allowed to change their neighbors periodically."
+// This scheduler re-draws a fresh random d-regular overlay every
+// `rotation_period` ticks and otherwise behaves exactly like the randomized
+// scheduler (optionally credit-limited).
+//
+// Note the credit ledger intentionally survives rotation: credit is granted
+// between *nodes*, and the paper's enforcement sketch (server-designated
+// neighbors) would re-designate on rotation while old debts stand.
+
+#pragma once
+
+#include <memory>
+
+#include "pob/core/rng.h"
+#include "pob/rand/randomized.h"
+
+namespace pob {
+
+class RotatingRandomizedScheduler final : public Scheduler {
+ public:
+  RotatingRandomizedScheduler(std::uint32_t num_nodes, std::uint32_t degree,
+                              Tick rotation_period, RandomizedOptions options, Rng rng,
+                              const Mechanism* precheck = nullptr);
+
+  std::string_view name() const override { return "randomized-rotating"; }
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override;
+
+ private:
+  std::uint32_t num_nodes_;
+  std::uint32_t degree_;
+  Tick rotation_period_;
+  Rng graph_rng_;
+  std::unique_ptr<RandomizedScheduler> inner_;
+};
+
+}  // namespace pob

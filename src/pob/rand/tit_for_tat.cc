@@ -1,0 +1,121 @@
+#include "pob/rand/tit_for_tat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace pob {
+
+TitForTatScheduler::TitForTatScheduler(std::shared_ptr<const Overlay> overlay,
+                                       TitForTatOptions options, Rng rng)
+    : overlay_(std::move(overlay)), opt_(options), rng_(rng) {
+  if (overlay_ == nullptr) throw std::invalid_argument("tit-for-tat: null overlay");
+  if (opt_.regular_unchokes + opt_.optimistic_unchokes == 0) {
+    throw std::invalid_argument("tit-for-tat: need at least one unchoke slot");
+  }
+  if (opt_.rechoke_period < 1) throw std::invalid_argument("tit-for-tat: period >= 1");
+}
+
+void TitForTatScheduler::ensure_scratch(const SwarmState& state) {
+  const std::uint32_t n = state.num_nodes();
+  if (received_.size() == n) return;
+  received_.resize(n);
+  unchoked_.assign(n, {});
+  for (NodeId u = 0; u < n; ++u) received_[u].assign(overlay_->degree(u), 0);
+  incoming_.assign(n, BlockSet(state.num_blocks()));
+  incoming_stamp_.assign(n, 0);
+  down_used_.assign(n, 0);
+  down_stamp_.assign(n, 0);
+}
+
+void TitForTatScheduler::rechoke(Tick /*tick*/, const SwarmState& state) {
+  const std::uint32_t n = state.num_nodes();
+  std::vector<std::uint32_t> order;
+  for (NodeId u = 0; u < n; ++u) {
+    const std::uint32_t deg = overlay_->degree(u);
+    auto& slots = unchoked_[u];
+    slots.clear();
+    if (deg == 0) continue;
+
+    // Reciprocation: top senders of the last window (the server skips this —
+    // it receives nothing). Random tiebreak via a shuffled index order.
+    order.resize(deg);
+    std::iota(order.begin(), order.end(), 0u);
+    rng_.shuffle(order);
+    if (u != kServer) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return received_[u][a] > received_[u][b];
+                       });
+      for (const std::uint32_t idx : order) {
+        if (slots.size() >= opt_.regular_unchokes) break;
+        if (received_[u][idx] == 0) break;  // nobody else reciprocated
+        slots.push_back(overlay_->neighbor(u, idx));
+      }
+    }
+    // Optimistic slots (all slots, for the server): random distinct
+    // neighbors not already unchoked.
+    const std::uint32_t target =
+        u == kServer ? opt_.regular_unchokes + opt_.optimistic_unchokes
+                     : static_cast<std::uint32_t>(slots.size()) + opt_.optimistic_unchokes;
+    for (const std::uint32_t idx : order) {
+      if (slots.size() >= std::min(target, deg)) break;
+      const NodeId v = overlay_->neighbor(u, idx);
+      if (std::find(slots.begin(), slots.end(), v) == slots.end()) slots.push_back(v);
+    }
+    // New window.
+    std::fill(received_[u].begin(), received_[u].end(), 0u);
+  }
+}
+
+void TitForTatScheduler::plan_tick(Tick tick, const SwarmState& state,
+                                   std::vector<Transfer>& out) {
+  ensure_scratch(state);
+  if ((tick - 1) % opt_.rechoke_period == 0) rechoke(tick, state);
+
+  std::vector<NodeId> node_order(state.num_nodes());
+  std::iota(node_order.begin(), node_order.end(), NodeId{0});
+  rng_.shuffle(node_order);
+
+  std::vector<NodeId> candidates;
+  for (const NodeId u : node_order) {
+    const BlockSet& have = state.blocks_of(u);
+    if (have.empty()) continue;
+    for (std::uint32_t slot = 0; slot < opt_.upload_capacity; ++slot) {
+      candidates.clear();
+      for (const NodeId v : unchoked_[u]) {
+        if (state.is_complete(v) || v == kServer) continue;
+        if (down_stamp_[v] == tick && down_used_[v] >= opt_.download_capacity) continue;
+        const BlockSet* excl = incoming_stamp_[v] == tick ? &incoming_[v] : nullptr;
+        if (have.has_useful(state.blocks_of(v), excl)) candidates.push_back(v);
+      }
+      if (candidates.empty()) break;
+      const NodeId v =
+          candidates[rng_.below(static_cast<std::uint32_t>(candidates.size()))];
+      const BlockSet* excl = incoming_stamp_[v] == tick ? &incoming_[v] : nullptr;
+      const BlockId b =
+          opt_.policy == BlockPolicy::kRandom
+              ? have.pick_random_useful(state.blocks_of(v), excl, rng_)
+              : have.pick_rarest_useful(state.blocks_of(v), excl,
+                                        state.block_frequency(), rng_);
+      assert(b != kNoBlock);
+      if (incoming_stamp_[v] != tick) {
+        incoming_[v].clear();
+        incoming_stamp_[v] = tick;
+      }
+      incoming_[v].insert(b);
+      if (down_stamp_[v] != tick) {
+        down_used_[v] = 0;
+        down_stamp_[v] = tick;
+      }
+      ++down_used_[v];
+      // Tit-for-tat accounting: v notes what u sent it this window.
+      const std::uint32_t idx = overlay_->neighbor_index(v, u);
+      if (idx != kUnlimited) received_[v][idx] += 1;
+      out.push_back({u, v, b});
+    }
+  }
+}
+
+}  // namespace pob

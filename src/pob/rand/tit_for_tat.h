@@ -1,0 +1,69 @@
+// A BitTorrent-style tit-for-tat swarm, for the §4 comparison ("our
+// preliminary results suggest that, even with perfect tuning of protocol
+// parameters, the completion time with BitTorrent is more than 30% worse
+// than the optimal time").
+//
+// Unlike the §2.4 randomized algorithm — which uploads to a random
+// *interested* neighbor chosen fresh every tick — a tit-for-tat node only
+// uploads to neighbors it has *unchoked*:
+//
+//   * every `rechoke_period` ticks, each client unchokes the
+//     `regular_unchokes` neighbors that sent it the most data during the
+//     last window (reciprocation), plus `optimistic_unchokes` random
+//     neighbors (exploration, how newcomers bootstrap);
+//   * the server has nothing to reciprocate, so all of its unchokes are
+//     optimistic (rotated randomly);
+//   * per tick a node uploads one block to a random unchoked-and-interested
+//     neighbor, block chosen rarest-first (the BitTorrent piece policy).
+//
+// The restriction to a slowly-changing unchoke set is exactly what costs
+// BitTorrent its efficiency in this static, homogeneous-bandwidth setting.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pob/core/rng.h"
+#include "pob/core/scheduler.h"
+#include "pob/overlay/overlay.h"
+#include "pob/rand/randomized.h"
+
+namespace pob {
+
+struct TitForTatOptions {
+  std::uint32_t regular_unchokes = 3;     ///< reciprocated upload slots
+  std::uint32_t optimistic_unchokes = 1;  ///< random exploration slots
+  Tick rechoke_period = 10;               ///< ticks between unchoke updates
+  BlockPolicy policy = BlockPolicy::kRarestFirst;
+  std::uint32_t upload_capacity = 1;
+  std::uint32_t download_capacity = kUnlimited;
+};
+
+class TitForTatScheduler final : public Scheduler {
+ public:
+  TitForTatScheduler(std::shared_ptr<const Overlay> overlay, TitForTatOptions options,
+                     Rng rng);
+
+  std::string_view name() const override { return "tit-for-tat"; }
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override;
+
+ private:
+  void ensure_scratch(const SwarmState& state);
+  void rechoke(Tick tick, const SwarmState& state);
+
+  std::shared_ptr<const Overlay> overlay_;
+  TitForTatOptions opt_;
+  Rng rng_;
+
+  // received_[u] aligns with the overlay adjacency of u: blocks received
+  // from each neighbor during the current rechoke window.
+  std::vector<std::vector<std::uint32_t>> received_;
+  std::vector<std::vector<NodeId>> unchoked_;  // per node, current unchoke set
+  std::vector<BlockSet> incoming_;
+  std::vector<Tick> incoming_stamp_;
+  std::vector<std::uint32_t> down_used_;
+  std::vector<Tick> down_stamp_;
+};
+
+}  // namespace pob

@@ -1,0 +1,147 @@
+#include "pob/sched/binomial_pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pob {
+
+BinomialPipelineScheduler::BinomialPipelineScheduler(std::uint32_t num_nodes,
+                                                     std::uint32_t num_blocks)
+    : BinomialPipelineScheduler(
+          [&] {
+            std::vector<NodeId> all(num_nodes);
+            std::iota(all.begin(), all.end(), NodeId{0});
+            return all;
+          }(),
+          [&] {
+            std::vector<BlockId> blocks(num_blocks);
+            std::iota(blocks.begin(), blocks.end(), BlockId{0});
+            return blocks;
+          }()) {}
+
+BinomialPipelineScheduler::BinomialPipelineScheduler(std::vector<NodeId> participants,
+                                                     std::vector<BlockId> blocks)
+    : participants_(std::move(participants)), blocks_(std::move(blocks)) {
+  if (participants_.size() < 2) {
+    throw std::invalid_argument("binomial-pipeline: need >= 2 participants");
+  }
+  if (blocks_.empty()) {
+    throw std::invalid_argument("binomial-pipeline: need >= 1 block");
+  }
+  if (!std::is_sorted(blocks_.begin(), blocks_.end()) ||
+      std::adjacent_find(blocks_.begin(), blocks_.end()) != blocks_.end()) {
+    throw std::invalid_argument("binomial-pipeline: blocks must be strictly increasing");
+  }
+  map_ = make_hypercube_map(static_cast<std::uint32_t>(participants_.size()));
+  const BlockId top = blocks_.back();
+  rank_of_block_.assign(top + 1, 0);
+  for (std::uint32_t r = 0; r < blocks_.size(); ++r) rank_of_block_[blocks_[r]] = r + 1;
+}
+
+std::uint32_t BinomialPipelineScheduler::union_max_rank(const SwarmState& state,
+                                                        std::uint32_t vertex) const {
+  // Blocks are strictly increasing in rank, so the max-rank block of a
+  // member is simply its max-id held block (clients in this pipeline only
+  // ever hold this pipeline's blocks).
+  std::uint32_t best = 0;
+  for (const NodeId member_idx : map_.members[vertex]) {
+    if (member_idx == kNoNode) continue;
+    const BlockId b = state.blocks_of(participants_[member_idx]).max();
+    if (b == kNoBlock) continue;
+    best = std::max(best, rank_of_block_[b]);
+  }
+  return best;
+}
+
+void BinomialPipelineScheduler::plan_tick(Tick tick, const SwarmState& state,
+                                          std::vector<Transfer>& out) {
+  const std::uint32_t m = map_.dims;
+  const std::uint32_t k = static_cast<std::uint32_t>(blocks_.size());
+  const std::uint32_t p = static_cast<std::uint32_t>(participants_.size());
+  const Tick phase_len = k + m - 1;
+
+  // Per-participant capacity used this tick (upload, download).
+  std::vector<std::uint8_t> up(p, 0), down(p, 0);
+
+  // Returns the member of `vertex` that would transmit block of rank `r`
+  // (kNoNode if nobody holds it). The preferred member alternates with the
+  // tick so that doubled-vertex roles (external sender vs internal
+  // forwarder) swap every tick — this keeps the intra-pair barter ledger
+  // balanced, which is what lets the general-n pipeline run under
+  // credit-limited mechanisms (§3.3).
+  const auto tx_member = [&](std::uint32_t vertex, std::uint32_t r) -> NodeId {
+    if (r == 0) return kNoNode;
+    const BlockId b = blocks_[r - 1];
+    const auto& members = map_.members[vertex];
+    const std::uint32_t first = (members[1] != kNoNode && tick % 2 == 0) ? 1u : 0u;
+    for (const std::uint32_t side : {first, 1u - first}) {
+      const NodeId idx = members[side];
+      if (idx != kNoNode && state.has(participants_[idx], b)) return idx;
+    }
+    return kNoNode;
+  };
+
+  if (tick <= phase_len) {
+    const std::uint32_t dim = (tick - 1) % m;
+    const std::uint32_t bit = 1u << dim;
+    for (std::uint32_t v = 0; v < map_.num_vertices; ++v) {
+      if (v & bit) continue;  // handle each pair once, from its low side
+      const std::uint32_t w = v | bit;
+
+      // Transmission rank of each side: the server vertex pushes block
+      // b_min(t,k); every other logical node pushes its highest-rank block.
+      const std::uint32_t rank_v =
+          v == 0 ? std::min<std::uint32_t>(tick, k) : union_max_rank(state, v);
+      const std::uint32_t rank_w =
+          w == 0 ? std::min<std::uint32_t>(tick, k) : union_max_rank(state, w);
+      const NodeId tx_v = tx_member(v, rank_v);
+      const NodeId tx_w = tx_member(w, rank_w);
+
+      // Plans the external transfer src_vertex -> dst_vertex of rank r.
+      const auto plan_external = [&](std::uint32_t dst, std::uint32_t r, NodeId tx,
+                                     NodeId dst_tx) {
+        if (r == 0 || tx == kNoNode) return;
+        const BlockId b = blocks_[r - 1];
+        // Receiver: prefer the member of dst that is not transmitting.
+        NodeId rx = kNoNode;
+        for (const NodeId idx : map_.members[dst]) {
+          if (idx == kNoNode || state.has(participants_[idx], b)) continue;
+          if (rx == kNoNode || idx != dst_tx) rx = idx;
+        }
+        if (rx == kNoNode) return;  // dst already has the block everywhere
+        ++up[tx];
+        ++down[rx];
+        out.push_back({participants_[tx], participants_[rx], b});
+      };
+      plan_external(w, rank_v, tx_v, tx_w);
+      plan_external(v, rank_w, tx_w, tx_v);
+    }
+  }
+
+  // Intra-vertex forwarding for doubled vertices (§2.3.3): with leftover
+  // capacity, a member passes its partner the highest-rank block the partner
+  // lacks. After the hypercube phase this is the "extra tick" that clears the
+  // at-most-one-block deficit on each side.
+  for (std::uint32_t v = 1; v < map_.num_vertices; ++v) {
+    const NodeId a = map_.members[v][0];
+    const NodeId b = map_.members[v][1];
+    if (b == kNoNode) continue;
+    const auto plan_internal = [&](NodeId from, NodeId to) {
+      if (up[from] != 0 || down[to] != 0) return;
+      const BlockSet& fs = state.blocks_of(participants_[from]);
+      const BlockSet& ts = state.blocks_of(participants_[to]);
+      // Highest-rank block in from \ to; blocks_ is increasing so the
+      // highest id is also the highest rank.
+      const BlockId blk = fs.max_missing_from(ts);
+      if (blk == kNoBlock) return;
+      ++up[from];
+      ++down[to];
+      out.push_back({participants_[from], participants_[to], blk});
+    };
+    plan_internal(a, b);
+    plan_internal(b, a);
+  }
+}
+
+}  // namespace pob

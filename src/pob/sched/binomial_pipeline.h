@@ -1,0 +1,62 @@
+// §2.3 "The Binomial Pipeline" — the paper's optimal cooperative algorithm,
+// in its hypercube formulation (§2.3.2) generalized to arbitrary node counts
+// (§2.3.3).
+//
+// Nodes are assigned m-bit hypercube IDs, m = floor(log2 n): the server gets
+// the all-zero ID, every other ID hosts one or two clients ("logical
+// nodes"). During tick t all data moves across dimension (t-1) mod m:
+//
+//   * the server transmits block b_min(t,k);
+//   * every other logical node transmits the highest-index block it has;
+//   * inside a doubled vertex, the member that is not transmitting receives
+//     the incoming block, and members forward each other blocks the other
+//     lacks using leftover capacity.
+//
+// Completion takes k - 1 + ceil(log2 n) ticks — exactly Theorem 1's lower
+// bound — and when k >= log2 n all clients finish on the same tick (§2.3.4).
+//
+// The scheduler can also run on a subset of clients with a shared server,
+// which is how the multi-server variant of §2.3.4 composes m independent
+// pipelines.
+
+#pragma once
+
+#include <vector>
+
+#include "pob/core/scheduler.h"
+#include "pob/overlay/builders.h"
+
+namespace pob {
+
+class BinomialPipelineScheduler final : public Scheduler {
+ public:
+  /// Pipeline over all nodes 0..num_nodes-1 (node 0 the server).
+  BinomialPipelineScheduler(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+  /// Pipeline over an explicit participant list; participants[0] acts as the
+  /// server (it must hold every block it is asked to send). `blocks` lists
+  /// the block ids this pipeline distributes, in transmission order.
+  BinomialPipelineScheduler(std::vector<NodeId> participants,
+                            std::vector<BlockId> blocks);
+
+  std::string_view name() const override { return "binomial-pipeline"; }
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override;
+
+  /// Optimal completion time (== Theorem 1's bound): k - 1 + ceil(log2 n).
+  static Tick completion_time(std::uint32_t num_nodes, std::uint32_t num_blocks) {
+    return num_blocks - 1 + ceil_log2(num_nodes);
+  }
+
+  const HypercubeMap& map() const { return map_; }
+
+ private:
+  /// Highest-index block (by transmission order) held by either member.
+  std::uint32_t union_max_rank(const SwarmState& state, std::uint32_t vertex) const;
+
+  std::vector<NodeId> participants_;  // participants_[0] = server
+  std::vector<BlockId> blocks_;       // blocks in transmission order
+  std::vector<std::uint32_t> rank_of_block_;  // BlockId -> order index (+1), 0 = not ours
+  HypercubeMap map_;                  // over participant indices
+};
+
+}  // namespace pob

@@ -1,0 +1,47 @@
+#include "pob/sched/binomial_tree.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "pob/overlay/builders.h"
+
+namespace pob {
+
+BinomialTreeScheduler::BinomialTreeScheduler(std::uint32_t num_nodes,
+                                             std::uint32_t num_blocks)
+    : n_(num_nodes), k_(num_blocks) {
+  if (n_ < 2) throw std::invalid_argument("binomial-tree: need >= 2 nodes");
+}
+
+Tick BinomialTreeScheduler::completion_time(std::uint32_t num_nodes,
+                                            std::uint32_t num_blocks) {
+  return num_blocks * ceil_log2(num_nodes);
+}
+
+void BinomialTreeScheduler::plan_tick(Tick /*tick*/, const SwarmState& state,
+                                      std::vector<Transfer>& out) {
+  // The current phase distributes the lowest block not yet held by everyone;
+  // every holder is paired with a distinct non-holder, doubling the holder
+  // population each tick.
+  const auto freq = state.block_frequency();
+  BlockId phase = kNoBlock;
+  for (BlockId b = 0; b < k_; ++b) {
+    if (freq[b] < n_) {
+      phase = b;
+      break;
+    }
+  }
+  if (phase == kNoBlock) return;  // everything fully replicated
+
+  std::vector<NodeId> holders;
+  std::vector<NodeId> missing;
+  for (NodeId x = 0; x < n_; ++x) {
+    (state.has(x, phase) ? holders : missing).push_back(x);
+  }
+  const std::size_t pairs = std::min(holders.size(), missing.size());
+  for (std::size_t i = 0; i < pairs; ++i) {
+    out.push_back({holders[i], missing[i], phase});
+  }
+}
+
+}  // namespace pob

@@ -1,0 +1,28 @@
+// §2.2.3 "The Binomial Tree": with a single block, the number of nodes
+// holding it doubles every tick (Figure 1), completing in ceil(log2 n) ticks
+// — optimal for k = 1. For k > 1 the simple extension sends the file one
+// block at a time, waiting for each block to finish before starting the
+// next, for a completion time of k * ceil(log2 n).
+
+#pragma once
+
+#include "pob/core/scheduler.h"
+
+namespace pob {
+
+class BinomialTreeScheduler final : public Scheduler {
+ public:
+  BinomialTreeScheduler(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+  std::string_view name() const override { return "binomial-tree"; }
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override;
+
+  /// Closed-form completion time of this schedule.
+  static Tick completion_time(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t k_;
+};
+
+}  // namespace pob

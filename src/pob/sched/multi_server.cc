@@ -1,0 +1,38 @@
+#include "pob/sched/multi_server.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace pob {
+
+MultiServerScheduler::MultiServerScheduler(std::uint32_t num_nodes,
+                                           std::uint32_t num_blocks,
+                                           std::uint32_t num_virtual_servers) {
+  if (num_virtual_servers < 1) {
+    throw std::invalid_argument("multi-server: need >= 1 virtual server");
+  }
+  if (num_nodes < num_virtual_servers + 1) {
+    throw std::invalid_argument("multi-server: need at least one client per group");
+  }
+  std::vector<std::vector<NodeId>> groups(num_virtual_servers);
+  for (NodeId c = 1; c < num_nodes; ++c) {
+    groups[(c - 1) % num_virtual_servers].push_back(c);
+  }
+  std::vector<BlockId> blocks(num_blocks);
+  std::iota(blocks.begin(), blocks.end(), BlockId{0});
+  for (auto& group : groups) {
+    std::vector<NodeId> participants;
+    participants.reserve(group.size() + 1);
+    participants.push_back(kServer);
+    participants.insert(participants.end(), group.begin(), group.end());
+    pipelines_.push_back(
+        std::make_unique<BinomialPipelineScheduler>(std::move(participants), blocks));
+  }
+}
+
+void MultiServerScheduler::plan_tick(Tick tick, const SwarmState& state,
+                                     std::vector<Transfer>& out) {
+  for (const auto& pipeline : pipelines_) pipeline->plan_tick(tick, state, out);
+}
+
+}  // namespace pob

@@ -1,0 +1,41 @@
+#include "pob/sched/multicast_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pob {
+
+MulticastTreeScheduler::MulticastTreeScheduler(std::uint32_t num_nodes,
+                                               std::uint32_t num_blocks,
+                                               std::uint32_t arity)
+    : n_(num_nodes), k_(num_blocks), arity_(arity) {
+  if (n_ < 2) throw std::invalid_argument("multicast-tree: need >= 2 nodes");
+  if (arity_ < 1) throw std::invalid_argument("multicast-tree: need arity >= 1");
+  next_block_.assign(n_, 0);
+  next_child_.assign(n_, 0);
+}
+
+void MulticastTreeScheduler::plan_tick(Tick /*tick*/, const SwarmState& state,
+                                       std::vector<Transfer>& out) {
+  // Each node with forwarding work sends its cursor block to its cursor
+  // child, then advances child-major within the block. A node whose cursor
+  // block has not arrived yet stalls (the paper's store-and-forward rule).
+  for (NodeId x = 0; x < n_; ++x) {
+    // Number of real children of x: ids arity*x+1 .. arity*x+arity, clipped.
+    const std::uint64_t first_child = static_cast<std::uint64_t>(arity_) * x + 1;
+    if (first_child >= n_) continue;  // leaf
+    const auto num_children =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(arity_, n_ - first_child));
+    if (next_child_[x] >= num_children) {
+      next_block_[x] += 1;
+      next_child_[x] = 0;
+    }
+    if (next_block_[x] >= k_) continue;  // all blocks forwarded
+    const BlockId b = next_block_[x];
+    if (!state.has(x, b)) continue;  // stall until the block arrives
+    out.push_back({x, static_cast<NodeId>(first_child + next_child_[x]), b});
+    next_child_[x] += 1;
+  }
+}
+
+}  // namespace pob

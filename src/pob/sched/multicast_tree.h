@@ -1,0 +1,33 @@
+// §2.2.2 "A Multicast Tree": nodes arranged in a complete d-ary tree rooted
+// at the server; every node forwards each block to its d children one child
+// per tick (block-major order). The paper's completion estimate is
+// d*(k + ceil(log_d n) - 1) + (d - 1)-ish; we simulate the exact schedule.
+
+#pragma once
+
+#include <vector>
+
+#include "pob/core/scheduler.h"
+
+namespace pob {
+
+class MulticastTreeScheduler final : public Scheduler {
+ public:
+  MulticastTreeScheduler(std::uint32_t num_nodes, std::uint32_t num_blocks,
+                         std::uint32_t arity);
+
+  std::string_view name() const override { return "multicast-tree"; }
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override;
+
+  std::uint32_t arity() const { return arity_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t k_;
+  std::uint32_t arity_;
+  // Per-node forwarding cursor: next (block, child index) to send.
+  std::vector<BlockId> next_block_;
+  std::vector<std::uint32_t> next_child_;
+};
+
+}  // namespace pob

@@ -1,0 +1,28 @@
+#include "pob/sched/pipeline.h"
+
+#include <stdexcept>
+
+namespace pob {
+
+PipelineScheduler::PipelineScheduler(std::uint32_t num_nodes, std::uint32_t num_blocks)
+    : n_(num_nodes), k_(num_blocks) {
+  if (n_ < 2) throw std::invalid_argument("pipeline: need >= 2 nodes");
+}
+
+void PipelineScheduler::plan_tick(Tick tick, const SwarmState& /*state*/,
+                                  std::vector<Transfer>& out) {
+  // Block b (0-based) leaves the server at tick b + 1 and reaches client i at
+  // tick b + i; client i relays it to client i + 1 one tick later.
+  if (tick <= k_) {
+    out.push_back({kServer, 1, static_cast<BlockId>(tick - 1)});
+  }
+  for (NodeId i = 1; i + 1 < n_; ++i) {
+    // Client i relays block (tick - i - 1) if that block id is valid.
+    if (tick >= i + 1) {
+      const Tick b = tick - i - 1;
+      if (b < k_) out.push_back({i, i + 1, static_cast<BlockId>(b)});
+    }
+  }
+}
+
+}  // namespace pob

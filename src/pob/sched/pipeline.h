@@ -1,0 +1,29 @@
+// §2.2.1 "The Pipeline": the server sends the file block by block to client
+// 1, which relays it to client 2, and so on down a chain. Completion time is
+// exactly k + n - 2 ticks: k ticks to drain the server plus n - 2 further
+// hops for the last block to reach the last client.
+
+#pragma once
+
+#include "pob/core/scheduler.h"
+
+namespace pob {
+
+class PipelineScheduler final : public Scheduler {
+ public:
+  PipelineScheduler(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+  std::string_view name() const override { return "pipeline"; }
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override;
+
+  /// Closed-form completion time of this schedule.
+  static Tick completion_time(std::uint32_t num_nodes, std::uint32_t num_blocks) {
+    return num_blocks + num_nodes - 2;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t k_;
+};
+
+}  // namespace pob

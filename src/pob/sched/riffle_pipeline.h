@@ -1,0 +1,70 @@
+// §3.1.3 "The Riffle Pipeline" — the deterministic strict-barter algorithm
+// behind Theorem 3.
+//
+// Single cycle (k = n - 1): the server hands block b_i to client C_i at tick
+// i; clients C_i and C_j (i < j) meet at tick i + j and exchange their
+// server-given blocks. Every client thus talks to the others in the same
+// sequence, each trailing the previous by one tick — the "riffle". The cycle
+// completes at tick 2(n-1) - 1 = 2n - 3.
+//
+// General k: full cycles of n - 1 blocks are riffled back to back (the next
+// cycle's server hand-off overlaps the previous cycle's barter, which is why
+// Theorem 3 needs download capacity >= 2 * upload capacity); the k mod (n-1)
+// leftover blocks are distributed to subgroups of that size, recursively for
+// the final partial subgroup, exactly as §3.1.3 describes.
+//
+// The constructor materializes the whole schedule, legalizing it against the
+// configured capacities by greedily delaying any meeting whose participants
+// are busy; every client-client transfer remains a simultaneous pairwise
+// exchange, so the engine's StrictBarter mechanism validates every tick.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pob/core/scheduler.h"
+
+namespace pob {
+
+class RifflePipelineScheduler final : public Scheduler {
+ public:
+  /// `download_capacity` is the d of Theorem 3; 2u gives the tight schedule,
+  /// d = u still works but serializes server hand-offs against barter.
+  RifflePipelineScheduler(std::uint32_t num_nodes, std::uint32_t num_blocks,
+                          std::uint32_t upload_capacity = 1,
+                          std::uint32_t download_capacity = 2);
+
+  std::string_view name() const override { return "riffle-pipeline"; }
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override;
+
+  /// Number of ticks in the materialized schedule (== completion time).
+  Tick schedule_length() const { return static_cast<Tick>(schedule_.size()); }
+
+  /// Theorem 3's bound in its cleanest regime: k a multiple of n - 1 with
+  /// d >= 2u completes in k + n - 2 ticks, matching Theorem 2's lower bound.
+  static Tick ideal_completion_time(std::uint32_t num_nodes, std::uint32_t num_blocks) {
+    return num_blocks + num_nodes - 2;
+  }
+
+ private:
+  struct Meeting {
+    Tick desired;              // earliest legal tick
+    std::uint32_t seq;         // stable tiebreak
+    std::vector<Transfer> transfers;  // 1 (server send) or 2 (barter pair)
+  };
+
+  /// Emits the riffle schedule for distributing `blocks` to `clients`, with
+  /// server sends starting after tick `t0`. Recursion handles the final
+  /// partial subgroup.
+  void emit(const std::vector<NodeId>& clients, const std::vector<BlockId>& blocks,
+            Tick t0);
+
+  void legalize(std::uint32_t upload_capacity, std::uint32_t download_capacity);
+
+  std::vector<Meeting> meetings_;
+  std::vector<std::vector<Transfer>> schedule_;  // schedule_[t-1] = tick t
+  std::uint32_t next_seq_ = 0;
+};
+
+}  // namespace pob

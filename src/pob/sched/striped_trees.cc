@@ -1,0 +1,91 @@
+#include "pob/sched/striped_trees.h"
+
+#include <stdexcept>
+
+namespace pob {
+
+StripedTreesScheduler::StripedTreesScheduler(std::uint32_t num_nodes,
+                                             std::uint32_t num_blocks,
+                                             std::uint32_t stripes)
+    : n_(num_nodes), k_(num_blocks), stripes_(stripes) {
+  if (n_ < 2) throw std::invalid_argument("striped-trees: need >= 2 nodes");
+  if (stripes_ < 1) throw std::invalid_argument("striped-trees: need >= 1 stripe");
+  if (stripes_ > n_ - 1) {
+    throw std::invalid_argument("striped-trees: more stripes than clients");
+  }
+
+  // Blocks striped round-robin: stripe j owns blocks j, j+stripes, ...
+  stripe_blocks_.assign(stripes_, {});
+  for (BlockId b = 0; b < k_; ++b) stripe_blocks_[b % stripes_].push_back(b);
+
+  // Client groups: client c belongs to group (c - 1) % stripes.
+  std::vector<std::vector<NodeId>> group(stripes_);
+  for (NodeId c = 1; c < n_; ++c) group[(c - 1) % stripes_].push_back(c);
+
+  duty_.assign(n_, {});
+  root_.assign(stripes_, kNoNode);
+  server_next_.assign(stripes_, 0);
+  for (std::uint32_t j = 0; j < stripes_; ++j) {
+    const auto& members = group[j];
+    root_[j] = members[0];
+    // Interior binary tree over the group, heap order.
+    for (std::uint32_t i = 0; i < members.size(); ++i) {
+      NodeDuty& duty = duty_[members[i]];
+      duty.stripe = j;
+      for (const std::uint32_t child : {2 * i + 1, 2 * i + 2}) {
+        if (child < members.size()) duty.targets.push_back(members[child]);
+      }
+    }
+    // Every non-member is a leaf of this stripe, attached round-robin.
+    std::uint32_t cursor = 0;
+    for (NodeId c = 1; c < n_; ++c) {
+      if ((c - 1) % stripes_ == j) continue;
+      duty_[group[j][cursor % members.size()]].targets.push_back(c);
+      ++cursor;
+    }
+  }
+}
+
+void StripedTreesScheduler::plan_tick(Tick /*tick*/, const SwarmState& state,
+                                      std::vector<Transfer>& out) {
+  // Server: inject the next block of the next non-exhausted stripe
+  // (round-robin), to that stripe's tree root.
+  for (std::uint32_t probe = 0; probe < stripes_; ++probe) {
+    const std::uint32_t j = (server_cursor_ + probe) % stripes_;
+    if (server_next_[j] >= stripe_blocks_[j].size()) continue;
+    const BlockId b = stripe_blocks_[j][server_next_[j]];
+    if (state.has(root_[j], b)) {  // nothing to do; should not happen
+      ++server_next_[j];
+      continue;
+    }
+    out.push_back({kServer, root_[j], b});
+    ++server_next_[j];
+    server_cursor_ = (j + 1) % stripes_;
+    break;
+  }
+
+  // Interior nodes: block-major forwarding of their stripe, stalling until
+  // each block arrives; targets that somehow already hold the block are
+  // skipped without consuming the tick.
+  for (NodeId x = 1; x < n_; ++x) {
+    NodeDuty& duty = duty_[x];
+    if (duty.targets.empty()) continue;
+    const auto& blocks = stripe_blocks_[duty.stripe];
+    while (duty.block_idx < blocks.size()) {
+      if (duty.target_idx >= duty.targets.size()) {
+        duty.target_idx = 0;
+        ++duty.block_idx;
+        continue;
+      }
+      const BlockId b = blocks[duty.block_idx];
+      if (!state.has(x, b)) break;  // stall until it arrives
+      const NodeId target = duty.targets[duty.target_idx];
+      ++duty.target_idx;
+      if (state.has(target, b)) continue;  // skip without spending the tick
+      out.push_back({x, target, b});
+      break;
+    }
+  }
+}
+
+}  // namespace pob

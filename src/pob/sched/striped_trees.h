@@ -1,0 +1,59 @@
+// A SplitStream-style striped multi-tree scheduler (§4 related work): the
+// file is striped across `stripes` interior-disjoint distribution trees.
+// Clients are partitioned into `stripes` groups; stripe j's tree uses group
+// j's members as its interior (arranged as a binary tree fed by the server)
+// and every other client as a leaf, so each client is interior in exactly
+// one tree — SplitStream's "every node forwards in exactly one stripe"
+// property, which bounds per-node upload load. A node may receive from up
+// to `stripes` trees in one tick, so run it with download capacity >=
+// stripes (SplitStream's inbound-bandwidth assumption).
+//
+// With homogeneous bandwidth the expected completion is roughly
+// (1 + leaves/(2 + leaves)) adjustments around k * (fanout/stripes) plus a
+// depth term — the paper cites it as near-optimal at k + Θ(stripes * log n)
+// when bandwidths are homogeneous, and our simulation measures the exact
+// schedule. The point of including it: the paper argues simple randomized
+// swarms make this machinery unnecessary in the static cooperative case.
+
+#pragma once
+
+#include <vector>
+
+#include "pob/core/scheduler.h"
+
+namespace pob {
+
+class StripedTreesScheduler final : public Scheduler {
+ public:
+  StripedTreesScheduler(std::uint32_t num_nodes, std::uint32_t num_blocks,
+                        std::uint32_t stripes);
+
+  std::string_view name() const override { return "striped-trees"; }
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override;
+
+  std::uint32_t stripes() const { return stripes_; }
+
+ private:
+  struct NodeDuty {
+    // Forwarding targets for the one stripe this node is interior in, in
+    // send order: interior children first (pipelining the stripe onward),
+    // then attached leaves.
+    std::vector<NodeId> targets;
+    std::uint32_t stripe = 0;
+    // Cursor: next (stripe-block index, target index) to send.
+    std::uint32_t block_idx = 0;
+    std::uint32_t target_idx = 0;
+  };
+
+  std::uint32_t n_;
+  std::uint32_t k_;
+  std::uint32_t stripes_;
+  std::vector<std::vector<BlockId>> stripe_blocks_;  // stripe -> its block ids
+  std::vector<NodeDuty> duty_;                       // per client (index = node)
+  // Server state: per stripe, next block index to inject and the tree root.
+  std::vector<std::uint32_t> server_next_;
+  std::vector<NodeId> root_;
+  std::uint32_t server_cursor_ = 0;  // round-robin over stripes
+};
+
+}  // namespace pob

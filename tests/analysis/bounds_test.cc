@@ -1,0 +1,75 @@
+#include "pob/analysis/bounds.h"
+
+#include <gtest/gtest.h>
+
+namespace pob {
+namespace {
+
+TEST(Bounds, CooperativeLowerBound) {
+  EXPECT_EQ(cooperative_lower_bound(2, 1), 1u);
+  EXPECT_EQ(cooperative_lower_bound(8, 1), 3u);
+  EXPECT_EQ(cooperative_lower_bound(8, 10), 12u);
+  EXPECT_EQ(cooperative_lower_bound(9, 10), 13u);   // ceil(log2 9) = 4
+  EXPECT_EQ(cooperative_lower_bound(1024, 1000), 1009u);
+}
+
+TEST(Bounds, ClosedFormsMatchDefinitions) {
+  EXPECT_EQ(pipeline_completion(10, 5), 13u);
+  EXPECT_EQ(binomial_tree_completion(8, 4), 12u);
+  EXPECT_EQ(binomial_tree_completion(9, 4), 16u);
+}
+
+TEST(Bounds, MulticastEstimate) {
+  // d=2, n=7 (depth 3 reach: 1,2,4 -> need 3 levels): 2*(k + 3 - 1).
+  EXPECT_EQ(multicast_tree_estimate(7, 5, 2), 2u * (5u + 3u - 1u));
+  EXPECT_EQ(multicast_tree_estimate(3, 5, 3), 3u * 5u);
+  EXPECT_THROW(multicast_tree_estimate(7, 5, 1), std::invalid_argument);
+}
+
+TEST(Bounds, StrictBarterEqualBandwidth) {
+  // Theorem 2, d = u: n + k - 2.
+  EXPECT_EQ(strict_barter_lower_bound_equal_bw(8, 7), 13u);
+  EXPECT_EQ(strict_barter_lower_bound_equal_bw(1000, 1000), 1998u);
+}
+
+TEST(Bounds, StrictBarterRampBasics) {
+  // k = 1: the bound is the server seeding time, n - 1.
+  EXPECT_EQ(strict_barter_lower_bound_ramp(10, 1), 9u);
+  // The ramp bound never exceeds the equal-bandwidth bound...
+  for (const std::uint32_t n : {4u, 10u, 50u}) {
+    for (const std::uint32_t k : {1u, 5u, 50u}) {
+      EXPECT_LE(strict_barter_lower_bound_ramp(n, k),
+                strict_barter_lower_bound_equal_bw(n, k))
+          << "n=" << n << " k=" << k;
+      // ...and always dominates the cooperative bound's start-up flavor n-1.
+      EXPECT_GE(strict_barter_lower_bound_ramp(n, k), n - 1);
+    }
+  }
+}
+
+TEST(Bounds, RampBoundIsMonotone) {
+  Tick prev = 0;
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const Tick t = strict_barter_lower_bound_ramp(20, k);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Bounds, PriceOfBarterGrowsWithN) {
+  // The barter penalty is Θ(n) in the start-up, so the ratio grows with n
+  // at fixed k and shrinks as k grows.
+  EXPECT_GT(price_of_barter(1000, 10), price_of_barter(100, 10));
+  EXPECT_GT(price_of_barter(1000, 10), price_of_barter(1000, 10000));
+  EXPECT_GT(price_of_barter(1024, 1000), 1.9);  // ~2022/1009
+}
+
+TEST(Bounds, MultiServerEstimate) {
+  // 64 clients in 4 groups of 16: k - 1 + ceil(log2 17).
+  EXPECT_EQ(multi_server_estimate(65, 10, 4), 10u - 1u + 5u);
+  // m = 1 reduces to the cooperative bound.
+  EXPECT_EQ(multi_server_estimate(33, 10, 1), cooperative_lower_bound(33, 10));
+}
+
+}  // namespace
+}  // namespace pob

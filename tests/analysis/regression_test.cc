@@ -1,0 +1,54 @@
+#include "pob/analysis/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/core/rng.h"
+
+namespace pob {
+namespace {
+
+TEST(Regression, RecoversExactLinearModel) {
+  std::vector<RegressionPoint> pts;
+  for (double x1 = 1; x1 <= 5; ++x1) {
+    for (double x2 = 1; x2 <= 4; ++x2) {
+      pts.push_back({x1, x2, 2.5 * x1 + 7.0 * x2 + 3.0});
+    }
+  }
+  const RegressionFit fit = fit_two_predictor(pts);
+  EXPECT_NEAR(fit.a, 2.5, 1e-9);
+  EXPECT_NEAR(fit.b, 7.0, 1e-9);
+  EXPECT_NEAR(fit.c, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(2, 3), 2.5 * 2 + 7.0 * 3 + 3.0, 1e-9);
+}
+
+TEST(Regression, ToleratesNoise) {
+  Rng rng(5);
+  std::vector<RegressionPoint> pts;
+  for (int i = 0; i < 400; ++i) {
+    const double x1 = rng.uniform() * 100;
+    const double x2 = rng.uniform() * 10;
+    const double noise = (rng.uniform() - 0.5) * 2.0;
+    pts.push_back({x1, x2, 1.0 * x1 + 5.5 * x2 + 2.0 + noise});
+  }
+  const RegressionFit fit = fit_two_predictor(pts);
+  EXPECT_NEAR(fit.a, 1.0, 0.02);
+  EXPECT_NEAR(fit.b, 5.5, 0.2);
+  EXPECT_NEAR(fit.c, 2.0, 1.0);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(Regression, RejectsTooFewPoints) {
+  const std::vector<RegressionPoint> two = {{1, 1, 1}, {2, 2, 2}};
+  EXPECT_THROW(fit_two_predictor(two), std::invalid_argument);
+}
+
+TEST(Regression, RejectsDegeneratePredictors) {
+  // x1 and x2 perfectly collinear -> singular normal equations.
+  std::vector<RegressionPoint> pts;
+  for (double x = 1; x <= 10; ++x) pts.push_back({x, 2 * x, 3 * x});
+  EXPECT_THROW(fit_two_predictor(pts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,63 @@
+#include "pob/analysis/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pob {
+namespace {
+
+TEST(Stats, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  const std::vector<double> x = {42.0};
+  const Summary s = summarize(x);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+}
+
+TEST(Stats, KnownMoments) {
+  const std::vector<double> x = {2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = summarize(x);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(Stats, OddMedian) {
+  const std::vector<double> x = {9, 1, 5};
+  EXPECT_DOUBLE_EQ(summarize(x).median, 5.0);
+}
+
+TEST(Stats, CiUsesStudentTForSmallSamples) {
+  const std::vector<double> x = {1, 2, 3};  // stddev 1, n 3, t(2) = 4.303
+  const Summary s = summarize(x);
+  EXPECT_NEAR(s.ci95, 4.303 * 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(Stats, CiConvergesToNormalForLargeSamples) {
+  std::vector<double> x;
+  for (int i = 0; i < 100; ++i) x.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  const Summary s = summarize(x);
+  EXPECT_NEAR(s.ci95, 1.96 * s.stddev / 10.0, 1e-9);
+}
+
+TEST(Stats, TCriticalTable) {
+  EXPECT_DOUBLE_EQ(t_critical_975(1), 12.706);
+  EXPECT_DOUBLE_EQ(t_critical_975(10), 2.228);
+  EXPECT_DOUBLE_EQ(t_critical_975(1000), 1.96);
+  EXPECT_DOUBLE_EQ(t_critical_975(0), 0.0);
+}
+
+}  // namespace
+}  // namespace pob

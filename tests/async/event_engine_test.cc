@@ -1,0 +1,170 @@
+// Asynchronous (event-driven) engine and policies: §2.3.4's "dealing with
+// asynchrony". With uniform rates of 1 block/time-unit, async completion
+// times should land near their synchronous counterparts.
+
+#include "pob/async/event_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/analysis/bounds.h"
+#include "pob/async/policies.h"
+#include "pob/overlay/builders.h"
+
+namespace pob {
+namespace {
+
+AsyncConfig basic(std::uint32_t n, std::uint32_t k) {
+  AsyncConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  return cfg;
+}
+
+TEST(AsyncEngine, SwarmCompletesNearSynchronousTime) {
+  const std::uint32_t n = 64, k = 32;
+  AsyncSwarmPolicy policy(std::make_shared<CompleteOverlay>(n), BlockPolicy::kRandom,
+                          kUnlimited, Rng(1));
+  const AsyncResult r = run_async(basic(n, k), policy);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(r.completion_time, static_cast<double>(k));  // k uploads of 1 time unit
+  EXPECT_LE(r.completion_time, 3.0 * cooperative_lower_bound(n, k));
+  EXPECT_LE(r.mean_completion_time, r.completion_time);
+  EXPECT_GE(r.total_transfers, static_cast<std::uint64_t>(n - 1) * k);
+}
+
+TEST(AsyncEngine, HypercubeRoundRobinCompletes) {
+  for (const std::uint32_t n : {8u, 16u, 32u}) {
+    const std::uint32_t k = 16;
+    AsyncHypercubePolicy policy(n);
+    const AsyncResult r = run_async(basic(n, k), policy);
+    ASSERT_TRUE(r.completed) << "n=" << n;
+    // Round-robin at uniform rates tracks the synchronous optimum loosely.
+    EXPECT_LE(r.completion_time, 2.0 * cooperative_lower_bound(n, k) + 4.0) << n;
+  }
+}
+
+TEST(AsyncEngine, HypercubeRejectsNonPowerOfTwo) {
+  EXPECT_THROW(AsyncHypercubePolicy(12), std::invalid_argument);
+}
+
+TEST(AsyncEngine, HeterogeneousRatesSlowerNodesDominate) {
+  const std::uint32_t n = 32, k = 16;
+  AsyncConfig slow = basic(n, k);
+  slow.upload_rate.assign(n, 1.0);
+  for (NodeId u = 0; u < n; u += 2) slow.upload_rate[u] = 0.5;  // half the fleet at half rate
+  AsyncSwarmPolicy p1(std::make_shared<CompleteOverlay>(n), BlockPolicy::kRandom,
+                      kUnlimited, Rng(3));
+  const AsyncResult r_slow = run_async(slow, p1);
+  AsyncSwarmPolicy p2(std::make_shared<CompleteOverlay>(n), BlockPolicy::kRandom,
+                      kUnlimited, Rng(3));
+  const AsyncResult r_fast = run_async(basic(n, k), p2);
+  ASSERT_TRUE(r_slow.completed);
+  ASSERT_TRUE(r_fast.completed);
+  EXPECT_GT(r_slow.completion_time, r_fast.completion_time);
+}
+
+TEST(AsyncEngine, JitteredRatesStayNearUniform) {
+  // §2.3.4: "different nodes may have slightly differing bandwidths" — small
+  // jitter should not blow up completion time.
+  const std::uint32_t n = 64, k = 32;
+  Rng rng(5);
+  AsyncConfig jitter = basic(n, k);
+  jitter.upload_rate.resize(n);
+  for (auto& r : jitter.upload_rate) r = 0.9 + 0.2 * rng.uniform();
+  AsyncSwarmPolicy policy(std::make_shared<CompleteOverlay>(n), BlockPolicy::kRandom,
+                          kUnlimited, Rng(7));
+  const AsyncResult r = run_async(jitter, policy);
+  ASSERT_TRUE(r.completed);
+  EXPECT_LE(r.completion_time, 4.0 * cooperative_lower_bound(n, k));
+}
+
+TEST(AsyncEngine, DownloadPortsAreRespected) {
+  const std::uint32_t n = 16, k = 8;
+  AsyncConfig cfg = basic(n, k);
+  cfg.download_ports = 1;
+  AsyncSwarmPolicy policy(std::make_shared<CompleteOverlay>(n), BlockPolicy::kRandom,
+                          1, Rng(9));
+  const AsyncResult r = run_async(cfg, policy);
+  ASSERT_TRUE(r.completed);
+}
+
+TEST(AsyncEngine, RarestFirstPolicyCompletes) {
+  const std::uint32_t n = 32, k = 16;
+  AsyncSwarmPolicy policy(std::make_shared<CompleteOverlay>(n),
+                          BlockPolicy::kRarestFirst, kUnlimited, Rng(11));
+  const AsyncResult r = run_async(basic(n, k), policy);
+  ASSERT_TRUE(r.completed);
+}
+
+TEST(AsyncEngine, SparseOverlayCompletes) {
+  Rng grng(13);
+  auto ov = std::make_shared<GraphOverlay>(make_random_regular(48, 6, grng));
+  AsyncSwarmPolicy policy(ov, BlockPolicy::kRandom, kUnlimited, Rng(15));
+  const AsyncResult r = run_async(basic(48, 24), policy);
+  ASSERT_TRUE(r.completed);
+}
+
+TEST(AsyncTitForTat, CompletesAndPaysThePenalty) {
+  const std::uint32_t n = 96, k = 64;
+  AsyncTitForTatPolicy tft(std::make_shared<CompleteOverlay>(n), 3, 1, 10.0,
+                           BlockPolicy::kRarestFirst, kUnlimited, Rng(21));
+  const AsyncResult r_tft = run_async(basic(n, k), tft);
+  ASSERT_TRUE(r_tft.completed);
+
+  AsyncSwarmPolicy swarm(std::make_shared<CompleteOverlay>(n), BlockPolicy::kRandom,
+                         kUnlimited, Rng(21));
+  const AsyncResult r_swarm = run_async(basic(n, k), swarm);
+  ASSERT_TRUE(r_swarm.completed);
+  // The §4 claim, in the asynchronous setting: unchoke-set lock-in costs
+  // throughput relative to per-decision random matching.
+  EXPECT_GT(r_tft.completion_time, r_swarm.completion_time);
+}
+
+TEST(AsyncTitForTat, RejectsBadOptions) {
+  auto ov = std::make_shared<CompleteOverlay>(8);
+  EXPECT_THROW(
+      AsyncTitForTatPolicy(nullptr, 1, 1, 5.0, BlockPolicy::kRandom, kUnlimited, Rng(1)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      AsyncTitForTatPolicy(ov, 0, 0, 5.0, BlockPolicy::kRandom, kUnlimited, Rng(1)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      AsyncTitForTatPolicy(ov, 1, 1, 0.0, BlockPolicy::kRandom, kUnlimited, Rng(1)),
+      std::invalid_argument);
+}
+
+TEST(AsyncTitForTat, WorksOnSparseOverlay) {
+  Rng grng(23);
+  auto ov = std::make_shared<GraphOverlay>(make_random_regular(64, 10, grng));
+  AsyncTitForTatPolicy tft(ov, 3, 1, 8.0, BlockPolicy::kRarestFirst, kUnlimited,
+                           Rng(25));
+  AsyncConfig cfg = basic(64, 32);
+  cfg.max_time = 4000;
+  const AsyncResult r = run_async(cfg, tft);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(AsyncEngine, ValidatesConfig) {
+  AsyncSwarmPolicy policy(std::make_shared<CompleteOverlay>(4), BlockPolicy::kRandom,
+                          kUnlimited, Rng(1));
+  EXPECT_THROW(run_async(basic(1, 4), policy), std::invalid_argument);
+  EXPECT_THROW(run_async(basic(4, 0), policy), std::invalid_argument);
+  AsyncConfig bad_rate = basic(4, 2);
+  bad_rate.upload_rate = {1.0, 0.0, 1.0, 1.0};
+  EXPECT_THROW(run_async(bad_rate, policy), std::invalid_argument);
+  AsyncConfig bad_size = basic(4, 2);
+  bad_size.upload_rate = {1.0, 1.0};
+  EXPECT_THROW(run_async(bad_size, policy), std::invalid_argument);
+}
+
+TEST(AsyncEngine, TimeCapCensorsRuns) {
+  AsyncConfig cfg = basic(32, 64);
+  cfg.max_time = 1.5;  // far too little
+  AsyncSwarmPolicy policy(std::make_shared<CompleteOverlay>(32), BlockPolicy::kRandom,
+                          kUnlimited, Rng(17));
+  const AsyncResult r = run_async(cfg, policy);
+  EXPECT_FALSE(r.completed);
+}
+
+}  // namespace
+}  // namespace pob

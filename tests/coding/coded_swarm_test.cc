@@ -1,0 +1,115 @@
+#include "pob/coding/coded_swarm.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/overlay/builders.h"
+#include "pob/rand/randomized.h"
+
+namespace pob {
+namespace {
+
+CodedSwarmResult run_coded(std::uint32_t n, std::uint32_t k, std::uint64_t seed,
+                           CodedSwarmOptions opt = {},
+                           std::shared_ptr<const Overlay> overlay = nullptr) {
+  if (overlay == nullptr) overlay = std::make_shared<CompleteOverlay>(n);
+  return run_coded_swarm(n, k, std::move(overlay), opt, Rng(seed));
+}
+
+class CodedGrid
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(CodedGrid, CompletesNearOptimal) {
+  const auto [n, k] = GetParam();
+  const CodedSwarmResult r = run_coded(n, k, 5);
+  ASSERT_TRUE(r.completed) << "n=" << n << " k=" << k;
+  // Rank k needs at least k received packets; k - 1 + log2 n is still the
+  // dissemination bound.
+  EXPECT_GE(r.completion_tick, k);
+  EXPECT_LE(r.completion_tick, 3 * cooperative_lower_bound(n, k) + 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CodedGrid,
+                         ::testing::Combine(::testing::Values(8u, 32u, 100u),
+                                            ::testing::Values(4u, 16u, 64u)));
+
+TEST(CodedSwarm, InnovativeCheckEliminatesMostWaste) {
+  const CodedSwarmResult checked = run_coded(64, 64, 7);
+  ASSERT_TRUE(checked.completed);
+  // With innovativeness checks, waste only comes from coefficient
+  // collisions (probability <= 1/2 per dependent draw), not from stale
+  // sources.
+  EXPECT_LT(checked.waste_ratio(), 0.2);
+}
+
+TEST(CodedSwarm, NoCheckStillCompletesWithBoundedWaste) {
+  CodedSwarmOptions blind;
+  blind.check_innovative = false;
+  double blind_waste = 0, checked_waste = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const CodedSwarmResult b = run_coded(64, 64, 900 + seed, blind);
+    ASSERT_TRUE(b.completed);
+    blind_waste += b.waste_ratio();
+    checked_waste += run_coded(64, 64, 900 + seed).waste_ratio();
+  }
+  // Skipping the innovativeness handshake cannot *reduce* waste on average
+  // (allow a small noise margin), and waste stays bounded either way.
+  EXPECT_GE(blind_waste, 0.9 * checked_waste);
+  EXPECT_LT(blind_waste / 5.0, 0.4);
+}
+
+TEST(CodedSwarm, WorksOnSparseOverlays) {
+  Rng grng(11);
+  auto ov = std::make_shared<GraphOverlay>(make_random_regular(64, 6, grng));
+  const CodedSwarmResult r = run_coded(64, 32, 13, {}, ov);
+  ASSERT_TRUE(r.completed);
+}
+
+TEST(CodedSwarm, CodingBeatsRandomBlockSelectionOnSparseOverlays) {
+  // The [13] pitch: coding removes the block-selection problem. On a sparse
+  // overlay, coded swarms should not lose to Random block selection.
+  const std::uint32_t n = 96, k = 96;
+  double coded_total = 0, block_total = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng grng(100 + seed);
+    const Graph g = make_random_regular(n, 6, grng);
+    auto ov1 = std::make_shared<GraphOverlay>(g);
+    coded_total += static_cast<double>(run_coded(n, k, 200 + seed, {}, ov1).completion_tick);
+
+    Rng grng2(100 + seed);
+    auto ov2 = std::make_shared<GraphOverlay>(make_random_regular(n, 6, grng2));
+    EngineConfig cfg;
+    cfg.num_nodes = n;
+    cfg.num_blocks = k;
+    RandomizedScheduler sched(std::move(ov2), {}, Rng(300 + seed));
+    block_total += static_cast<double>(run(cfg, sched).completion_tick);
+  }
+  EXPECT_LT(coded_total, 1.25 * block_total);
+}
+
+TEST(CodedSwarm, DeterministicGivenSeed) {
+  const CodedSwarmResult a = run_coded(32, 16, 17);
+  const CodedSwarmResult b = run_coded(32, 16, 17);
+  EXPECT_EQ(a.completion_tick, b.completion_tick);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+}
+
+TEST(CodedSwarm, RejectsBadInputs) {
+  EXPECT_THROW(run_coded(1, 4, 1), std::invalid_argument);
+  EXPECT_THROW(run_coded(4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(
+      run_coded_swarm(8, 4, std::make_shared<CompleteOverlay>(9), {}, Rng(1)),
+      std::invalid_argument);
+  EXPECT_THROW(run_coded_swarm(8, 4, nullptr, {}, Rng(1)), std::invalid_argument);
+}
+
+TEST(CodedSwarm, TickCapCensors) {
+  CodedSwarmOptions opt;
+  opt.max_ticks = 3;
+  const CodedSwarmResult r = run_coded(16, 32, 19, opt);
+  EXPECT_FALSE(r.completed);
+}
+
+}  // namespace
+}  // namespace pob

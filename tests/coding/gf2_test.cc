@@ -1,0 +1,118 @@
+#include "pob/coding/gf2.h"
+
+#include <gtest/gtest.h>
+
+namespace pob {
+namespace {
+
+TEST(Gf2Vector, BasicsAndXor) {
+  Gf2Vector a(70), b(70);
+  a.set(0);
+  a.set(69);
+  b.set(69);
+  EXPECT_TRUE(a.get(0));
+  EXPECT_FALSE(a.get(1));
+  EXPECT_EQ(a.leading(), 0u);
+  a ^= b;
+  EXPECT_TRUE(a.get(0));
+  EXPECT_FALSE(a.get(69));
+  EXPECT_FALSE(a.is_zero());
+  a ^= a;
+  EXPECT_TRUE(a.is_zero());
+  EXPECT_EQ(a.leading(), 70u);
+}
+
+TEST(Gf2Vector, UnitAndRandomNonzero) {
+  const Gf2Vector e5 = Gf2Vector::unit(16, 5);
+  EXPECT_TRUE(e5.get(5));
+  EXPECT_EQ(e5.leading(), 5u);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Gf2Vector v = Gf2Vector::random_nonzero(13, rng);
+    EXPECT_FALSE(v.is_zero());
+    for (std::uint32_t bit = 13; bit < 64; ++bit) {
+      // No stray bits above the dimension (would corrupt rank computations).
+      EXPECT_LT(v.leading(), 13u);
+    }
+  }
+}
+
+TEST(Gf2Basis, RankGrowsOnlyOnIndependentInsertions) {
+  Gf2Basis basis(8);
+  EXPECT_EQ(basis.rank(), 0u);
+  EXPECT_TRUE(basis.insert(Gf2Vector::unit(8, 3)));
+  EXPECT_TRUE(basis.insert(Gf2Vector::unit(8, 5)));
+  EXPECT_EQ(basis.rank(), 2u);
+  // 3 xor 5 is dependent.
+  Gf2Vector dep(8);
+  dep.set(3);
+  dep.set(5);
+  EXPECT_FALSE(basis.insert(dep));
+  EXPECT_EQ(basis.rank(), 2u);
+  // 3 xor 5 xor 7 is independent.
+  dep.set(7);
+  EXPECT_TRUE(basis.insert(dep));
+  EXPECT_EQ(basis.rank(), 3u);
+}
+
+TEST(Gf2Basis, ContainsAndFullRank) {
+  Gf2Basis basis(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(basis.full_rank());
+    basis.insert(Gf2Vector::unit(4, i));
+  }
+  EXPECT_TRUE(basis.full_rank());
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(basis.contains(Gf2Vector::random_nonzero(4, rng)));
+  }
+}
+
+TEST(Gf2Basis, RandomInsertionsReachFullRankQuickly) {
+  // Over GF(2), ~k + 2 random vectors reach rank k with high probability.
+  Rng rng(3);
+  for (const std::uint32_t k : {16u, 64u, 200u}) {
+    Gf2Basis basis(k);
+    std::uint32_t inserted = 0;
+    while (!basis.full_rank()) {
+      basis.insert(Gf2Vector::random_nonzero(k, rng));
+      ++inserted;
+      ASSERT_LT(inserted, k + 40) << k;
+    }
+    EXPECT_LE(inserted, k + 20) << k;
+  }
+}
+
+TEST(Gf2Basis, InnovativeSourceDetection) {
+  Gf2Basis a(6), b(6);
+  a.insert(Gf2Vector::unit(6, 0));
+  b.insert(Gf2Vector::unit(6, 0));
+  EXPECT_FALSE(a.is_innovative_source(b));  // b ⊆ a
+  b.insert(Gf2Vector::unit(6, 1));
+  EXPECT_TRUE(a.is_innovative_source(b));
+  a.insert(Gf2Vector::unit(6, 1));
+  EXPECT_FALSE(a.is_innovative_source(b));
+}
+
+TEST(Gf2Basis, RandomCombinationStaysInSpan) {
+  Rng rng(4);
+  Gf2Basis basis(32);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    basis.insert(Gf2Vector::random_nonzero(32, rng));
+  }
+  for (int i = 0; i < 50; ++i) {
+    const Gf2Vector v = basis.random_combination(rng);
+    EXPECT_FALSE(v.is_zero());
+    EXPECT_TRUE(basis.contains(v));
+  }
+  Gf2Basis empty(8);
+  EXPECT_THROW(empty.random_combination(rng), std::logic_error);
+}
+
+TEST(Gf2Basis, DimensionMismatchThrows) {
+  Gf2Basis basis(8);
+  EXPECT_THROW(basis.insert(Gf2Vector(9)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pob

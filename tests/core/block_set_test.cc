@@ -1,0 +1,189 @@
+#include "pob/core/block_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pob {
+namespace {
+
+TEST(BlockSet, StartsEmpty) {
+  const BlockSet s(100);
+  EXPECT_EQ(s.universe(), 100u);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.full());
+  EXPECT_EQ(s.min(), kNoBlock);
+  EXPECT_EQ(s.max(), kNoBlock);
+  EXPECT_EQ(s.first_missing(), 0u);
+}
+
+TEST(BlockSet, InsertEraseRoundTrip) {
+  BlockSet s(130);
+  EXPECT_TRUE(s.insert(0));
+  EXPECT_TRUE(s.insert(129));
+  EXPECT_TRUE(s.insert(64));
+  EXPECT_FALSE(s.insert(64));  // duplicate
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(129));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.erase(64));
+  EXPECT_FALSE(s.erase(64));
+  EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(BlockSet, MinMaxTrackExtremes) {
+  BlockSet s(200);
+  s.insert(77);
+  EXPECT_EQ(s.min(), 77u);
+  EXPECT_EQ(s.max(), 77u);
+  s.insert(12);
+  s.insert(199);
+  EXPECT_EQ(s.min(), 12u);
+  EXPECT_EQ(s.max(), 199u);
+}
+
+TEST(BlockSet, FillMakesFull) {
+  for (const std::uint32_t universe : {1u, 63u, 64u, 65u, 128u, 1000u}) {
+    BlockSet s(universe);
+    s.fill();
+    EXPECT_TRUE(s.full()) << universe;
+    EXPECT_EQ(s.count(), universe) << universe;
+    EXPECT_EQ(s.first_missing(), kNoBlock) << universe;
+    EXPECT_EQ(s.min(), 0u) << universe;
+    EXPECT_EQ(s.max(), universe - 1) << universe;
+  }
+}
+
+TEST(BlockSet, FirstMissingSkipsHeldPrefix) {
+  BlockSet s(70);
+  for (BlockId b = 0; b < 65; ++b) s.insert(b);
+  EXPECT_EQ(s.first_missing(), 65u);
+}
+
+TEST(BlockSet, MissingFromQueries) {
+  BlockSet a(100), b(100);
+  a.insert(3);
+  a.insert(70);
+  b.insert(3);
+  EXPECT_TRUE(a.has_block_missing_from(b));
+  EXPECT_EQ(a.max_missing_from(b), 70u);
+  EXPECT_EQ(a.count_missing_from(b), 1u);
+  EXPECT_FALSE(b.has_block_missing_from(a));
+  EXPECT_EQ(b.max_missing_from(a), kNoBlock);
+  b.insert(70);
+  EXPECT_FALSE(a.has_block_missing_from(b));
+}
+
+TEST(BlockSet, HasUsefulHonorsExclusion) {
+  BlockSet src(64), dst(64), excl(64);
+  src.insert(5);
+  EXPECT_TRUE(src.has_useful(dst, nullptr));
+  EXPECT_TRUE(src.has_useful(dst, &excl));
+  excl.insert(5);
+  EXPECT_FALSE(src.has_useful(dst, &excl));
+  dst.insert(5);
+  EXPECT_FALSE(src.has_useful(dst, nullptr));
+}
+
+TEST(BlockSet, CoversComplementOf) {
+  BlockSet have(10), inbound(10);
+  for (BlockId b = 0; b < 8; ++b) have.insert(b);
+  EXPECT_FALSE(inbound.covers_complement_of(have));
+  inbound.insert(8);
+  EXPECT_FALSE(inbound.covers_complement_of(have));
+  inbound.insert(9);
+  EXPECT_TRUE(inbound.covers_complement_of(have));
+  // A full `have` is covered by anything.
+  have.insert(8);
+  have.insert(9);
+  BlockSet empty(10);
+  EXPECT_TRUE(empty.covers_complement_of(have));
+}
+
+TEST(BlockSet, PickRandomUsefulIsUniform) {
+  BlockSet src(256), dst(256);
+  for (BlockId b = 0; b < 256; b += 2) src.insert(b);  // evens
+  dst.insert(0);  // remove one candidate
+  Rng rng(1);
+  std::map<BlockId, int> histogram;
+  const int trials = 12700;
+  for (int i = 0; i < trials; ++i) {
+    const BlockId b = src.pick_random_useful(dst, nullptr, rng);
+    ASSERT_NE(b, kNoBlock);
+    ASSERT_TRUE(src.contains(b));
+    ASSERT_FALSE(dst.contains(b));
+    ++histogram[b];
+  }
+  EXPECT_EQ(histogram.size(), 127u);  // every candidate hit
+  for (const auto& [b, count] : histogram) {
+    EXPECT_GT(count, 40) << "block " << b;  // 100 expected; loose uniformity
+    EXPECT_LT(count, 220) << "block " << b;
+  }
+}
+
+TEST(BlockSet, PickRandomUsefulEmptyDifference) {
+  BlockSet src(32), dst(32);
+  src.insert(7);
+  dst.insert(7);
+  Rng rng(2);
+  EXPECT_EQ(src.pick_random_useful(dst, nullptr, rng), kNoBlock);
+}
+
+TEST(BlockSet, PickRarestPrefersLowFrequency) {
+  BlockSet src(8), dst(8);
+  src.insert(1);
+  src.insert(3);
+  src.insert(5);
+  std::vector<std::uint32_t> freq = {9, 4, 9, 2, 9, 7, 9, 9};
+  Rng rng(3);
+  EXPECT_EQ(src.pick_rarest_useful(dst, nullptr, freq, rng), 3u);  // freq 2
+  dst.insert(3);
+  EXPECT_EQ(src.pick_rarest_useful(dst, nullptr, freq, rng), 1u);  // freq 4
+}
+
+TEST(BlockSet, PickRarestBreaksTiesRandomly) {
+  BlockSet src(4), dst(4);
+  src.insert(0);
+  src.insert(2);
+  std::vector<std::uint32_t> freq = {5, 1, 5, 1};
+  Rng rng(4);
+  std::set<BlockId> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(src.pick_rarest_useful(dst, nullptr, freq, rng));
+  EXPECT_EQ(seen, (std::set<BlockId>{0u, 2u}));
+}
+
+TEST(BlockSet, PickRarestRejectsBadFreqSize) {
+  BlockSet src(8), dst(8);
+  src.insert(0);
+  std::vector<std::uint32_t> freq(4, 0);
+  Rng rng(5);
+  EXPECT_THROW(src.pick_rarest_useful(dst, nullptr, freq, rng), std::invalid_argument);
+}
+
+TEST(BlockSet, ForEachAndToVectorAgree) {
+  BlockSet s(150);
+  const std::vector<BlockId> blocks = {0, 1, 63, 64, 65, 127, 128, 149};
+  for (const BlockId b : blocks) s.insert(b);
+  EXPECT_EQ(s.to_vector(), blocks);
+  std::vector<BlockId> visited;
+  s.for_each([&](BlockId b) { visited.push_back(b); });
+  EXPECT_EQ(visited, blocks);
+}
+
+TEST(BlockSet, EqualityComparesContents) {
+  BlockSet a(64), b(64), c(65);
+  a.insert(3);
+  b.insert(3);
+  EXPECT_EQ(a, b);
+  b.insert(4);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace pob

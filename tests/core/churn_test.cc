@@ -1,0 +1,143 @@
+// Churn / failure injection: the §2.4 robustness argument made concrete.
+// Departed nodes stop counting, stop transferring, and stop holding
+// replicas; rigid schedules lose flows while the randomized swarm routes
+// around the loss.
+
+#include <gtest/gtest.h>
+
+#include "pob/core/engine.h"
+#include "pob/overlay/overlay.h"
+#include "pob/rand/randomized.h"
+#include "pob/sched/binomial_pipeline.h"
+#include "pob/sched/pipeline.h"
+
+namespace pob {
+namespace {
+
+TEST(SwarmChurn, DeactivateUpdatesIndexes) {
+  SwarmState s(5, 3);
+  s.add_block(1, 0, 1);
+  s.add_block(2, 0, 1);
+  EXPECT_EQ(s.block_frequency()[0], 3u);  // server + clients 1, 2
+  s.deactivate(1);
+  EXPECT_FALSE(s.is_active(1));
+  EXPECT_EQ(s.num_departed(), 1u);
+  EXPECT_EQ(s.block_frequency()[0], 2u);
+  EXPECT_EQ(s.num_incomplete(), 3u);  // clients 2, 3, 4
+  s.deactivate(1);                    // idempotent
+  EXPECT_EQ(s.num_departed(), 1u);
+  EXPECT_THROW(s.deactivate(kServer), std::invalid_argument);
+}
+
+TEST(SwarmChurn, AllCompleteIgnoresDeparted) {
+  SwarmState s(4, 1);
+  s.add_block(1, 0, 1);
+  s.add_block(2, 0, 2);
+  EXPECT_FALSE(s.all_complete());
+  s.deactivate(3);  // the last straggler leaves
+  EXPECT_TRUE(s.all_complete());
+}
+
+TEST(EngineChurn, TransfersToDepartedNodesThrowByDefault) {
+  EngineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_blocks = 4;
+  cfg.departures = {{2, 1}};  // client 1 leaves at tick 2
+  PipelineScheduler sched(4, 4);  // keeps relaying through client 1
+  EXPECT_THROW(run(cfg, sched), EngineViolation);
+}
+
+TEST(EngineChurn, DropModeLosesFlowsInsteadOfThrowing) {
+  EngineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_blocks = 4;
+  cfg.departures = {{2, 1}};
+  cfg.drop_transfers_involving_inactive = true;
+  cfg.max_ticks = 200;
+  PipelineScheduler sched(4, 4);
+  const RunResult r = run(cfg, sched);
+  // The chain is severed at its first hop: clients 2 and 3 can never finish.
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.departed, 1u);
+}
+
+TEST(EngineChurn, RandomizedSwarmRoutesAroundDepartures) {
+  const std::uint32_t n = 64, k = 32;
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  // A fifth of the swarm leaves mid-distribution.
+  for (NodeId c = 2; c <= 50; c += 4) {
+    cfg.departures.push_back({10 + c / 4, c});
+  }
+  RandomizedScheduler sched(std::make_shared<CompleteOverlay>(n), {}, Rng(5));
+  const RunResult r = run(cfg, sched);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.departed, 8u);
+  // Departed-but-incomplete clients report completion 0; survivors finished.
+  std::uint32_t finished = 0;
+  for (const Tick t : r.client_completion) finished += t != 0;
+  EXPECT_GE(finished, n - 1 - r.departed);
+}
+
+TEST(EngineChurn, BinomialPipelineStallsUnderChurnButSwarmDoesNot) {
+  // The §2.4 motivation: "such a rigid construction may not be particularly
+  // robust". Same departures, same cap; drop mode for the rigid schedule.
+  const std::uint32_t n = 32, k = 64;
+  std::vector<std::pair<Tick, NodeId>> departures = {{5, 3}, {9, 17}, {12, 24}};
+
+  EngineConfig rigid;
+  rigid.num_nodes = n;
+  rigid.num_blocks = k;
+  rigid.departures = departures;
+  rigid.drop_transfers_involving_inactive = true;
+  rigid.max_ticks = 10 * (k + 5);
+  BinomialPipelineScheduler bp(n, k);
+  const RunResult r_rigid = run(rigid, bp);
+
+  EngineConfig swarm = rigid;
+  RandomizedScheduler rs(std::make_shared<CompleteOverlay>(n), {}, Rng(7));
+  const RunResult r_swarm = run(swarm, rs);
+
+  ASSERT_TRUE(r_swarm.completed);
+  // The hypercube schedule lost three relays; survivors depending on them
+  // never fill their gaps.
+  EXPECT_FALSE(r_rigid.completed);
+}
+
+TEST(EngineChurn, SelfishLeechersLeaveOnCompletion) {
+  // depart_on_complete: finished clients vanish the next tick, so the swarm
+  // loses its best uploaders. The run still completes (the server persists)
+  // but more slowly than with lingering seeders.
+  const std::uint32_t n = 64, k = 64;
+  EngineConfig stay;
+  stay.num_nodes = n;
+  stay.num_blocks = k;
+  RandomizedScheduler s1(std::make_shared<CompleteOverlay>(n), {}, Rng(31));
+  const RunResult with_seeders = run(stay, s1);
+
+  EngineConfig leave = stay;
+  leave.depart_on_complete = true;
+  RandomizedScheduler s2(std::make_shared<CompleteOverlay>(n), {}, Rng(31));
+  const RunResult selfish = run(leave, s2);
+
+  ASSERT_TRUE(with_seeders.completed);
+  ASSERT_TRUE(selfish.completed);
+  EXPECT_GT(selfish.departed, 0u);
+  EXPECT_GE(selfish.completion_tick, with_seeders.completion_tick);
+}
+
+TEST(EngineChurn, DepartureOfFinishedNodeIsHarmlessToOthers) {
+  const std::uint32_t n = 16, k = 8;
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.departures = {{500, 1}};  // long after everyone is done
+  RandomizedScheduler sched(std::make_shared<CompleteOverlay>(n), {}, Rng(9));
+  const RunResult r = run(cfg, sched);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.departed, 0u);  // run ended before the departure tick
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,236 @@
+// The engine enforces the §2.1 bandwidth and data-transfer model: these
+// tests drive it with tiny hand-written schedulers, both legal and illegal.
+
+#include "pob/core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+namespace pob {
+namespace {
+
+/// Scheduler built from a lambda, for hand-written schedules.
+class LambdaScheduler final : public Scheduler {
+ public:
+  using Fn = std::function<void(Tick, const SwarmState&, std::vector<Transfer>&)>;
+  explicit LambdaScheduler(Fn fn) : fn_(std::move(fn)) {}
+  std::string_view name() const override { return "lambda"; }
+  void plan_tick(Tick t, const SwarmState& s, std::vector<Transfer>& out) override {
+    fn_(t, s, out);
+  }
+
+ private:
+  Fn fn_;
+};
+
+EngineConfig tiny(std::uint32_t n, std::uint32_t k) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  return cfg;
+}
+
+TEST(Engine, TrivialServerToOneClient) {
+  LambdaScheduler s([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({kServer, 1, static_cast<BlockId>(t - 1)});
+  });
+  const RunResult r = run(tiny(2, 3), s);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, 3u);
+  EXPECT_EQ(r.total_transfers, 3u);
+  EXPECT_EQ(r.client_completion, (std::vector<Tick>{3}));
+  EXPECT_EQ(r.ticks_executed, 3u);
+}
+
+TEST(Engine, RejectsSenderWithoutBlock) {
+  LambdaScheduler s([](Tick, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({1, 2, 0});  // client 1 owns nothing yet
+  });
+  EXPECT_THROW(run(tiny(3, 1), s), EngineViolation);
+}
+
+TEST(Engine, RejectsForwardingWithinSameTick) {
+  // Client 1 may not relay a block in the tick it receives it.
+  LambdaScheduler s([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    if (t == 1) {
+      out.push_back({kServer, 1, 0});
+      out.push_back({1, 2, 0});
+    }
+  });
+  EXPECT_THROW(run(tiny(3, 1), s), EngineViolation);
+}
+
+TEST(Engine, RejectsDeliveryToHolder) {
+  LambdaScheduler s([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({kServer, 1, 0});  // tick 2 delivers again
+    (void)t;
+  });
+  EXPECT_THROW(run(tiny(3, 2), s), EngineViolation);
+}
+
+TEST(Engine, RejectsUploadOverCapacity) {
+  LambdaScheduler s([](Tick, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({kServer, 1, 0});
+    out.push_back({kServer, 2, 0});  // second upload, capacity 1
+  });
+  EXPECT_THROW(run(tiny(3, 1), s), EngineViolation);
+}
+
+TEST(Engine, ServerCapacityOverrideAllowsParallelSends) {
+  LambdaScheduler s([](Tick, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({kServer, 1, 0});
+    out.push_back({kServer, 2, 0});
+  });
+  EngineConfig cfg = tiny(3, 1);
+  cfg.server_upload_capacity = 2;
+  const RunResult r = run(cfg, s);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, 1u);
+}
+
+TEST(Engine, RejectsDownloadOverCapacity) {
+  LambdaScheduler s([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    if (t == 1) {
+      out.push_back({kServer, 1, 0});
+    } else {
+      out.push_back({kServer, 2, 0});
+      out.push_back({1, 2, 0});  // ILLEGAL: duplicate block to node 2...
+    }
+  });
+  // ...which trips the duplicate-delivery check first; use distinct blocks
+  // to exercise the download-capacity check itself.
+  LambdaScheduler s2([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    if (t == 1) {
+      out.push_back({kServer, 1, 0});
+    } else {
+      out.push_back({kServer, 2, 1});
+      out.push_back({1, 2, 0});
+    }
+  });
+  EXPECT_THROW(run(tiny(3, 2), s), EngineViolation);
+  EngineConfig cfg = tiny(3, 2);
+  cfg.download_capacity = 1;
+  EXPECT_THROW(run(cfg, s2), EngineViolation);
+  // With capacity 2 the same schedule is legal.
+  LambdaScheduler s3([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    if (t == 1) {
+      out.push_back({kServer, 1, 0});
+    } else if (t == 2) {
+      out.push_back({kServer, 2, 1});
+      out.push_back({1, 2, 0});
+    } else if (t == 3) {
+      out.push_back({kServer, 1, 1});
+    }
+  });
+  EngineConfig cfg2 = tiny(3, 2);
+  cfg2.download_capacity = 2;
+  EXPECT_TRUE(run(cfg2, s3).completed);
+}
+
+TEST(Engine, RejectsSelfTransferAndBadIds) {
+  LambdaScheduler self([](Tick, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({1, 1, 0});
+  });
+  EXPECT_THROW(run(tiny(3, 1), self), EngineViolation);
+  LambdaScheduler bad_node([](Tick, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({kServer, 99, 0});
+  });
+  EXPECT_THROW(run(tiny(3, 1), bad_node), EngineViolation);
+  LambdaScheduler bad_block([](Tick, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({kServer, 1, 99});
+  });
+  EXPECT_THROW(run(tiny(3, 1), bad_block), EngineViolation);
+}
+
+TEST(Engine, IdleSchedulerHitsTickCap) {
+  LambdaScheduler idle([](Tick, const SwarmState&, std::vector<Transfer>&) {});
+  EngineConfig cfg = tiny(3, 1);
+  cfg.max_ticks = 25;
+  const RunResult r = run(cfg, idle);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.ticks_executed, 25u);
+  EXPECT_EQ(r.completion_tick, 0u);
+}
+
+TEST(Engine, StallDetectionCensorsIdleRuns) {
+  LambdaScheduler idle([](Tick, const SwarmState&, std::vector<Transfer>&) {});
+  EngineConfig cfg = tiny(3, 1);
+  cfg.max_ticks = 100000;
+  cfg.stall_window = 10;
+  const RunResult r = run(cfg, idle);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.stalled);
+  EXPECT_EQ(r.ticks_executed, 10u);
+}
+
+TEST(Engine, StallDetectionSparesBusyRuns) {
+  LambdaScheduler s([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({kServer, 1, static_cast<BlockId>(t - 1)});
+  });
+  EngineConfig cfg = tiny(2, 30);
+  cfg.stall_window = 5;
+  cfg.stall_utilization = 0.2;  // 1 of 2 slots used -> 0.5 > 0.2
+  const RunResult r = run(cfg, s);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.stalled);
+}
+
+TEST(Engine, DefaultTickCapIsGenerous) {
+  EXPECT_GE(default_tick_cap(1024, 64), 64u * 11u);  // binomial-tree worst case
+  EXPECT_GE(default_tick_cap(4, 1000), 66u * 1000u);
+}
+
+TEST(Engine, RecordsUtilizationTrace) {
+  LambdaScheduler s([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({kServer, 1, static_cast<BlockId>(t - 1)});
+  });
+  const EngineConfig cfg = tiny(2, 2);
+  const RunResult r = run(cfg, s);
+  ASSERT_EQ(r.uploads_per_tick.size(), 2u);
+  EXPECT_EQ(r.uploads_per_tick[0], 1u);
+  // 2 nodes x capacity 1 = 2 slots; 1 used.
+  EXPECT_DOUBLE_EQ(r.utilization(1, cfg), 0.5);
+  EXPECT_DOUBLE_EQ(r.utilization(3, cfg), 0.0);  // out of range
+}
+
+TEST(Engine, TraceRecordingCapturesTransfers) {
+  LambdaScheduler s([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({kServer, 1, static_cast<BlockId>(t - 1)});
+  });
+  EngineConfig cfg = tiny(2, 2);
+  cfg.record_trace = true;
+  const RunResult r = run(cfg, s);
+  ASSERT_EQ(r.trace.size(), 2u);
+  EXPECT_EQ(r.trace[0][0], (Transfer{kServer, 1, 0}));
+  EXPECT_EQ(r.trace[1][0], (Transfer{kServer, 1, 1}));
+}
+
+TEST(Engine, RunWithStateExposesFinalPossession) {
+  LambdaScheduler s([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({kServer, 1, static_cast<BlockId>(t - 1)});
+  });
+  const EngineConfig cfg = tiny(2, 3);
+  SwarmState state(2, 3);
+  const RunResult r = run_with_state(cfg, s, nullptr, state);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(state.is_complete(1));
+}
+
+TEST(Engine, ValidatesConfig) {
+  LambdaScheduler s([](Tick, const SwarmState&, std::vector<Transfer>&) {});
+  EXPECT_THROW(run(tiny(1, 1), s), std::invalid_argument);
+  EXPECT_THROW(run(tiny(2, 0), s), std::invalid_argument);
+  EngineConfig cfg = tiny(2, 1);
+  cfg.upload_capacity = 0;
+  EXPECT_THROW(run(cfg, s), std::invalid_argument);
+}
+
+TEST(Engine, MeanClientCompletion) {
+  RunResult r;
+  r.client_completion = {2, 4, 6};
+  EXPECT_DOUBLE_EQ(r.mean_client_completion(), 4.0);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,153 @@
+// Per-node capacity overrides (heterogeneous bandwidths).
+
+#include <gtest/gtest.h>
+
+#include "pob/core/engine.h"
+#include "pob/core/metrics.h"
+#include "pob/overlay/overlay.h"
+#include "pob/rand/randomized.h"
+
+namespace pob {
+namespace {
+
+TEST(Heterogeneous, EngineValidatesVectorSizes) {
+  EngineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_blocks = 2;
+  cfg.upload_capacities = {1, 1};  // wrong size
+  RandomizedScheduler sched(std::make_shared<CompleteOverlay>(4), {}, Rng(1));
+  EXPECT_THROW(run(cfg, sched), std::invalid_argument);
+}
+
+TEST(Heterogeneous, PerNodeUploadCapsAreEnforced) {
+  // Client 1 has zero upload slots in the config; a scheduler that makes it
+  // upload must be vetoed.
+  class ForceUpload final : public Scheduler {
+   public:
+    std::string_view name() const override { return "force"; }
+    void plan_tick(Tick t, const SwarmState&, std::vector<Transfer>& out) override {
+      if (t == 1) out.push_back({kServer, 1, 0});
+      if (t == 2) out.push_back({1, 2, 0});
+    }
+  };
+  EngineConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.num_blocks = 1;
+  cfg.upload_capacities = {1, 0, 1};
+  ForceUpload sched;
+  EXPECT_THROW(run(cfg, sched), EngineViolation);
+}
+
+TEST(Heterogeneous, FastNodesCarryMoreLoad) {
+  const std::uint32_t n = 64, k = 64;
+  std::vector<std::uint32_t> up(n, 1);
+  for (NodeId u = 1; u < n; u += 2) up[u] = 3;  // odd clients are 3x faster
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.upload_capacities = up;
+  RandomizedOptions opt;
+  opt.upload_capacities = up;
+  RandomizedScheduler sched(std::make_shared<CompleteOverlay>(n), opt, Rng(3));
+  const RunResult r = run(cfg, sched);
+  ASSERT_TRUE(r.completed);
+  std::uint64_t fast = 0, slow = 0;
+  for (NodeId u = 1; u < n; ++u) {
+    (u % 2 == 1 ? fast : slow) += r.uploads_per_node[u];
+  }
+  EXPECT_GT(fast, 2 * slow);
+}
+
+TEST(Heterogeneous, ExtraCapacitySpeedsUpCompletion) {
+  const std::uint32_t n = 64, k = 128;
+  EngineConfig uniform;
+  uniform.num_nodes = n;
+  uniform.num_blocks = k;
+  RandomizedScheduler s1(std::make_shared<CompleteOverlay>(n), {}, Rng(5));
+  const RunResult slow = run(uniform, s1);
+
+  std::vector<std::uint32_t> up(n, 2);
+  EngineConfig fat = uniform;
+  fat.upload_capacities = up;
+  RandomizedOptions opt;
+  opt.upload_capacities = up;
+  RandomizedScheduler s2(std::make_shared<CompleteOverlay>(n), opt, Rng(5));
+  const RunResult fast = run(fat, s2);
+
+  ASSERT_TRUE(slow.completed);
+  ASSERT_TRUE(fast.completed);
+  EXPECT_LT(2 * fast.completion_tick, 3 * slow.completion_tick);  // ~half
+}
+
+TEST(Heterogeneous, PerNodeDownloadCapsAreEnforced) {
+  class DoubleFeed final : public Scheduler {
+   public:
+    std::string_view name() const override { return "feed"; }
+    void plan_tick(Tick t, const SwarmState&, std::vector<Transfer>& out) override {
+      if (t == 1) {
+        out.push_back({kServer, 1, 0});
+      } else if (t == 2) {
+        out.push_back({kServer, 2, 0});
+        out.push_back({1, 2, 1});  // second download into node 2
+      }
+    }
+  };
+  EngineConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.num_blocks = 2;
+  cfg.download_capacities = {kUnlimited, kUnlimited, 1};
+  DoubleFeed sched;
+  EXPECT_THROW(run(cfg, sched), EngineViolation);
+}
+
+TEST(Heterogeneous, UtilizationUsesPerNodeSlots) {
+  RunResult r;
+  r.uploads_per_tick = {3};
+  EngineConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.num_blocks = 1;
+  cfg.upload_capacities = {2, 2, 2};
+  EXPECT_DOUBLE_EQ(r.utilization(1, cfg), 0.5);
+}
+
+TEST(Fairness, GiniOfKnownDistributions) {
+  RunResult equal;
+  equal.uploads_per_node = {99, 5, 5, 5, 5};  // server excluded
+  const FairnessSummary f1 = upload_fairness(equal);
+  EXPECT_DOUBLE_EQ(f1.mean, 5.0);
+  EXPECT_NEAR(f1.gini, 0.0, 1e-12);
+
+  RunResult skewed;
+  skewed.uploads_per_node = {99, 0, 0, 0, 20};
+  const FairnessSummary f2 = upload_fairness(skewed);
+  EXPECT_DOUBLE_EQ(f2.max, 20.0);
+  EXPECT_NEAR(f2.gini, 0.75, 1e-12);  // (n-1)/n for one-does-all, n = 4
+}
+
+TEST(Fairness, EmptyAndTinyInputs) {
+  RunResult r;
+  EXPECT_DOUBLE_EQ(upload_fairness(r).gini, 0.0);
+  r.uploads_per_node = {7};  // server only
+  EXPECT_DOUBLE_EQ(upload_fairness(r).gini, 0.0);
+}
+
+TEST(Fairness, BarterEqualizesLoad) {
+  // Under credit-limited barter nobody can freeload: client upload loads
+  // should be tighter than in the cooperative swarm.
+  const std::uint32_t n = 128, k = 128;
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  RandomizedScheduler coop(std::make_shared<CompleteOverlay>(n), {}, Rng(11));
+  const RunResult r_coop = run(cfg, coop);
+  ASSERT_TRUE(r_coop.completed);
+
+  auto cr = make_credit_randomized(std::make_shared<CompleteOverlay>(n), {}, Rng(11), 1);
+  const RunResult r_barter = run(cfg, *cr.scheduler, cr.mechanism.get());
+  ASSERT_TRUE(r_barter.completed);
+
+  EXPECT_LE(upload_fairness(r_barter).gini, upload_fairness(r_coop).gini + 0.02);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,67 @@
+#include "pob/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pob {
+namespace {
+
+EngineConfig cfg3() {
+  EngineConfig cfg;
+  cfg.num_nodes = 3;  // 3 upload slots/tick at capacity 1
+  cfg.num_blocks = 4;
+  return cfg;
+}
+
+TEST(Metrics, UtilizationSummaryCountsFullAndBadTicks) {
+  RunResult r;
+  r.uploads_per_tick = {3, 3, 1, 0, 3};
+  const UtilizationSummary s = summarize_utilization(r, cfg3());
+  EXPECT_EQ(s.total_ticks, 5u);
+  EXPECT_EQ(s.full_ticks, 3u);
+  EXPECT_EQ(s.bad_ticks, 2u);  // 1/3 and 0 are below 5/6
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_NEAR(s.mean, (1.0 + 1.0 + 1.0 / 3.0 + 0.0 + 1.0) / 5.0, 1e-12);
+}
+
+TEST(Metrics, UtilizationSummaryEmptyRun) {
+  const UtilizationSummary s = summarize_utilization(RunResult{}, cfg3());
+  EXPECT_EQ(s.total_ticks, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Metrics, CustomBadThreshold) {
+  RunResult r;
+  r.uploads_per_tick = {2, 3};
+  const UtilizationSummary s = summarize_utilization(r, cfg3(), 0.5);
+  EXPECT_EQ(s.bad_ticks, 0u);  // 2/3 >= 0.5
+}
+
+TEST(Metrics, CompletionSpread) {
+  RunResult r;
+  r.completed = true;
+  r.client_completion = {10, 14, 12};
+  const CompletionSpread c = completion_spread(r);
+  EXPECT_EQ(c.first, 10u);
+  EXPECT_EQ(c.last, 14u);
+  EXPECT_EQ(c.spread, 4u);
+  EXPECT_DOUBLE_EQ(c.mean, 12.0);
+}
+
+TEST(Metrics, CompletionSpreadRequiresCompletedRun) {
+  RunResult r;
+  r.completed = false;
+  EXPECT_THROW(completion_spread(r), std::invalid_argument);
+}
+
+TEST(Metrics, MeanClientGoodput) {
+  RunResult r;
+  r.completed = true;
+  r.client_completion = {10, 20};
+  // k/T_i averaged: (40/10 + 40/20) / 2 = 3.
+  EXPECT_DOUBLE_EQ(mean_client_goodput(r, 40), 3.0);
+  r.completed = false;
+  EXPECT_DOUBLE_EQ(mean_client_goodput(r, 40), 0.0);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,108 @@
+#include "pob/core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace pob {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (const std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 0x7fffffffu}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.below(10)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(13);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.range(5, 8));
+  EXPECT_EQ(seen, (std::set<std::uint32_t>{5, 6, 7, 8}));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, SplitIsIndependentAndStable) {
+  const Rng parent(42);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  Rng c1_again = parent.split(1);
+  EXPECT_EQ(c1.next(), c1_again.next());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += c1.next() == c2.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng a(5), b(5);
+  (void)a.split(9);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Rng, ShuffleMixesPositions) {
+  Rng rng(29);
+  int moved = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+    rng.shuffle(v);
+    for (std::size_t i = 0; i < v.size(); ++i) moved += v[i] != static_cast<int>(i);
+  }
+  EXPECT_GT(moved, 200);  // ~7/8 of 400 positions expected to move
+}
+
+}  // namespace
+}  // namespace pob

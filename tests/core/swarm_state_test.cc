@@ -1,0 +1,72 @@
+#include "pob/core/swarm_state.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pob {
+namespace {
+
+TEST(SwarmState, InitialConditions) {
+  const SwarmState s(5, 10);
+  EXPECT_EQ(s.num_nodes(), 5u);
+  EXPECT_EQ(s.num_clients(), 4u);
+  EXPECT_EQ(s.num_blocks(), 10u);
+  EXPECT_TRUE(s.is_complete(kServer));
+  for (NodeId c = 1; c < 5; ++c) {
+    EXPECT_FALSE(s.is_complete(c));
+    EXPECT_TRUE(s.blocks_of(c).empty());
+  }
+  EXPECT_FALSE(s.all_complete());
+  EXPECT_EQ(s.num_incomplete(), 4u);
+  for (const std::uint32_t f : s.block_frequency()) EXPECT_EQ(f, 1u);
+  EXPECT_EQ(s.total_blocks_held(), 10u);
+}
+
+TEST(SwarmState, RejectsDegenerateDimensions) {
+  EXPECT_THROW(SwarmState(1, 5), std::invalid_argument);
+  EXPECT_THROW(SwarmState(3, 0), std::invalid_argument);
+}
+
+TEST(SwarmState, AddBlockUpdatesEverything) {
+  SwarmState s(3, 2);
+  EXPECT_TRUE(s.add_block(1, 0, 4));
+  EXPECT_FALSE(s.add_block(1, 0, 5));  // duplicate
+  EXPECT_TRUE(s.has(1, 0));
+  EXPECT_EQ(s.block_frequency()[0], 2u);
+  EXPECT_EQ(s.total_blocks_held(), 3u);
+  EXPECT_EQ(s.completion_tick(1), 0u);  // not complete yet
+
+  EXPECT_TRUE(s.add_block(1, 1, 7));
+  EXPECT_TRUE(s.is_complete(1));
+  EXPECT_EQ(s.completion_tick(1), 7u);
+  EXPECT_EQ(s.num_incomplete(), 1u);
+
+  EXPECT_TRUE(s.add_block(2, 0, 8));
+  EXPECT_TRUE(s.add_block(2, 1, 9));
+  EXPECT_TRUE(s.all_complete());
+  EXPECT_EQ(s.client_completion_ticks(), (std::vector<Tick>{7, 9}));
+}
+
+TEST(SwarmState, IncompleteListShrinksConsistently) {
+  SwarmState s(6, 1);
+  for (NodeId c = 1; c < 6; ++c) {
+    const auto before = s.num_incomplete();
+    s.add_block(c, 0, c);
+    EXPECT_EQ(s.num_incomplete(), before - 1);
+    const auto inc = s.incomplete_nodes();
+    EXPECT_TRUE(std::none_of(inc.begin(), inc.end(),
+                             [c](NodeId x) { return x == c; }));
+  }
+  EXPECT_TRUE(s.all_complete());
+}
+
+TEST(SwarmState, ServerNeverListedIncomplete) {
+  SwarmState s(4, 3);
+  const auto inc = s.incomplete_nodes();
+  EXPECT_TRUE(std::none_of(inc.begin(), inc.end(),
+                           [](NodeId x) { return x == kServer; }));
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,49 @@
+#include "pob/exp/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace pob {
+namespace {
+
+Args make_args(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const Args args = make_args({"prog", "--n=100", "--k", "50", "--quick"});
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_TRUE(args.has("n"));
+  EXPECT_TRUE(args.has("quick"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_EQ(args.get_int("k", 0), 50);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Cli, BareFlagBeforeAnotherFlag) {
+  const Args args = make_args({"prog", "--full", "--runs=3"});
+  EXPECT_TRUE(args.has("full"));
+  EXPECT_EQ(args.get_int("runs", 0), 3);
+  EXPECT_EQ(args.get_int("full", 9), 9);  // bare flag has no value
+}
+
+TEST(Cli, DoubleAndStringValues) {
+  const Args args = make_args({"prog", "--rate=2.5", "--policy=rarest"});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(args.get_string("policy", "random"), "rarest");
+  EXPECT_EQ(args.get_string("other", "fallback"), "fallback");
+}
+
+TEST(Cli, IntListParsing) {
+  const Args args = make_args({"prog", "--degrees=10,20,40"});
+  EXPECT_EQ(args.get_int_list("degrees", {}), (std::vector<std::int64_t>{10, 20, 40}));
+  EXPECT_EQ(args.get_int_list("none", {1, 2}), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  EXPECT_THROW(make_args({"prog", "oops"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,51 @@
+#include "pob/exp/sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace pob {
+namespace {
+
+TEST(Sweep, AggregatesCompletedRuns) {
+  const TrialStats stats = repeat_trials(4, [](std::uint32_t i) {
+    return TrialOutcome{true, 100.0 + i, 50.0 + i};
+  });
+  EXPECT_EQ(stats.runs, 4u);
+  EXPECT_EQ(stats.censored, 0u);
+  EXPECT_DOUBLE_EQ(stats.completion.mean, 101.5);
+  EXPECT_DOUBLE_EQ(stats.mean_completion.mean, 51.5);
+  EXPECT_FALSE(stats.all_censored());
+}
+
+TEST(Sweep, CountsCensoredRuns) {
+  const TrialStats stats = repeat_trials(5, [](std::uint32_t i) {
+    TrialOutcome o;
+    o.completed = i % 2 == 0;
+    o.completion = 10.0;
+    o.mean_completion = 5.0;
+    return o;
+  });
+  EXPECT_EQ(stats.censored, 2u);
+  EXPECT_EQ(stats.completion.count, 3u);
+}
+
+TEST(Sweep, AllCensored) {
+  const TrialStats stats =
+      repeat_trials(3, [](std::uint32_t) { return TrialOutcome{}; });
+  EXPECT_TRUE(stats.all_censored());
+  EXPECT_EQ(completion_cell(stats, 5000.0), ">5000 (censored)");
+}
+
+TEST(Sweep, CompletionCellFormats) {
+  const TrialStats clean = repeat_trials(3, [](std::uint32_t) {
+    return TrialOutcome{true, 100.0, 50.0};
+  });
+  EXPECT_EQ(completion_cell(clean, 1e9), "100.0 +- 0.0");
+
+  const TrialStats mixed = repeat_trials(4, [](std::uint32_t i) {
+    return TrialOutcome{i > 0, 100.0, 50.0};
+  });
+  EXPECT_EQ(completion_cell(mixed, 1e9), "100.0 +- 0.0 [1/4 censored]");
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,45 @@
+#include "pob/exp/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pob {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"n", "T"});
+  t.add_row({"10", "1014"});
+  t.add_row({"10000", "1105"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("    n     T"), std::string::npos);
+  EXPECT_NE(out.find("10000  1105"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);  // must not crash; missing cells render empty
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt_ci(10.5, 0.25, 1), "10.5 +- 0.2");
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,130 @@
+#include "pob/exp/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pob/mech/barter.h"
+#include "pob/sched/binomial_pipeline.h"
+#include "pob/sched/riffle_pipeline.h"
+
+namespace pob {
+namespace {
+
+TEST(TraceIo, RoundTripsABinomialPipelineRun) {
+  EngineConfig cfg;
+  cfg.num_nodes = 11;
+  cfg.num_blocks = 7;
+  cfg.download_capacity = 1;
+  cfg.record_trace = true;
+  BinomialPipelineScheduler sched(11, 7);
+  const RunResult original = run(cfg, sched);
+  ASSERT_TRUE(original.completed);
+
+  std::stringstream buffer;
+  write_trace(buffer, cfg, original);
+  const LoadedTrace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.num_nodes, 11u);
+  EXPECT_EQ(loaded.num_blocks, 7u);
+  EXPECT_EQ(loaded.download_capacity, 1u);
+  ASSERT_EQ(loaded.ticks.size(), original.trace.size());
+  for (std::size_t t = 0; t < loaded.ticks.size(); ++t) {
+    EXPECT_EQ(loaded.ticks[t], original.trace[t]) << "tick " << t + 1;
+  }
+
+  const RunResult replayed = replay_trace(loaded);
+  ASSERT_TRUE(replayed.completed);
+  EXPECT_EQ(replayed.completion_tick, original.completion_tick);
+}
+
+TEST(TraceIo, UnlimitedDownloadEncodesAsZero) {
+  EngineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_blocks = 2;
+  cfg.record_trace = true;
+  BinomialPipelineScheduler sched(4, 2);
+  const RunResult r = run(cfg, sched);
+  std::stringstream buffer;
+  write_trace(buffer, cfg, r);
+  EXPECT_NE(buffer.str().find("pobtrace 1 4 2 1 0 0"), std::string::npos);
+  EXPECT_EQ(read_trace(buffer).download_capacity, kUnlimited);
+}
+
+TEST(TraceIo, ReplayUnderDifferentMechanism) {
+  // Record a strict-barter riffle run, replay it under StrictBarter and
+  // CreditLimited: both must accept. Replaying a binomial pipeline under
+  // StrictBarter must throw.
+  EngineConfig cfg;
+  cfg.num_nodes = 9;
+  cfg.num_blocks = 16;
+  cfg.download_capacity = 2;
+  cfg.record_trace = true;
+  RifflePipelineScheduler riffle(9, 16, 1, 2);
+  const RunResult r = run(cfg, riffle);
+  std::stringstream buffer;
+  write_trace(buffer, cfg, r);
+  const LoadedTrace loaded = read_trace(buffer);
+
+  StrictBarter strict;
+  EXPECT_TRUE(replay_trace(loaded, &strict).completed);
+  CreditLimited credit(1);
+  EXPECT_TRUE(replay_trace(loaded, &credit).completed);
+
+  EngineConfig coop_cfg;
+  coop_cfg.num_nodes = 16;
+  coop_cfg.num_blocks = 4;
+  coop_cfg.record_trace = true;
+  BinomialPipelineScheduler bp(16, 4);
+  const RunResult coop = run(coop_cfg, bp);
+  std::stringstream coop_buffer;
+  write_trace(coop_buffer, coop_cfg, coop);
+  const LoadedTrace coop_trace = read_trace(coop_buffer);
+  StrictBarter strict2;
+  EXPECT_THROW(replay_trace(coop_trace, &strict2), EngineViolation);
+}
+
+TEST(TraceIo, CommentsAndIdleTicks) {
+  std::stringstream in;
+  in << "# produced by hand\n"
+     << "pobtrace 1 3 2 1 0 0\n"
+     << "0:1:0\n"
+     << "\n"               // idle tick
+     << "0:1:1 1:2:0\n"
+     << "0:2:1\n";
+  const LoadedTrace t = read_trace(in);
+  ASSERT_EQ(t.ticks.size(), 4u);
+  EXPECT_TRUE(t.ticks[1].empty());
+  const RunResult r = replay_trace(t);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, 4u);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::stringstream in("not a trace\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("pobtrace 2 3 2 1 0 0\n");  // bad version
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("pobtrace 1 3 2 1 0 0\n0:1\n");  // bad cell
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in;
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+}
+
+TEST(TraceIo, ReplayCatchesTamperedTraces) {
+  std::stringstream in;
+  in << "pobtrace 1 3 2 1 0 0\n"
+     << "1:2:0\n";  // client 1 does not have block 0
+  const LoadedTrace t = read_trace(in);
+  EXPECT_THROW(replay_trace(t), EngineViolation);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "pob/mech/barter.h"
+
+namespace pob {
+namespace {
+
+SwarmState rich_state() {
+  // 4 nodes, 6 blocks; clients hold plenty to send.
+  SwarmState s(4, 6);
+  for (NodeId c = 1; c <= 3; ++c) {
+    for (BlockId b = 0; b < 4; ++b) s.add_block(c, (b + c) % 6, 1);
+  }
+  return s;
+}
+
+TEST(CreditLedger, SignConventionAndSymmetry) {
+  CreditLedger ledger;
+  EXPECT_EQ(ledger.net(1, 2), 0);
+  ledger.record(1, 2);
+  EXPECT_EQ(ledger.net(1, 2), 1);
+  EXPECT_EQ(ledger.net(2, 1), -1);
+  ledger.record(2, 1);
+  EXPECT_EQ(ledger.net(1, 2), 0);
+  ledger.record(5, 3);  // higher id sends to lower
+  EXPECT_EQ(ledger.net(5, 3), 1);
+  EXPECT_EQ(ledger.net(3, 5), -1);
+}
+
+TEST(CreditLimited, RequiresPositiveLimit) {
+  EXPECT_THROW(CreditLimited(0), std::invalid_argument);
+}
+
+TEST(CreditLimited, OneFreeBlockThenBlocked) {
+  CreditLimited mech(1);
+  const SwarmState s = rich_state();
+  const std::vector<Transfer> first = {{1, 2, 1}};
+  ASSERT_EQ(mech.check_tick(2, first, s), std::nullopt);
+  mech.commit_tick(2, first, s);
+  EXPECT_EQ(mech.ledger().net(1, 2), 1);
+  EXPECT_FALSE(mech.may_upload(1, 2));
+  EXPECT_TRUE(mech.may_upload(2, 1));  // the debtor can repay
+
+  const std::vector<Transfer> second = {{1, 2, 2}};
+  EXPECT_TRUE(mech.check_tick(3, second, s).has_value());
+}
+
+TEST(CreditLimited, SimultaneousExchangeKeepsNetFlat) {
+  CreditLimited mech(1);
+  const SwarmState s = rich_state();
+  // u->v and v->u in the same tick: net stays 0, always legal.
+  const std::vector<Transfer> tick = {{1, 2, 1}, {2, 1, 5}};
+  for (Tick t = 2; t < 10; ++t) {
+    ASSERT_EQ(mech.check_tick(t, tick, s), std::nullopt) << t;
+    mech.commit_tick(t, tick, s);
+  }
+  EXPECT_EQ(mech.ledger().net(1, 2), 0);
+}
+
+TEST(CreditLimited, HigherLimitAllowsDeeperDebt) {
+  CreditLimited mech(3);
+  const SwarmState s = rich_state();
+  for (const BlockId b : {1u, 2u, 3u}) {
+    const std::vector<Transfer> tick = {{1, 2, b}};
+    ASSERT_EQ(mech.check_tick(b + 1, tick, s), std::nullopt);
+    mech.commit_tick(b + 1, tick, s);
+  }
+  EXPECT_EQ(mech.ledger().net(1, 2), 3);
+  EXPECT_FALSE(mech.may_upload(1, 2));
+  const std::vector<Transfer> over = {{1, 2, 4}};
+  EXPECT_TRUE(mech.check_tick(9, over, s).has_value());
+}
+
+TEST(CreditLimited, ServerIsExemptBothWays) {
+  CreditLimited mech(1);
+  const SwarmState s = rich_state();
+  const std::vector<Transfer> server_sends = {{kServer, 1, 5}, {kServer, 2, 5}};
+  EXPECT_EQ(mech.check_tick(2, server_sends, s), std::nullopt);
+  EXPECT_TRUE(mech.may_upload(kServer, 1));
+  EXPECT_FALSE(mech.may_upload(1, kServer));
+  const std::vector<Transfer> to_server = {{1, kServer, 1}};
+  EXPECT_TRUE(mech.check_tick(2, to_server, s).has_value());
+}
+
+TEST(CreditLimited, ChecksWholeTickNet) {
+  CreditLimited mech(1);
+  const SwarmState s = rich_state();
+  // Two u->v transfers in one tick overdraw a limit of 1 even from zero.
+  const std::vector<Transfer> tick = {{1, 2, 1}, {1, 2, 2}};
+  EXPECT_TRUE(mech.check_tick(2, tick, s).has_value());
+}
+
+}  // namespace
+}  // namespace pob

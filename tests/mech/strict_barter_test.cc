@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "pob/mech/barter.h"
+
+namespace pob {
+namespace {
+
+SwarmState seeded_state() {
+  // 5 nodes, 4 blocks; clients 1..4 each hold one distinct block.
+  SwarmState s(5, 4);
+  for (NodeId c = 1; c <= 4; ++c) s.add_block(c, c - 1, 1);
+  return s;
+}
+
+TEST(StrictBarter, ServerGivesFreely) {
+  StrictBarter mech;
+  const SwarmState s = seeded_state();
+  const std::vector<Transfer> tick = {{kServer, 1, 3}, {kServer, 2, 3}};
+  EXPECT_EQ(mech.check_tick(2, tick, s), std::nullopt);
+}
+
+TEST(StrictBarter, PairedExchangeIsLegal) {
+  StrictBarter mech;
+  const SwarmState s = seeded_state();
+  const std::vector<Transfer> tick = {{1, 2, 0}, {2, 1, 1}, {3, 4, 2}, {4, 3, 3}};
+  EXPECT_EQ(mech.check_tick(2, tick, s), std::nullopt);
+}
+
+TEST(StrictBarter, UnreciprocatedTransferIsIllegal) {
+  StrictBarter mech;
+  const SwarmState s = seeded_state();
+  const std::vector<Transfer> tick = {{1, 2, 0}};
+  EXPECT_TRUE(mech.check_tick(2, tick, s).has_value());
+}
+
+TEST(StrictBarter, ChainIsNotBarter) {
+  // 1 -> 2 -> 3 -> 1 is a triangle, not pairwise barter.
+  StrictBarter mech;
+  const SwarmState s = seeded_state();
+  const std::vector<Transfer> tick = {{1, 2, 0}, {2, 3, 1}, {3, 1, 2}};
+  EXPECT_TRUE(mech.check_tick(2, tick, s).has_value());
+}
+
+TEST(StrictBarter, UploadToServerIsIllegal) {
+  StrictBarter mech;
+  const SwarmState s = seeded_state();
+  const std::vector<Transfer> tick = {{1, kServer, 0}};
+  EXPECT_TRUE(mech.check_tick(2, tick, s).has_value());
+}
+
+TEST(StrictBarter, MixedServerAndPairs) {
+  StrictBarter mech;
+  const SwarmState s = seeded_state();
+  const std::vector<Transfer> tick = {{kServer, 1, 3}, {2, 3, 1}, {3, 2, 2}};
+  EXPECT_EQ(mech.check_tick(2, tick, s), std::nullopt);
+}
+
+TEST(StrictBarter, EmptyTickIsLegal) {
+  StrictBarter mech;
+  const SwarmState s = seeded_state();
+  EXPECT_EQ(mech.check_tick(1, {}, s), std::nullopt);
+}
+
+}  // namespace
+}  // namespace pob

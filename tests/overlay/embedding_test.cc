@@ -1,0 +1,94 @@
+#include "pob/overlay/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace pob {
+namespace {
+
+TEST(Embedding, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Embedding, CostOfKnownSquare) {
+  // n = 4: vertices 00,01,10,11 each with one node; unit-square positions
+  // chosen so every cube edge has length 1 (cube edges: 0-1, 0-2, 1-3, 2-3).
+  const HypercubeMap map = make_hypercube_map(4);
+  const std::vector<Point> pts = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(hypercube_embedding_cost(map, pts), 4.0);
+}
+
+TEST(Embedding, CostCountsIntraPairEdges) {
+  // n = 3: vertex 1 holds clients 1 and 2.
+  const HypercubeMap map = make_hypercube_map(3);
+  const std::vector<Point> pts = {{0, 0}, {1, 0}, {1, 1}};
+  // Edges: intra {1,2} (length 1) + cube edge 0-1 crossing to both members
+  // (lengths 1 and sqrt(2)).
+  EXPECT_NEAR(hypercube_embedding_cost(map, pts), 1.0 + 1.0 + std::sqrt(2.0), 1e-12);
+}
+
+TEST(Embedding, RejectsShortPositionVector) {
+  const HypercubeMap map = make_hypercube_map(8);
+  const std::vector<Point> pts(4);
+  EXPECT_THROW(hypercube_embedding_cost(map, pts), std::invalid_argument);
+}
+
+TEST(Embedding, OptimizeNeverIncreasesCost) {
+  Rng rng(1);
+  for (const std::uint32_t n : {8u, 11u, 32u, 100u}) {
+    const std::vector<Point> pts = clustered_points(n, 4, rng);
+    const HypercubeMap map = make_hypercube_map(n);
+    const EmbeddingResult res = optimize_hypercube_embedding(map, pts, rng, 2000);
+    EXPECT_LE(res.final_cost, res.initial_cost) << "n=" << n;
+    EXPECT_NEAR(res.final_cost, hypercube_embedding_cost(res.map, pts), 1e-6) << n;
+  }
+}
+
+TEST(Embedding, OptimizedMapIsStillAValidAssignment) {
+  Rng rng(2);
+  const std::uint32_t n = 50;
+  const std::vector<Point> pts = random_points(n, rng);
+  const EmbeddingResult res =
+      optimize_hypercube_embedding(make_hypercube_map(n), pts, rng, 5000);
+  const HypercubeMap& m = res.map;
+  EXPECT_EQ(m.members[0][0], kServer);  // server never moves
+  std::set<NodeId> seen;
+  for (std::uint32_t v = 0; v < m.num_vertices; ++v) {
+    for (const NodeId node : m.members[v]) {
+      if (node == kNoNode) continue;
+      EXPECT_TRUE(seen.insert(node).second) << "node assigned twice";
+      EXPECT_EQ(m.vertex_of[node], v);
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(Embedding, ClusteredLayoutImprovesSubstantially) {
+  // With tight clusters, local search should cut total link cost a lot.
+  Rng rng(3);
+  const std::uint32_t n = 64;
+  const std::vector<Point> pts = clustered_points(n, 4, rng);
+  const EmbeddingResult res =
+      optimize_hypercube_embedding(make_hypercube_map(n), pts, rng, 20000);
+  EXPECT_LT(res.final_cost, 0.7 * res.initial_cost);
+  EXPECT_GT(res.accepted_swaps, 0u);
+}
+
+TEST(Embedding, PointGenerators) {
+  Rng rng(4);
+  const auto uniform = random_points(100, rng);
+  EXPECT_EQ(uniform.size(), 100u);
+  for (const Point& p : uniform) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+  }
+  const auto clustered = clustered_points(100, 5, rng);
+  EXPECT_EQ(clustered.size(), 100u);
+  EXPECT_THROW(clustered_points(10, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pob

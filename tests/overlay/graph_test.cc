@@ -1,0 +1,82 @@
+#include "pob/overlay/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace pob {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle with a tail 2-3.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.finalize();
+  return g;
+}
+
+TEST(Graph, BasicAccessors) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  const auto nb = g.neighbors(2);
+  EXPECT_EQ(std::vector<NodeId>(nb.begin(), nb.end()), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(Graph, DegreeStats) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(Graph, ConnectivityAndEccentricity) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.eccentricity(0), 2u);
+  EXPECT_EQ(g.eccentricity(2), 1u);
+
+  Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  disconnected.finalize();
+  EXPECT_FALSE(disconnected.is_connected());
+  EXPECT_EQ(disconnected.eccentricity(0), Graph::kUnreachable);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadIds) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+}
+
+TEST(Graph, RejectsDuplicateEdgesAtFinalize) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // same undirected edge
+  EXPECT_THROW(g.finalize(), std::invalid_argument);
+}
+
+TEST(Graph, AddAfterFinalizeIsAnError) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_THROW(g.add_edge(1, 2), std::logic_error);
+}
+
+TEST(Graph, FinalizeIsIdempotent) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.finalize();
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "pob/overlay/builders.h"
+
+namespace pob {
+namespace {
+
+TEST(Logs, FloorAndCeilLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(1025), 10u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+  EXPECT_THROW(floor_log2(0), std::invalid_argument);
+  EXPECT_THROW(ceil_log2(0), std::invalid_argument);
+}
+
+TEST(HypercubeMap, PowerOfTwoIsOneNodePerVertex) {
+  const HypercubeMap m = make_hypercube_map(8);
+  EXPECT_EQ(m.dims, 3u);
+  EXPECT_EQ(m.num_vertices, 8u);
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(m.vertex_count(v), 1u);
+    EXPECT_EQ(m.members[v][0], v);
+  }
+  EXPECT_EQ(m.members[0][0], kServer);
+}
+
+TEST(HypercubeMap, GeneralNDoublesLowVertices) {
+  // n = 11: m = 3, vertices 8; clients 8, 9, 10 double onto IDs 1, 2, 3.
+  const HypercubeMap m = make_hypercube_map(11);
+  EXPECT_EQ(m.dims, 3u);
+  EXPECT_EQ(m.vertex_count(0), 1u);  // server always alone
+  EXPECT_EQ(m.vertex_count(1), 2u);
+  EXPECT_EQ(m.vertex_count(2), 2u);
+  EXPECT_EQ(m.vertex_count(3), 2u);
+  for (std::uint32_t v = 4; v < 8; ++v) EXPECT_EQ(m.vertex_count(v), 1u);
+  EXPECT_EQ(m.vertex_of[8], 1u);
+  EXPECT_EQ(m.vertex_of[10], 3u);
+}
+
+class HypercubeMapProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HypercubeMapProperty, EveryVertexHasOneOrTwoNodes) {
+  const std::uint32_t n = GetParam();
+  const HypercubeMap m = make_hypercube_map(n);
+  EXPECT_EQ(m.num_vertices, 1u << m.dims);
+  EXPECT_LE(m.num_vertices, n);
+  EXPECT_LT(n, 2 * m.num_vertices);
+  std::uint32_t total = 0;
+  for (std::uint32_t v = 0; v < m.num_vertices; ++v) {
+    const std::uint32_t count = m.vertex_count(v);
+    ASSERT_GE(count, 1u);
+    ASSERT_LE(count, 2u);
+    total += count;
+    for (const NodeId node : m.members[v]) {
+      if (node != kNoNode) {
+        ASSERT_EQ(m.vertex_of[node], v);
+      }
+    }
+  }
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HypercubeMapProperty,
+                         ::testing::Values(2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u,
+                                           31u, 100u, 1000u, 1023u, 1024u, 1025u));
+
+TEST(HypercubeOverlay, PowerOfTwoIsExactHypercube) {
+  const Graph g = make_hypercube_overlay(16);
+  EXPECT_TRUE(g.is_connected());
+  for (NodeId u = 0; u < 16; ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 8));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(HypercubeOverlay, GeneralNHasLogarithmicAverageDegree) {
+  const Graph g = make_hypercube_overlay(1000);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_GT(g.average_degree(), 9.0);   // ~2 * log2(512) flavor
+  EXPECT_LT(g.average_degree(), 40.0);  // well below random-regular thresholds
+}
+
+TEST(HypercubeOverlay, DoubledMembersAreAdjacent) {
+  const HypercubeMap m = make_hypercube_map(11);
+  const Graph g = make_hypercube_overlay(11);
+  for (std::uint32_t v = 0; v < m.num_vertices; ++v) {
+    if (m.vertex_count(v) == 2) {
+      EXPECT_TRUE(g.has_edge(m.members[v][0], m.members[v][1]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,63 @@
+#include "pob/overlay/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pob/overlay/builders.h"
+
+namespace pob {
+namespace {
+
+TEST(CompleteOverlay, NeighborsEnumerateEveryOtherNode) {
+  const CompleteOverlay ov(5);
+  EXPECT_EQ(ov.num_nodes(), 5u);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_EQ(ov.degree(u), 4u);
+    std::set<NodeId> seen;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      const NodeId v = ov.neighbor(u, i);
+      EXPECT_NE(v, u);
+      seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+  }
+  EXPECT_TRUE(ov.adjacent(0, 4));
+  EXPECT_FALSE(ov.adjacent(2, 2));
+  EXPECT_DOUBLE_EQ(ov.average_degree(), 4.0);
+}
+
+TEST(GraphOverlay, WrapsGraphFaithfully) {
+  const GraphOverlay ov(make_ring(6));
+  EXPECT_EQ(ov.num_nodes(), 6u);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(ov.degree(u), 2u);
+  EXPECT_TRUE(ov.adjacent(0, 1));
+  EXPECT_TRUE(ov.adjacent(0, 5));
+  EXPECT_FALSE(ov.adjacent(0, 3));
+  EXPECT_DOUBLE_EQ(ov.average_degree(), 2.0);
+}
+
+TEST(GraphOverlay, RejectsUnfinalizedGraph) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(GraphOverlay{std::move(g)}, std::invalid_argument);
+}
+
+TEST(RingAndTree, Builders) {
+  const Graph ring = make_ring(5);
+  EXPECT_EQ(ring.num_edges(), 5u);
+  EXPECT_TRUE(ring.is_connected());
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+
+  const Graph tree = make_kary_tree(7, 2);
+  EXPECT_EQ(tree.num_edges(), 6u);
+  EXPECT_TRUE(tree.is_connected());
+  EXPECT_EQ(tree.degree(0), 2u);   // root: two children
+  EXPECT_EQ(tree.degree(1), 3u);   // parent + two children
+  EXPECT_EQ(tree.degree(6), 1u);   // leaf
+  EXPECT_THROW(make_kary_tree(1, 2), std::invalid_argument);
+  EXPECT_THROW(make_kary_tree(5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pob/overlay/builders.h"
+
+namespace pob {
+namespace {
+
+class RandomRegular
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(RandomRegular, IsSimpleRegularAndConnected) {
+  const auto [n, d] = GetParam();
+  Rng rng(1000 + n * 131 + d);
+  const Graph g = make_random_regular(n, d, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_EQ(g.num_edges(), static_cast<std::uint64_t>(n) * d / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    ASSERT_EQ(g.degree(u), d) << "node " << u;
+    for (const NodeId v : g.neighbors(u)) ASSERT_NE(v, u);
+  }
+  if (d >= 3) {
+    EXPECT_TRUE(g.is_connected());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RandomRegular,
+    ::testing::Values(std::make_tuple(10u, 3u), std::make_tuple(50u, 4u),
+                      std::make_tuple(100u, 3u), std::make_tuple(100u, 10u),
+                      std::make_tuple(200u, 7u), std::make_tuple(1000u, 20u),
+                      std::make_tuple(1000u, 80u), std::make_tuple(500u, 140u),
+                      std::make_tuple(64u, 63u)));
+
+TEST(RandomRegularTest, DifferentSeedsGiveDifferentGraphs) {
+  Rng a(1), b(2);
+  const Graph ga = make_random_regular(100, 6, a);
+  const Graph gb = make_random_regular(100, 6, b);
+  int diff = 0;
+  for (NodeId u = 0; u < 100; ++u) {
+    const auto na = ga.neighbors(u);
+    const auto nb = gb.neighbors(u);
+    diff += !std::equal(na.begin(), na.end(), nb.begin(), nb.end());
+  }
+  EXPECT_GT(diff, 50);
+}
+
+TEST(RandomRegularTest, SameSeedIsDeterministic) {
+  Rng a(9), b(9);
+  const Graph ga = make_random_regular(80, 5, a);
+  const Graph gb = make_random_regular(80, 5, b);
+  for (NodeId u = 0; u < 80; ++u) {
+    const auto na = ga.neighbors(u);
+    const auto nb = gb.neighbors(u);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+}
+
+TEST(RandomRegularTest, RejectsInfeasibleParameters) {
+  Rng rng(3);
+  EXPECT_THROW(make_random_regular(5, 5, rng), std::invalid_argument);   // d >= n
+  EXPECT_THROW(make_random_regular(5, 3, rng), std::invalid_argument);   // n*d odd
+  EXPECT_THROW(make_random_regular(10, 0, rng), std::invalid_argument);  // d = 0
+}
+
+TEST(RandomRegularTest, DegreeOneIsAPerfectMatching) {
+  Rng rng(4);
+  const Graph g = make_random_regular(10, 1, rng);
+  for (NodeId u = 0; u < 10; ++u) EXPECT_EQ(g.degree(u), 1u);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,77 @@
+#include "pob/overlay/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "pob/overlay/builders.h"
+
+namespace pob {
+namespace {
+
+Graph complete_graph(std::uint32_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  g.finalize();
+  return g;
+}
+
+TEST(Spectral, CompleteGraphHasNegativeLambda2) {
+  // K_n: random-walk eigenvalues are 1 and -1/(n-1) (signed).
+  Rng rng(1);
+  for (const std::uint32_t n : {8u, 32u}) {
+    const SpectralEstimate est = estimate_lambda2(complete_graph(n), rng, 400);
+    EXPECT_NEAR(est.lambda2, -1.0 / (n - 1), 0.01) << n;
+    EXPECT_GT(est.gap, 0.95);
+  }
+}
+
+TEST(Spectral, RingMatchesClosedForm) {
+  // C_n: lambda2 = cos(2*pi/n).
+  Rng rng(2);
+  for (const std::uint32_t n : {16u, 64u}) {
+    const SpectralEstimate est = estimate_lambda2(make_ring(n), rng, 3000);
+    EXPECT_NEAR(est.lambda2, std::cos(2.0 * std::numbers::pi / n), 0.01) << n;
+  }
+}
+
+TEST(Spectral, HigherDegreeMixesFaster) {
+  Rng rng(3);
+  Rng grng(4);
+  const SpectralEstimate sparse =
+      estimate_lambda2(make_random_regular(200, 4, grng), rng, 500);
+  const SpectralEstimate dense =
+      estimate_lambda2(make_random_regular(200, 24, grng), rng, 500);
+  EXPECT_GT(dense.gap, sparse.gap);
+}
+
+TEST(Spectral, HypercubeOverlayMixesWell) {
+  Rng rng(5);
+  const SpectralEstimate est = estimate_lambda2(make_hypercube_overlay(256), rng, 500);
+  // The 8-cube's random walk has lambda2 = 1 - 2/8 = 0.75.
+  EXPECT_NEAR(est.lambda2, 0.75, 0.02);
+}
+
+TEST(Spectral, DisconnectedGraphHasZeroGap) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  Rng rng(6);
+  const SpectralEstimate est = estimate_lambda2(g, rng, 100);
+  EXPECT_DOUBLE_EQ(est.gap, 0.0);
+}
+
+TEST(Spectral, RejectsDegenerateInputs) {
+  Rng rng(7);
+  Graph isolated(3);
+  isolated.add_edge(0, 1);
+  isolated.finalize();
+  EXPECT_THROW(estimate_lambda2(isolated, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pob

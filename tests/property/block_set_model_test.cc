@@ -1,0 +1,121 @@
+// Differential testing: BlockSet against a std::set<BlockId> reference model
+// over long random operation sequences, including the word-boundary sizes
+// where bit-twiddling bugs live.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pob/core/block_set.h"
+
+namespace pob {
+namespace {
+
+class BlockSetModel : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BlockSetModel, MatchesReferenceSetOverRandomOps) {
+  const std::uint32_t universe = GetParam();
+  Rng rng(0xB10C'0000 + universe);
+  BlockSet sut(universe);
+  std::set<BlockId> model;
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint32_t op = rng.below(100);
+    const BlockId b = rng.below(universe);
+    if (op < 45) {
+      EXPECT_EQ(sut.insert(b), model.insert(b).second);
+    } else if (op < 70) {
+      EXPECT_EQ(sut.erase(b), model.erase(b) > 0);
+    } else if (op < 72) {
+      sut.clear();
+      model.clear();
+    } else if (op < 74) {
+      sut.fill();
+      model.clear();
+      for (BlockId x = 0; x < universe; ++x) model.insert(x);
+    } else if (op < 85) {
+      EXPECT_EQ(sut.contains(b), model.count(b) > 0);
+    } else {
+      // Aggregate queries.
+      ASSERT_EQ(sut.count(), model.size());
+      EXPECT_EQ(sut.empty(), model.empty());
+      EXPECT_EQ(sut.full(), model.size() == universe);
+      EXPECT_EQ(sut.min(), model.empty() ? kNoBlock : *model.begin());
+      EXPECT_EQ(sut.max(), model.empty() ? kNoBlock : *model.rbegin());
+      BlockId first_missing = kNoBlock;
+      for (BlockId x = 0; x < universe; ++x) {
+        if (model.count(x) == 0) {
+          first_missing = x;
+          break;
+        }
+      }
+      EXPECT_EQ(sut.first_missing(), first_missing);
+    }
+  }
+  // Final full comparison.
+  const std::vector<BlockId> got = sut.to_vector();
+  const std::vector<BlockId> want(model.begin(), model.end());
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, BlockSetModel,
+                         ::testing::Values(1u, 7u, 63u, 64u, 65u, 127u, 128u, 129u,
+                                           500u, 1000u));
+
+class BlockSetPairModel : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BlockSetPairModel, SetAlgebraMatchesReference) {
+  const std::uint32_t universe = GetParam();
+  Rng rng(0xB10C'1111 + universe);
+  for (int trial = 0; trial < 50; ++trial) {
+    BlockSet a(universe), b(universe), excl(universe);
+    std::set<BlockId> ma, mb, mx;
+    for (std::uint32_t i = 0; i < universe; ++i) {
+      if (rng.chance(0.4)) {
+        a.insert(i);
+        ma.insert(i);
+      }
+      if (rng.chance(0.4)) {
+        b.insert(i);
+        mb.insert(i);
+      }
+      if (rng.chance(0.2)) {
+        excl.insert(i);
+        mx.insert(i);
+      }
+    }
+    // Reference a \ b and a \ b \ excl.
+    std::set<BlockId> diff, diff_ex;
+    for (const BlockId x : ma) {
+      if (mb.count(x) == 0) {
+        diff.insert(x);
+        if (mx.count(x) == 0) diff_ex.insert(x);
+      }
+    }
+    EXPECT_EQ(a.has_block_missing_from(b), !diff.empty());
+    EXPECT_EQ(a.count_missing_from(b), diff.size());
+    EXPECT_EQ(a.max_missing_from(b), diff.empty() ? kNoBlock : *diff.rbegin());
+    EXPECT_EQ(a.has_useful(b, &excl), !diff_ex.empty());
+    const BlockId pick = a.pick_random_useful(b, &excl, rng);
+    if (diff_ex.empty()) {
+      EXPECT_EQ(pick, kNoBlock);
+    } else {
+      EXPECT_TRUE(diff_ex.count(pick) > 0);
+    }
+    // covers_complement_of: excl covers ~a iff every non-member of a is in excl.
+    bool covers = true;
+    for (BlockId x = 0; x < universe; ++x) {
+      if (ma.count(x) == 0 && mx.count(x) == 0) {
+        covers = false;
+        break;
+      }
+    }
+    EXPECT_EQ(excl.covers_complement_of(a), covers);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, BlockSetPairModel,
+                         ::testing::Values(3u, 64u, 65u, 200u));
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,136 @@
+// Broad cross-product sweep: every randomized algorithm configuration
+// (overlay family x block policy x download capacity) must complete within
+// the generous envelope and never beat Theorem 1 — dozens of engine-validated
+// end-to-end runs per build.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/overlay/builders.h"
+#include "pob/rand/randomized.h"
+#include "pob/rand/tit_for_tat.h"
+
+namespace pob {
+namespace {
+
+enum class OverlayKind { kComplete, kRegular8, kRegular16, kHypercube };
+
+const char* name_of(OverlayKind o) {
+  switch (o) {
+    case OverlayKind::kComplete:
+      return "complete";
+    case OverlayKind::kRegular8:
+      return "regular8";
+    case OverlayKind::kRegular16:
+      return "regular16";
+    case OverlayKind::kHypercube:
+      return "hypercube";
+  }
+  return "?";
+}
+
+std::shared_ptr<const Overlay> build(OverlayKind o, std::uint32_t n, Rng& rng) {
+  switch (o) {
+    case OverlayKind::kComplete:
+      return std::make_shared<CompleteOverlay>(n);
+    case OverlayKind::kRegular8:
+      return std::make_shared<GraphOverlay>(make_random_regular(n, 8, rng));
+    case OverlayKind::kRegular16:
+      return std::make_shared<GraphOverlay>(make_random_regular(n, 16, rng));
+    case OverlayKind::kHypercube:
+      return std::make_shared<GraphOverlay>(make_hypercube_overlay(n));
+  }
+  return nullptr;
+}
+
+class RandomizedCrossProduct
+    : public ::testing::TestWithParam<
+          std::tuple<OverlayKind, BlockPolicy, std::uint32_t>> {};
+
+TEST_P(RandomizedCrossProduct, CompletesWithinEnvelope) {
+  const auto [overlay_kind, policy, download] = GetParam();
+  const std::uint32_t n = 80, k = 60;
+  Rng graph_rng(0xCB07 + static_cast<std::uint64_t>(overlay_kind) * 131 +
+                static_cast<std::uint64_t>(policy) * 17 + download);
+  RandomizedOptions opt;
+  opt.policy = policy;
+  opt.download_capacity = download;
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.download_capacity = download;
+  RandomizedScheduler sched(build(overlay_kind, n, graph_rng), opt,
+                            Rng(0xCB08 + download));
+  const RunResult r = run(cfg, sched);
+  ASSERT_TRUE(r.completed) << name_of(overlay_kind) << "/" << to_string(policy)
+                           << "/d=" << download;
+  EXPECT_GE(r.completion_tick, cooperative_lower_bound(n, k));
+  EXPECT_LE(r.completion_tick, 4 * cooperative_lower_bound(n, k) + 40)
+      << name_of(overlay_kind) << "/" << to_string(policy) << "/d=" << download;
+  // Invariant: no wasted deliveries in the block model.
+  EXPECT_EQ(r.total_transfers, static_cast<std::uint64_t>(n - 1) * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomizedCrossProduct,
+    ::testing::Combine(::testing::Values(OverlayKind::kComplete, OverlayKind::kRegular8,
+                                         OverlayKind::kRegular16,
+                                         OverlayKind::kHypercube),
+                       ::testing::Values(BlockPolicy::kRandom,
+                                         BlockPolicy::kRarestFirst),
+                       ::testing::Values(1u, 2u, kUnlimited)));
+
+class TitForTatCrossProduct
+    : public ::testing::TestWithParam<std::tuple<OverlayKind, std::uint32_t>> {};
+
+TEST_P(TitForTatCrossProduct, CompletesWithinEnvelope) {
+  const auto [overlay_kind, rechoke] = GetParam();
+  const std::uint32_t n = 64, k = 48;
+  Rng graph_rng(0xCB09 + static_cast<std::uint64_t>(overlay_kind) * 13 + rechoke);
+  TitForTatOptions opt;
+  opt.rechoke_period = rechoke;
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.max_ticks = 40 * cooperative_lower_bound(n, k);
+  TitForTatScheduler sched(build(overlay_kind, n, graph_rng), opt, Rng(0xCB0A + rechoke));
+  const RunResult r = run(cfg, sched);
+  ASSERT_TRUE(r.completed) << name_of(overlay_kind) << "/rechoke=" << rechoke;
+  EXPECT_EQ(r.total_transfers, static_cast<std::uint64_t>(n - 1) * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TitForTatCrossProduct,
+    ::testing::Combine(::testing::Values(OverlayKind::kComplete, OverlayKind::kRegular16,
+                                         OverlayKind::kHypercube),
+                       ::testing::Values(3u, 10u, 25u)));
+
+class BoundsConsistency
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(BoundsConsistency, TheoremOrderings) {
+  const auto [n, k] = GetParam();
+  // The bound lattice the paper implies, at every grid point.
+  EXPECT_LE(cooperative_lower_bound(n, k), pipeline_completion(n, k));
+  EXPECT_LE(cooperative_lower_bound(n, k), binomial_tree_completion(n, k));
+  EXPECT_LE(strict_barter_lower_bound_ramp(n, k),
+            strict_barter_lower_bound_equal_bw(n, k));
+  EXPECT_GE(strict_barter_lower_bound_equal_bw(n, k), cooperative_lower_bound(n, k));
+  EXPECT_GE(price_of_barter(n, k), 1.0);
+  for (const std::uint32_t m : {1u, 2u, 4u}) {
+    if (n > m + 1) {
+      EXPECT_LE(multi_server_estimate(n, k, m), cooperative_lower_bound(n, k) + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundsConsistency,
+    ::testing::Combine(::testing::Values(4u, 7u, 16u, 100u, 1000u, 4096u),
+                       ::testing::Values(1u, 2u, 10u, 100u, 10000u)));
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,166 @@
+// §2.4 randomized cooperative distribution: correctness (always completes,
+// engine-validated), near-optimality on the complete graph, insensitivity to
+// block policy and download capacity (§2.4.4), and overlay-degree behavior
+// (Figure 5's "near-optimal once degree is Θ(log n)").
+
+#include "pob/rand/randomized.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/overlay/builders.h"
+
+namespace pob {
+namespace {
+
+RunResult run_random(std::uint32_t n, std::uint32_t k, std::uint64_t seed,
+                     RandomizedOptions opt = {},
+                     std::shared_ptr<const Overlay> overlay = nullptr) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.upload_capacity = opt.upload_capacity;
+  cfg.download_capacity = opt.download_capacity;
+  if (overlay == nullptr) overlay = std::make_shared<CompleteOverlay>(n);
+  RandomizedScheduler sched(std::move(overlay), opt, Rng(seed));
+  return run(cfg, sched);
+}
+
+class RandomizedGrid
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>> {};
+
+TEST_P(RandomizedGrid, CompletesWithinModestOverhead) {
+  const auto [n, k, seed] = GetParam();
+  const RunResult r = run_random(n, k, seed);
+  ASSERT_TRUE(r.completed) << "n=" << n << " k=" << k << " seed=" << seed;
+  const Tick opt = cooperative_lower_bound(n, k);
+  EXPECT_GE(r.completion_tick, opt);
+  // §2.4.4's regression says ~1.01k + ~5.5 log n; x3 + slack is a safe
+  // regression-proof envelope that still catches gross breakage.
+  EXPECT_LE(r.completion_tick, 3 * opt + 40) << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RandomizedGrid,
+    ::testing::Combine(::testing::Values(4u, 10u, 33u, 100u),
+                       ::testing::Values(1u, 8u, 64u), ::testing::Values(1ull, 2ull)));
+
+TEST(Randomized, NearOptimalForLargeK) {
+  // Figure 4 regime: T grows like ~1.0 k for k >> log n.
+  const RunResult r = run_random(100, 500, 7);
+  ASSERT_TRUE(r.completed);
+  const Tick opt = cooperative_lower_bound(100, 500);
+  EXPECT_LT(static_cast<double>(r.completion_tick), 1.25 * static_cast<double>(opt));
+}
+
+TEST(Randomized, RarestFirstAlsoCompletes) {
+  RandomizedOptions opt;
+  opt.policy = BlockPolicy::kRarestFirst;
+  const RunResult r = run_random(64, 64, 11, opt);
+  ASSERT_TRUE(r.completed);
+  // §2.4.4: "no significant differences" vs Random in the cooperative case.
+  const RunResult base = run_random(64, 64, 11);
+  const double ratio = static_cast<double>(r.completion_tick) /
+                       static_cast<double>(base.completion_tick);
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST(Randomized, FiniteDownloadCapacityStillCompletes) {
+  for (const std::uint32_t d : {1u, 2u}) {
+    RandomizedOptions opt;
+    opt.download_capacity = d;
+    const RunResult r = run_random(50, 40, 13, opt);
+    ASSERT_TRUE(r.completed) << "d=" << d;
+  }
+}
+
+TEST(Randomized, UploadCapacityTwoRoughlyHalvesTime) {
+  RandomizedOptions fast;
+  fast.upload_capacity = 2;
+  fast.download_capacity = kUnlimited;
+  const RunResult two = run_random(64, 128, 17, fast);
+  const RunResult one = run_random(64, 128, 17);
+  ASSERT_TRUE(two.completed);
+  ASSERT_TRUE(one.completed);
+  EXPECT_LT(2 * two.completion_tick, 3 * one.completion_tick);  // < 1.5x of half
+}
+
+TEST(Randomized, WorksOnSparseOverlays) {
+  Rng grng(23);
+  for (const std::uint32_t d : {4u, 8u, 16u}) {
+    auto ov = std::make_shared<GraphOverlay>(make_random_regular(64, d, grng));
+    const RunResult r = run_random(64, 32, 29, {}, ov);
+    ASSERT_TRUE(r.completed) << "degree " << d;
+  }
+}
+
+TEST(Randomized, HigherDegreeHelpsOnAverage) {
+  // Figure 5 shape on a small instance: degree 4 vs degree 24 regular
+  // overlays, 5 seeds each.
+  Rng grng(31);
+  double t_low = 0, t_high = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto low = std::make_shared<GraphOverlay>(make_random_regular(128, 4, grng));
+    auto high = std::make_shared<GraphOverlay>(make_random_regular(128, 24, grng));
+    t_low += static_cast<double>(run_random(128, 64, 100 + seed, {}, low).completion_tick);
+    t_high +=
+        static_cast<double>(run_random(128, 64, 100 + seed, {}, high).completion_tick);
+  }
+  EXPECT_LT(t_high, t_low);
+}
+
+TEST(Randomized, RingOverlayDegeneratesTowardPipeline) {
+  auto ring = std::make_shared<GraphOverlay>(make_ring(32));
+  const RunResult r = run_random(32, 16, 37, {}, ring);
+  ASSERT_TRUE(r.completed);
+  // On a ring, blocks spread at most 2 hops/tick; T must far exceed the
+  // complete-graph optimum.
+  EXPECT_GT(r.completion_tick, cooperative_lower_bound(32, 16) + 8);
+}
+
+TEST(Randomized, ExactScanMatchesCappedScanClosely) {
+  RandomizedOptions exact;
+  exact.max_scan = 0;
+  const RunResult a = run_random(128, 128, 41, exact);
+  const RunResult b = run_random(128, 128, 41);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  const double ratio =
+      static_cast<double>(a.completion_tick) / static_cast<double>(b.completion_tick);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST(Randomized, DeterministicGivenSeed) {
+  const RunResult a = run_random(40, 30, 43);
+  const RunResult b = run_random(40, 30, 43);
+  EXPECT_EQ(a.completion_tick, b.completion_tick);
+  EXPECT_EQ(a.total_transfers, b.total_transfers);
+}
+
+TEST(Randomized, RejectsBadConstruction) {
+  EXPECT_THROW(RandomizedScheduler(nullptr, {}, Rng(1)), std::invalid_argument);
+  RandomizedOptions bad;
+  bad.upload_capacity = 0;
+  EXPECT_THROW(RandomizedScheduler(std::make_shared<CompleteOverlay>(4), bad, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Randomized, SetOverlayValidatesSize) {
+  RandomizedScheduler sched(std::make_shared<CompleteOverlay>(8), {}, Rng(1));
+  EXPECT_THROW(sched.set_overlay(std::make_shared<CompleteOverlay>(9)),
+               std::invalid_argument);
+  EXPECT_THROW(sched.set_overlay(nullptr), std::invalid_argument);
+  sched.set_overlay(std::make_shared<CompleteOverlay>(8));
+}
+
+TEST(Randomized, BlockPolicyToString) {
+  EXPECT_STREQ(to_string(BlockPolicy::kRandom), "random");
+  EXPECT_STREQ(to_string(BlockPolicy::kRarestFirst), "rarest-first");
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,146 @@
+// The paper's central claim (§2.3): the binomial pipeline meets Theorem 1's
+// lower bound k - 1 + ceil(log2 n) exactly, for every n, under upload =
+// download = 1 block/tick.
+
+#include "pob/sched/binomial_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/mech/barter.h"
+
+namespace pob {
+namespace {
+
+RunResult run_pipeline(std::uint32_t n, std::uint32_t k, Mechanism* mech = nullptr,
+                       std::uint32_t download_capacity = 1) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.upload_capacity = 1;
+  cfg.download_capacity = download_capacity;
+  BinomialPipelineScheduler sched(n, k);
+  return run(cfg, sched, mech);
+}
+
+TEST(BinomialPipeline, TinyPowerOfTwoMatchesHandTrace) {
+  // n = 4, k = 3: the §2.3.2 rules finish in k + m - 1 = 4 ticks.
+  const RunResult r = run_pipeline(4, 3);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, 4u);
+}
+
+TEST(BinomialPipeline, SingleBlockIsBinomialTree) {
+  for (const std::uint32_t n : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    const RunResult r = run_pipeline(n, 1);
+    ASSERT_TRUE(r.completed) << "n=" << n;
+    EXPECT_EQ(r.completion_tick, ceil_log2(n)) << "n=" << n;
+  }
+}
+
+class BinomialPipelineOptimality
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(BinomialPipelineOptimality, MeetsTheorem1Bound) {
+  const auto [n, k] = GetParam();
+  const RunResult r = run_pipeline(n, k);
+  ASSERT_TRUE(r.completed) << "n=" << n << " k=" << k;
+  EXPECT_EQ(r.completion_tick, cooperative_lower_bound(n, k)) << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowersOfTwo, BinomialPipelineOptimality,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u),
+                       ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u, 33u, 100u)));
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneralN, BinomialPipelineOptimality,
+    ::testing::Combine(::testing::Values(3u, 5u, 6u, 7u, 9u, 11u, 13u, 20u, 31u, 33u,
+                                         47u, 63u, 65u, 100u, 127u, 200u, 255u, 257u),
+                       ::testing::Values(1u, 2u, 4u, 7u, 16u, 50u)));
+
+TEST(BinomialPipeline, AllClientsFinishSimultaneouslyWhenKAtLeastLogN) {
+  // §2.3.4 "Individual Completion Times": with k >= log2 n every node
+  // finishes on the same tick (power-of-two case).
+  for (const std::uint32_t n : {8u, 32u, 128u}) {
+    const std::uint32_t k = ceil_log2(n) + 3;
+    const RunResult r = run_pipeline(n, k);
+    ASSERT_TRUE(r.completed);
+    for (const Tick t : r.client_completion) {
+      EXPECT_EQ(t, r.completion_tick) << "n=" << n;
+    }
+  }
+}
+
+TEST(BinomialPipeline, PowerOfTwoObeysCreditLimitOne) {
+  // §3.2.2: for n = 2^m the hypercube algorithm satisfies credit-limited
+  // barter with s = 1 — one free block in the opening, symmetric exchanges
+  // afterwards.
+  for (const std::uint32_t n : {4u, 8u, 16u, 32u, 64u}) {
+    CreditLimited mech(1);
+    const RunResult r = run_pipeline(n, 12, &mech);
+    ASSERT_TRUE(r.completed) << "n=" << n;
+    EXPECT_EQ(r.completion_tick, cooperative_lower_bound(n, 12)) << "n=" << n;
+  }
+}
+
+TEST(BinomialPipeline, RunsUnderUnitDownloadCapacity) {
+  // The schedule never asks any node to download more than one block per
+  // tick, even with doubled vertices.
+  for (const std::uint32_t n : {6u, 11u, 24u, 100u}) {
+    const RunResult r = run_pipeline(n, 9, nullptr, /*download_capacity=*/1);
+    ASSERT_TRUE(r.completed) << "n=" << n;
+  }
+}
+
+TEST(BinomialPipeline, OpeningDoublesLikeFigureOne) {
+  // §2.3.1 opening: during tick t <= m, the number of transfers is 2^(t-1)
+  // (the binomial-tree doubling of Figure 1), and after m ticks every node
+  // holds exactly one block.
+  const std::uint32_t n = 16, k = 8, m = 4;
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.record_trace = true;
+  BinomialPipelineScheduler sched(n, k);
+  SwarmState probe(n, k);
+  // Replay the opening manually tick by tick against a private state.
+  for (Tick t = 1; t <= m; ++t) {
+    std::vector<Transfer> tick;
+    sched.plan_tick(t, probe, tick);
+    EXPECT_EQ(tick.size(), 1u << (t - 1)) << "tick " << t;
+    for (const Transfer& tr : tick) probe.add_block(tr.to, tr.block, t);
+  }
+  for (NodeId c = 1; c < n; ++c) {
+    EXPECT_EQ(probe.blocks_of(c).count(), 1u) << "client " << c;
+  }
+  // Group sizes after the opening: block b_i held by 2^(m-i-1) clients
+  // (plus the server holding everything), §2.3.1's G_1..G_m partition.
+  const auto freq = probe.block_frequency();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    EXPECT_EQ(freq[i] - 1, 1u << (m - i - 1)) << "block " << i;
+  }
+}
+
+TEST(BinomialPipeline, HypercubeDegreeMatchesLowerBound) {
+  // §2.3.2: "no optimal algorithm can operate on an overlay network with
+  // degree less than log2 n", and the hypercube meets it exactly.
+  for (const std::uint32_t n : {8u, 16u, 64u, 256u}) {
+    const Graph g = make_hypercube_overlay(n);
+    EXPECT_EQ(g.max_degree(), floor_log2(n)) << n;
+    EXPECT_EQ(g.min_degree(), floor_log2(n)) << n;
+  }
+}
+
+TEST(BinomialPipeline, RejectsDegenerateInputs) {
+  EXPECT_THROW(BinomialPipelineScheduler(std::vector<NodeId>{0}, {0}),
+               std::invalid_argument);
+  EXPECT_THROW(BinomialPipelineScheduler({0, 1}, std::vector<BlockId>{}),
+               std::invalid_argument);
+  EXPECT_THROW(BinomialPipelineScheduler({0, 1}, {3, 1}), std::invalid_argument);
+  EXPECT_THROW(BinomialPipelineScheduler({0, 1}, {2, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pob

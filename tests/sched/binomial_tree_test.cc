@@ -1,0 +1,61 @@
+#include "pob/sched/binomial_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/core/engine.h"
+#include "pob/overlay/builders.h"
+
+namespace pob {
+namespace {
+
+RunResult run_binomial(std::uint32_t n, std::uint32_t k) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.download_capacity = 1;
+  BinomialTreeScheduler sched(n, k);
+  return run(cfg, sched);
+}
+
+TEST(BinomialTree, SingleBlockIsOptimal) {
+  // §2.2.3: for k = 1 the binomial tree completes in ceil(log2 n) ticks,
+  // which is optimal.
+  for (const std::uint32_t n : {2u, 3u, 4u, 7u, 8u, 9u, 100u, 128u, 1000u}) {
+    const RunResult r = run_binomial(n, 1);
+    ASSERT_TRUE(r.completed) << n;
+    EXPECT_EQ(r.completion_tick, ceil_log2(n)) << n;
+  }
+}
+
+class BinomialTreeGrid
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(BinomialTreeGrid, BlockAtATimeIsKTimesLogN) {
+  const auto [n, k] = GetParam();
+  const RunResult r = run_binomial(n, k);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, BinomialTreeScheduler::completion_time(n, k));
+  EXPECT_EQ(r.completion_tick, k * ceil_log2(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BinomialTreeGrid,
+                         ::testing::Combine(::testing::Values(2u, 5u, 8u, 16u, 33u, 100u),
+                                            ::testing::Values(1u, 2u, 7u, 20u)));
+
+TEST(BinomialTree, HoldersDoublePerTick) {
+  EngineConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.num_blocks = 1;
+  cfg.record_trace = true;
+  BinomialTreeScheduler sched(16, 1);
+  const RunResult r = run(cfg, sched);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.trace.size(), 4u);
+  // Tick t sees 2^(t-1) transfers: 1, 2, 4, 8.
+  for (Tick t = 1; t <= 4; ++t) {
+    EXPECT_EQ(r.trace[t - 1].size(), 1u << (t - 1)) << "tick " << t;
+  }
+}
+
+}  // namespace
+}  // namespace pob

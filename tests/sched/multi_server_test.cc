@@ -1,0 +1,62 @@
+#include "pob/sched/multi_server.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+
+namespace pob {
+namespace {
+
+RunResult run_multi(std::uint32_t n, std::uint32_t k, std::uint32_t m) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.server_upload_capacity = m;  // §2.3.4: server bandwidth m*u
+  cfg.download_capacity = 1;
+  MultiServerScheduler sched(n, k, m);
+  return run(cfg, sched);
+}
+
+class MultiServerGrid
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> {};
+
+TEST_P(MultiServerGrid, MatchesPerGroupOptimum) {
+  const auto [n, k, m] = GetParam();
+  const RunResult r = run_multi(n, k, m);
+  ASSERT_TRUE(r.completed) << "n=" << n << " k=" << k << " m=" << m;
+  EXPECT_EQ(r.completion_tick, multi_server_estimate(n, k, m))
+      << "n=" << n << " k=" << k << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultiServerGrid,
+    ::testing::Combine(::testing::Values(9u, 17u, 33u, 64u, 100u),
+                       ::testing::Values(4u, 10u, 32u), ::testing::Values(1u, 2u, 4u)));
+
+TEST(MultiServer, OneGroupEqualsPlainBinomialPipeline) {
+  const RunResult r = run_multi(32, 10, 1);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, cooperative_lower_bound(32, 10));
+}
+
+TEST(MultiServer, MoreVirtualServersNeverSlower) {
+  Tick prev = 0;
+  for (const std::uint32_t m : {1u, 2u, 4u}) {
+    const RunResult r = run_multi(65, 16, m);
+    ASSERT_TRUE(r.completed);
+    if (prev != 0) {
+      EXPECT_LE(r.completion_tick, prev);
+    }
+    prev = r.completion_tick;
+  }
+}
+
+TEST(MultiServer, RejectsBadGrouping) {
+  EXPECT_THROW(MultiServerScheduler(3, 4, 0), std::invalid_argument);
+  EXPECT_THROW(MultiServerScheduler(3, 4, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,75 @@
+#include "pob/sched/multicast_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+
+namespace pob {
+namespace {
+
+RunResult run_tree(std::uint32_t n, std::uint32_t k, std::uint32_t d) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.download_capacity = 1;
+  MulticastTreeScheduler sched(n, k, d);
+  return run(cfg, sched);
+}
+
+TEST(MulticastTree, ChainEqualsPipeline) {
+  // Arity 1 degenerates to the pipeline: T = k + n - 2.
+  const RunResult r = run_tree(6, 4, 1);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, 4u + 6u - 2u);
+}
+
+TEST(MulticastTree, BinaryTreeSmallCase) {
+  // n = 3 (root + 2 children), k = 2, d = 2: root sends b0 to c1 (t1), b0 to
+  // c2 (t2), b1 to c1 (t3), b1 to c2 (t4).
+  const RunResult r = run_tree(3, 2, 2);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, 4u);
+}
+
+class MulticastGrid
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> {};
+
+TEST_P(MulticastGrid, CompletesNearTheoreticalEstimate) {
+  const auto [n, k, d] = GetParam();
+  const RunResult r = run_tree(n, k, d);
+  ASSERT_TRUE(r.completed) << "n=" << n << " k=" << k << " d=" << d;
+  const Tick estimate = multicast_tree_estimate(n, k, d);
+  // The estimate assumes a full tree; the schedule can only be faster when
+  // the last level is ragged, and never slower.
+  EXPECT_LE(r.completion_tick, estimate) << "n=" << n << " k=" << k << " d=" << d;
+  EXPECT_GE(r.completion_tick, cooperative_lower_bound(n, k));
+  // The d-ary tree pays roughly a factor-d penalty on the k term.
+  EXPECT_GE(r.completion_tick, d * (k - 1) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MulticastGrid,
+    ::testing::Combine(::testing::Values(7u, 15u, 31u, 40u, 121u),
+                       ::testing::Values(1u, 4u, 16u), ::testing::Values(2u, 3u)));
+
+TEST(MulticastTree, FullBinaryTreeMatchesClosedForm) {
+  // Perfect binary tree n = 2^(h+1) - 1: last block leaves the root at tick
+  // d*k, then takes d per level for the remaining h - 1 levels.
+  for (const std::uint32_t h : {2u, 3u, 4u}) {
+    const std::uint32_t n = (1u << (h + 1)) - 1;
+    const std::uint32_t k = 5;
+    const RunResult r = run_tree(n, k, 2);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.completion_tick, 2 * k + 2 * (h - 1)) << "h=" << h;
+  }
+}
+
+TEST(MulticastTree, RejectsBadArity) {
+  EXPECT_THROW(MulticastTreeScheduler(4, 2, 0), std::invalid_argument);
+  EXPECT_THROW(MulticastTreeScheduler(1, 2, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,53 @@
+#include "pob/sched/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/core/engine.h"
+
+namespace pob {
+namespace {
+
+RunResult run_pipe(std::uint32_t n, std::uint32_t k) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.download_capacity = 1;
+  PipelineScheduler sched(n, k);
+  return run(cfg, sched);
+}
+
+class PipelineFormula
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(PipelineFormula, CompletesInKPlusNMinus2) {
+  const auto [n, k] = GetParam();
+  const RunResult r = run_pipe(n, k);
+  ASSERT_TRUE(r.completed) << "n=" << n << " k=" << k;
+  EXPECT_EQ(r.completion_tick, PipelineScheduler::completion_time(n, k));
+  EXPECT_EQ(r.completion_tick, k + n - 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PipelineFormula,
+                         ::testing::Combine(::testing::Values(2u, 3u, 5u, 10u, 64u, 100u),
+                                            ::testing::Values(1u, 2u, 8u, 50u)));
+
+TEST(Pipeline, ClientsFinishInChainOrder) {
+  const RunResult r = run_pipe(5, 3);
+  ASSERT_TRUE(r.completed);
+  // Client i finishes at k - 1 + i.
+  EXPECT_EQ(r.client_completion, (std::vector<Tick>{3, 4, 5, 6}));
+}
+
+TEST(Pipeline, TransfersEveryTickUntilDone) {
+  const RunResult r = run_pipe(4, 4);
+  ASSERT_TRUE(r.completed);
+  // Total blocks delivered = (n - 1) * k.
+  EXPECT_EQ(r.total_transfers, 3u * 4u);
+}
+
+TEST(Pipeline, RejectsTooFewNodes) {
+  EXPECT_THROW(PipelineScheduler(1, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,127 @@
+// §3.1.3 Riffle Pipeline: strict-barter compliance is machine-checked by the
+// engine, and completion times track Theorem 2's n + k - 2 lower bound.
+
+#include "pob/sched/riffle_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/mech/barter.h"
+
+namespace pob {
+namespace {
+
+RunResult run_riffle(std::uint32_t n, std::uint32_t k, std::uint32_t download_capacity = 2) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.upload_capacity = 1;
+  cfg.download_capacity = download_capacity;
+  RifflePipelineScheduler sched(n, k, 1, download_capacity);
+  StrictBarter mech;
+  return run(cfg, sched, &mech);
+}
+
+TEST(RifflePipeline, SingleCycleCompletesInTwoNMinusThree) {
+  // k = n - 1: the paper's worked example completes at tick 2n - 3.
+  for (const std::uint32_t n : {3u, 4u, 5u, 8u, 16u, 33u, 64u}) {
+    const std::uint32_t k = n - 1;
+    const RunResult r = run_riffle(n, k);
+    ASSERT_TRUE(r.completed) << "n=" << n;
+    EXPECT_EQ(r.completion_tick, 2 * n - 3) << "n=" << n;
+  }
+}
+
+TEST(RifflePipeline, MultipleOfCycleMeetsTheorem2Bound) {
+  // k = c * (n - 1) with d = 2u: completion matches n + k - 2 exactly.
+  for (const std::uint32_t n : {4u, 7u, 12u, 20u}) {
+    for (const std::uint32_t c : {2u, 3u, 5u}) {
+      const std::uint32_t k = c * (n - 1);
+      const RunResult r = run_riffle(n, k);
+      ASSERT_TRUE(r.completed) << "n=" << n << " k=" << k;
+      EXPECT_EQ(r.completion_tick, strict_barter_lower_bound_equal_bw(n, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+class RiffleGeneral
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(RiffleGeneral, CompletesUnderStrictBarterNearBound) {
+  const auto [n, k] = GetParam();
+  const RunResult r = run_riffle(n, k);
+  ASSERT_TRUE(r.completed) << "n=" << n << " k=" << k;
+  // Theorem 2's d >= 2u capability-ramp bound always applies...
+  EXPECT_GE(r.completion_tick, strict_barter_lower_bound_ramp(n, k))
+      << "n=" << n << " k=" << k;
+  // ...and Theorem 3 flavor: within k + 2n of optimal even for ragged k.
+  EXPECT_LE(r.completion_tick, k + 2 * n) << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RiffleGeneral,
+    ::testing::Combine(::testing::Values(3u, 5u, 9u, 16u, 30u),
+                       ::testing::Values(1u, 2u, 3u, 7u, 15u, 40u, 101u)));
+
+TEST(RifflePipeline, ClientOneFinishesFirstAtTickN) {
+  // §3.1.3's worked example: with k = n - 1, "after n ticks, client C_1
+  // obtains all the blocks", and each later client trails by one tick
+  // (except the final pair, which finish together at 2n - 3).
+  const std::uint32_t n = 12, k = 11;
+  const RunResult r = run_riffle(n, k);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.client_completion[0], n);  // C_1
+  for (NodeId c = 1; c + 2 < n - 1; ++c) {
+    EXPECT_EQ(r.client_completion[c], n + c) << "client " << c + 1;
+  }
+  EXPECT_EQ(r.client_completion[n - 3], 2 * n - 3);
+  EXPECT_EQ(r.client_completion[n - 2], 2 * n - 3);
+}
+
+TEST(RifflePipeline, EveryClientUploadsExactlyKBlocksInFullCycles) {
+  // Barter symmetry: in the k = n - 1 riffle every client gives exactly as
+  // much as it takes (minus the server-provided seed block).
+  const std::uint32_t n = 10, k = 9;
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.download_capacity = 2;
+  RifflePipelineScheduler sched(n, k, 1, 2);
+  const RunResult r = run(cfg, sched);
+  ASSERT_TRUE(r.completed);
+  for (NodeId c = 1; c < n; ++c) {
+    EXPECT_EQ(r.uploads_per_node[c], k - 1) << "client " << c;
+  }
+  EXPECT_EQ(r.uploads_per_node[kServer], k);
+}
+
+TEST(RifflePipeline, WorksWithUnitDownloadCapacityAtACost) {
+  // d = u forces server hand-offs and barter to serialize; the run must
+  // still complete and strict barter still holds.
+  const RunResult r = run_riffle(8, 21, /*download_capacity=*/1);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(r.completion_tick, strict_barter_lower_bound_equal_bw(8, 21));
+}
+
+TEST(RifflePipeline, TwoNodesDegenerateToServerStreaming) {
+  const RunResult r = run_riffle(2, 5);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, 5u);
+}
+
+TEST(RifflePipeline, ScheduleLengthMatchesEngineCompletion) {
+  RifflePipelineScheduler sched(10, 27, 1, 2);
+  EngineConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.num_blocks = 27;
+  cfg.download_capacity = 2;
+  StrictBarter mech;
+  const RunResult r = run(cfg, sched, &mech);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, sched.schedule_length());
+}
+
+}  // namespace
+}  // namespace pob

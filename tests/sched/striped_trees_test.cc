@@ -1,0 +1,82 @@
+#include "pob/sched/striped_trees.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/core/metrics.h"
+#include "pob/overlay/builders.h"
+
+namespace pob {
+namespace {
+
+RunResult run_striped(std::uint32_t n, std::uint32_t k, std::uint32_t stripes) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  // A node is a leaf in stripes-1 trees and interior in one: inbound
+  // bandwidth must cover concurrent stripes (the SplitStream assumption).
+  cfg.download_capacity = stripes;
+  StripedTreesScheduler sched(n, k, stripes);
+  return run(cfg, sched);
+}
+
+TEST(StripedTrees, OneStripeIsASingleTree) {
+  const RunResult r = run_striped(8, 8, 1);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(r.completion_tick, cooperative_lower_bound(8, 8));
+}
+
+class StripedGrid
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> {};
+
+TEST_P(StripedGrid, CompletesWithBoundedOverhead) {
+  const auto [n, k, stripes] = GetParam();
+  const RunResult r = run_striped(n, k, stripes);
+  ASSERT_TRUE(r.completed) << "n=" << n << " k=" << k << " s=" << stripes;
+  EXPECT_GE(r.completion_tick, cooperative_lower_bound(n, k));
+  // SplitStream-flavor bound: interior nodes make up to 2 children + ~s-1
+  // leaf sends per stripe block, so the per-block serialization overhead is
+  // bounded by ~2/stripes on top of k, plus depth terms.
+  const double budget = static_cast<double>(k) * (1.0 + 2.0 / stripes) +
+                        8.0 * stripes * (ceil_log2(n) + 2.0) + 16.0;
+  EXPECT_LE(static_cast<double>(r.completion_tick), budget)
+      << "n=" << n << " k=" << k << " s=" << stripes;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StripedGrid,
+    ::testing::Combine(::testing::Values(16u, 33u, 64u, 100u),
+                       ::testing::Values(16u, 64u, 256u), ::testing::Values(2u, 4u, 8u)));
+
+TEST(StripedTrees, InteriorLoadIsBalanced) {
+  // SplitStream's selling point: every client is interior in exactly one
+  // stripe, so upload load is spread across all clients.
+  const RunResult r = run_striped(64, 256, 4);
+  ASSERT_TRUE(r.completed);
+  const FairnessSummary f = upload_fairness(r);
+  EXPECT_GT(f.mean, 0.0);
+  // No client should idle completely, and nobody should do the bulk alone.
+  EXPECT_GT(f.min, 0.0);
+  EXPECT_LT(f.gini, 0.5);
+}
+
+TEST(StripedTrees, MoreStripesImproveThroughputRegime) {
+  // For k >> log n the k*(1 + 1/stripes) term dominates: more stripes means
+  // less serialization at the interior nodes.
+  const RunResult two = run_striped(64, 512, 2);
+  const RunResult eight = run_striped(64, 512, 8);
+  ASSERT_TRUE(two.completed);
+  ASSERT_TRUE(eight.completed);
+  EXPECT_LT(eight.completion_tick, two.completion_tick);
+}
+
+TEST(StripedTrees, RejectsBadParameters) {
+  EXPECT_THROW(StripedTreesScheduler(1, 4, 1), std::invalid_argument);
+  EXPECT_THROW(StripedTreesScheduler(4, 4, 0), std::invalid_argument);
+  EXPECT_THROW(StripedTreesScheduler(4, 4, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pob

@@ -1,0 +1,259 @@
+// pobsim — run any algorithm / overlay / mechanism combination from the
+// command line.
+//
+//   pobsim --algo=binomial-pipeline --n=64 --k=32
+//   pobsim --algo=randomized --overlay=regular --degree=20 --n=1000 --k=1000
+//          --policy=rarest --runs=5
+//   pobsim --algo=credit-randomized --overlay=regular --degree=80 --credit=1
+//          --n=1000 --k=1000
+//   pobsim --algo=riffle --mechanism=strict --n=100 --k=99 --download=2
+//
+// Flags:
+//   --algo       pipeline | tree | binomial-tree | binomial-pipeline |
+//                multi-server | riffle | randomized | credit-randomized |
+//                rotating | tit-for-tat | striped-trees
+//   --overlay    complete | regular | hypercube | ring | karytree  (randomized only)
+//   --mechanism  none | strict | credit | triangular | cyclic
+//   --n --k --degree --arity --credit --cycle-len --policy --upload --download
+//   --servers (multi-server m) --period (rotation) --stripes --runs --seed --cap
+//   --leave-pct (random client departures in the first half, lossy mode)
+//   --fairness (print per-client upload-load stats)
+//   --save-trace=<file> (record run 0) --replay=<file> (validate a saved trace)
+//   --trace --csv
+
+#include <iostream>
+#include <memory>
+
+#include <fstream>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/core/metrics.h"
+#include "pob/exp/cli.h"
+#include "pob/exp/sweep.h"
+#include "pob/exp/table.h"
+#include "pob/exp/trace_io.h"
+#include "pob/mech/barter.h"
+#include "pob/overlay/builders.h"
+#include "pob/overlay/overlay.h"
+#include "pob/rand/randomized.h"
+#include "pob/rand/rotation.h"
+#include "pob/rand/tit_for_tat.h"
+#include "pob/sched/binomial_pipeline.h"
+#include "pob/sched/binomial_tree.h"
+#include "pob/sched/multi_server.h"
+#include "pob/sched/multicast_tree.h"
+#include "pob/sched/pipeline.h"
+#include "pob/sched/riffle_pipeline.h"
+#include "pob/sched/striped_trees.h"
+
+namespace pob {
+namespace {
+
+std::shared_ptr<const Overlay> make_overlay(const Args& args, std::uint32_t n,
+                                            Rng& rng) {
+  const std::string kind = args.get_string("overlay", "complete");
+  if (kind == "complete") return std::make_shared<CompleteOverlay>(n);
+  if (kind == "regular") {
+    const auto d = static_cast<std::uint32_t>(args.get_int("degree", 20));
+    return std::make_shared<GraphOverlay>(make_random_regular(n, d, rng));
+  }
+  if (kind == "hypercube") {
+    return std::make_shared<GraphOverlay>(make_hypercube_overlay(n));
+  }
+  if (kind == "ring") return std::make_shared<GraphOverlay>(make_ring(n));
+  if (kind == "karytree") {
+    const auto a = static_cast<std::uint32_t>(args.get_int("arity", 2));
+    return std::make_shared<GraphOverlay>(make_kary_tree(n, a));
+  }
+  throw std::invalid_argument("unknown overlay: " + kind);
+}
+
+std::unique_ptr<Mechanism> make_mechanism(const Args& args) {
+  const std::string kind = args.get_string("mechanism", "none");
+  const auto credit = static_cast<std::uint32_t>(args.get_int("credit", 1));
+  if (kind == "none") return nullptr;
+  if (kind == "strict") return std::make_unique<StrictBarter>();
+  if (kind == "credit") return std::make_unique<CreditLimited>(credit);
+  if (kind == "triangular") return std::make_unique<CyclicBarter>(3, credit);
+  if (kind == "cyclic") {
+    const auto len = static_cast<std::uint32_t>(args.get_int("cycle-len", 4));
+    return std::make_unique<CyclicBarter>(len, credit);
+  }
+  throw std::invalid_argument("unknown mechanism: " + kind);
+}
+
+BlockPolicy parse_policy(const Args& args) {
+  const std::string p = args.get_string("policy", "random");
+  if (p == "random") return BlockPolicy::kRandom;
+  if (p == "rarest" || p == "rarest-first") return BlockPolicy::kRarestFirst;
+  throw std::invalid_argument("unknown policy: " + p);
+}
+
+int main_impl(int argc, char** argv) {
+  const Args args(argc, argv);
+
+  if (args.has("replay")) {
+    std::ifstream in(args.get_string("replay", ""));
+    if (!in) throw std::invalid_argument("cannot open trace file");
+    const LoadedTrace trace = read_trace(in);
+    std::unique_ptr<Mechanism> mech = make_mechanism(args);
+    const RunResult r = replay_trace(trace, mech.get());
+    std::cout << "replayed " << trace.ticks.size() << " ticks: "
+              << (r.completed ? "completed at tick " + std::to_string(r.completion_tick)
+                              : "incomplete")
+              << " under mechanism '" << args.get_string("mechanism", "none") << "'\n";
+    return r.completed ? 0 : 1;
+  }
+
+  const std::string algo = args.get_string("algo", "binomial-pipeline");
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 64));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 32));
+  const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 1));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.upload_capacity = static_cast<std::uint32_t>(args.get_int("upload", 1));
+  cfg.download_capacity = args.has("download")
+                              ? static_cast<std::uint32_t>(args.get_int("download", 1))
+                              : kUnlimited;
+  cfg.max_ticks = static_cast<Tick>(args.get_int("cap", 0));
+  cfg.record_trace = args.has("trace") || args.has("save-trace");
+  if (args.has("stall-window")) {
+    cfg.stall_window = static_cast<Tick>(args.get_int("stall-window", 250));
+  }
+  if (args.has("leave-pct")) {
+    // Random departures in the first half of the nominal schedule.
+    const double fraction = args.get_double("leave-pct", 0.0) / 100.0;
+    Rng churn_rng(seed ^ 0xC4A0);
+    std::vector<NodeId> clients(n - 1);
+    for (NodeId c = 1; c < n; ++c) clients[c - 1] = c;
+    churn_rng.shuffle(clients);
+    const Tick horizon = (k + ceil_log2(n)) / 2 + 1;
+    const auto leavers = static_cast<std::uint32_t>(fraction * (n - 1));
+    for (std::uint32_t i = 0; i < leavers; ++i) {
+      cfg.departures.push_back({1 + churn_rng.below(horizon), clients[i]});
+    }
+    cfg.drop_transfers_involving_inactive = true;
+  }
+  if (algo == "multi-server") {
+    cfg.server_upload_capacity =
+        static_cast<std::uint32_t>(args.get_int("servers", 2));
+  }
+
+  RandomizedOptions opt;
+  opt.policy = parse_policy(args);
+  opt.upload_capacity = cfg.upload_capacity;
+  opt.download_capacity = cfg.download_capacity;
+
+  const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) -> TrialOutcome {
+    Rng run_rng(seed + i);
+    std::unique_ptr<Mechanism> mech = make_mechanism(args);
+    std::unique_ptr<Scheduler> sched;
+    if (algo == "pipeline") {
+      sched = std::make_unique<PipelineScheduler>(n, k);
+    } else if (algo == "tree") {
+      const auto a = static_cast<std::uint32_t>(args.get_int("arity", 2));
+      sched = std::make_unique<MulticastTreeScheduler>(n, k, a);
+    } else if (algo == "binomial-tree") {
+      sched = std::make_unique<BinomialTreeScheduler>(n, k);
+    } else if (algo == "binomial-pipeline") {
+      sched = std::make_unique<BinomialPipelineScheduler>(n, k);
+    } else if (algo == "multi-server") {
+      sched = std::make_unique<MultiServerScheduler>(
+          n, k, static_cast<std::uint32_t>(args.get_int("servers", 2)));
+    } else if (algo == "riffle") {
+      const std::uint32_t d = cfg.download_capacity == kUnlimited
+                                  ? 2u
+                                  : cfg.download_capacity;
+      sched = std::make_unique<RifflePipelineScheduler>(n, k, cfg.upload_capacity, d);
+    } else if (algo == "randomized") {
+      sched = std::make_unique<RandomizedScheduler>(make_overlay(args, n, run_rng),
+                                                    opt, run_rng.split(1));
+    } else if (algo == "credit-randomized") {
+      auto credit = std::make_unique<CreditLimited>(
+          static_cast<std::uint32_t>(args.get_int("credit", 1)));
+      sched = std::make_unique<RandomizedScheduler>(make_overlay(args, n, run_rng),
+                                                    opt, run_rng.split(1),
+                                                    credit.get());
+      mech = std::move(credit);
+    } else if (algo == "tit-for-tat") {
+      TitForTatOptions tft;
+      tft.policy = opt.policy;
+      tft.upload_capacity = opt.upload_capacity;
+      tft.download_capacity = opt.download_capacity;
+      sched = std::make_unique<TitForTatScheduler>(make_overlay(args, n, run_rng), tft,
+                                                   run_rng.split(1));
+    } else if (algo == "striped-trees") {
+      sched = std::make_unique<StripedTreesScheduler>(
+          n, k, static_cast<std::uint32_t>(args.get_int("stripes", 4)));
+    } else if (algo == "rotating") {
+      auto credit = std::make_unique<CreditLimited>(
+          static_cast<std::uint32_t>(args.get_int("credit", 1)));
+      sched = std::make_unique<RotatingRandomizedScheduler>(
+          n, static_cast<std::uint32_t>(args.get_int("degree", 8)),
+          static_cast<Tick>(args.get_int("period", 16)), opt, run_rng.split(1),
+          credit.get());
+      mech = std::move(credit);
+    } else {
+      throw std::invalid_argument("unknown algo: " + algo);
+    }
+
+    const RunResult r = run(cfg, *sched, mech.get());
+    if (args.has("save-trace") && i == 0) {
+      std::ofstream out(args.get_string("save-trace", ""));
+      if (!out) throw std::invalid_argument("cannot open trace output file");
+      write_trace(out, cfg, r);
+    }
+    if (args.has("fairness") && i == 0) {
+      const FairnessSummary f = upload_fairness(r);
+      std::cout << "fairness (clients): mean=" << fmt(f.mean, 1) << " min=" << fmt(f.min, 0)
+                << " max=" << fmt(f.max, 0) << " gini=" << fmt(f.gini, 3) << "\n";
+    }
+    if (args.has("trace") && i == 0) {
+      for (Tick t = 1; t <= r.trace.size(); ++t) {
+        std::cout << "tick " << t << ":";
+        for (const Transfer& tr : r.trace[t - 1]) {
+          std::cout << "  " << tr.from << "->" << tr.to << " b" << tr.block;
+        }
+        std::cout << "\n";
+      }
+    }
+    TrialOutcome out;
+    out.completed = r.completed;
+    if (r.completed) {
+      out.completion = static_cast<double>(r.completion_tick);
+      out.mean_completion = r.mean_client_completion();
+    }
+    return out;
+  });
+
+  Table table({"algo", "n", "k", "runs", "T", "mean-finish", "coop-bound"});
+  const double cap = cfg.max_ticks != 0
+                         ? static_cast<double>(cfg.max_ticks)
+                         : static_cast<double>(default_tick_cap(n, k));
+  table.add_row({algo, std::to_string(n), std::to_string(k), std::to_string(runs),
+                 completion_cell(stats, cap),
+                 stats.all_censored() ? "-" : fmt(stats.mean_completion.mean),
+                 std::to_string(cooperative_lower_bound(n, k))});
+  if (args.has("csv")) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pob
+
+int main(int argc, char** argv) {
+  try {
+    return pob::main_impl(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "pobsim: " << e.what() << "\n";
+    return 2;
+  }
+}
