@@ -23,6 +23,7 @@ std::vector<double> jittered_rates(std::uint32_t n, double jitter, Rng& rng) {
 
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
+  TrialRunner trials(args);
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 256));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 128));
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
@@ -31,8 +32,8 @@ int main_impl(int argc, char** argv) {
   const Tick optimal = cooperative_lower_bound(n, k);
   for (const double jitter : {0.0, 0.1, 0.5}) {
     for (const bool hypercube : {false, true}) {
-      const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
-        Rng rng(0xF16'E000 + static_cast<std::uint64_t>(jitter * 100) + i);
+      const TrialStats stats = trials(runs, [&](std::uint32_t i) {
+        Rng rng(trial_seed(0xF16'E000 + static_cast<std::uint64_t>(jitter * 100), i));
         AsyncConfig cfg;
         cfg.num_nodes = n;
         cfg.num_blocks = k;
@@ -61,6 +62,7 @@ int main_impl(int argc, char** argv) {
   std::cout << "# E14a: asynchronous (event-driven) runs with heterogeneous rates "
                "(n = " << n << ", k = " << k << ")\n";
   emit(args, table);
+  trials.report(std::cout);
   return 0;
 }
 

@@ -17,6 +17,7 @@ namespace {
 
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
+  TrialRunner trials(args);
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 500));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 500));
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
@@ -32,10 +33,10 @@ int main_impl(int argc, char** argv) {
       cfg.num_nodes = n;
       cfg.num_blocks = k;
       cfg.download_capacity = d;
-      const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
+      const TrialStats stats = trials(runs, [&](std::uint32_t i) {
         return randomized_trial(cfg, std::make_shared<CompleteOverlay>(n), opt,
-                                0xF16'D000 + 19ull * d +
-                                    (policy == BlockPolicy::kRandom ? 0 : 4096) + i);
+                                trial_seed(0xF16'D000 + 19ull * d +
+                                    (policy == BlockPolicy::kRandom ? 0 : 4096), i));
       });
       table.add_row({to_string(policy), d == kUnlimited ? "inf" : std::to_string(d),
                      fmt_ci(stats.completion.mean, stats.completion.ci95),
@@ -45,6 +46,7 @@ int main_impl(int argc, char** argv) {
   std::cout << "# E13: cooperative ablations (n = " << n << ", k = " << k
             << ", complete graph) — paper: no significant differences\n";
   emit(args, table);
+  trials.report(std::cout);
   return 0;
 }
 

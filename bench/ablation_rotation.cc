@@ -18,6 +18,7 @@ namespace {
 
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
+  TrialRunner trials(args);
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 500));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 500));
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
@@ -34,17 +35,17 @@ int main_impl(int argc, char** argv) {
   Table table({"overlay", "rotation-period", "T (mean +- 95% CI)", "optimal"});
   const Tick optimal = cooperative_lower_bound(n, k);
 
-  const TrialStats static_stats = repeat_trials(runs, [&](std::uint32_t i) {
-    return credit_trial(cfg, d, 1, {}, 0xF16'F000 + i);
+  const TrialStats static_stats = trials(runs, [&](std::uint32_t i) {
+    return credit_trial(cfg, d, 1, {}, trial_seed(0xF16'F000, i));
   });
   table.add_row({"static d=" + std::to_string(d), "-",
                  completion_cell(static_stats, static_cast<double>(cap)),
                  std::to_string(optimal)});
 
   for (const Tick period : {4u, 16u, 64u}) {
-    const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
+    const TrialStats stats = trials(runs, [&](std::uint32_t i) {
       CreditLimited mech(1);
-      RotatingRandomizedScheduler sched(n, d, period, {}, Rng(0xF16'F100 + 13ull * period + i),
+      RotatingRandomizedScheduler sched(n, d, period, {}, Rng(trial_seed(0xF16'F100 + 13ull * period, i)),
                                         &mech);
       const RunResult r = run(cfg, sched, &mech);
       TrialOutcome out;
@@ -62,6 +63,7 @@ int main_impl(int argc, char** argv) {
   std::cout << "# E14b: neighbor rotation under credit-limited barter (n = " << n
             << ", k = " << k << ", s = 1, Random policy)\n";
   emit(args, table);
+  trials.report(std::cout);
   return 0;
 }
 

@@ -3,11 +3,13 @@
 
 #pragma once
 
+#include <chrono>
 #include <iostream>
 #include <memory>
 
 #include "pob/core/engine.h"
 #include "pob/exp/cli.h"
+#include "pob/exp/parallel.h"
 #include "pob/exp/sweep.h"
 #include "pob/exp/table.h"
 #include "pob/overlay/builders.h"
@@ -24,6 +26,40 @@ inline void emit(const Args& args, const Table& table) {
     table.print(std::cout);
   }
 }
+
+/// Runs every repeat_trials-style sweep of a bench binary through the
+/// deterministic parallel runner, honoring --jobs (default: hardware
+/// concurrency; --jobs=1 restores serial execution) and accumulating
+/// wall-clock and trial counts so the binary can report throughput.
+class TrialRunner {
+ public:
+  explicit TrialRunner(const Args& args)
+      : jobs_(static_cast<unsigned>(args.get_int("jobs", 0))) {}
+
+  TrialStats operator()(std::uint32_t runs,
+                        const std::function<TrialOutcome(std::uint32_t)>& trial) {
+    const auto start = std::chrono::steady_clock::now();
+    const TrialStats stats = repeat_trials_parallel(runs, jobs_, trial);
+    seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                    .count();
+    trials_ += runs;
+    return stats;
+  }
+
+  /// Emits "# sweep: ..." with wall-clock and trials/sec; a comment line, so
+  /// CSV consumers and the BENCH_*.json scraper can keep or skip it.
+  void report(std::ostream& os) const {
+    const double rate = seconds_ > 0.0 ? static_cast<double>(trials_) / seconds_ : 0.0;
+    os << "# sweep: " << trials_ << " trials in " << fmt(seconds_, 2) << " s ("
+       << fmt(rate, 1) << " trials/s, jobs=" << (jobs_ == 0 ? default_jobs() : jobs_)
+       << ")\n";
+  }
+
+ private:
+  unsigned jobs_;
+  std::uint64_t trials_ = 0;
+  double seconds_ = 0.0;
+};
 
 /// A randomized-cooperative trial on a fixed overlay.
 inline TrialOutcome randomized_trial(const EngineConfig& cfg,

@@ -17,6 +17,7 @@ namespace {
 
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
+  TrialRunner trials(args);
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 1000));
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
   std::vector<std::int64_t> ns =
@@ -29,9 +30,9 @@ int main_impl(int argc, char** argv) {
     EngineConfig cfg;
     cfg.num_nodes = n;
     cfg.num_blocks = k;
-    const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
+    const TrialStats stats = trials(runs, [&](std::uint32_t i) {
       return randomized_trial(cfg, std::make_shared<CompleteOverlay>(n), {},
-                              0xF16'3000 + 977ull * n + i);
+                              trial_seed(0xF16'3000 + 977ull * n, i));
     });
     const Tick opt = cooperative_lower_bound(n, k);
     table.add_row({std::to_string(n), std::to_string(k),
@@ -43,6 +44,7 @@ int main_impl(int argc, char** argv) {
   std::cout << "# E2/Figure 3: randomized cooperative, T vs n (complete graph, "
                "Random policy, k = " << k << ")\n";
   emit(args, table);
+  trials.report(std::cout);
   return 0;
 }
 

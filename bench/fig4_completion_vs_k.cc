@@ -14,6 +14,7 @@ namespace {
 
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
+  TrialRunner trials(args);
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 1000));
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
   std::vector<std::int64_t> ks =
@@ -26,9 +27,9 @@ int main_impl(int argc, char** argv) {
     EngineConfig cfg;
     cfg.num_nodes = n;
     cfg.num_blocks = k;
-    const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
+    const TrialStats stats = trials(runs, [&](std::uint32_t i) {
       return randomized_trial(cfg, std::make_shared<CompleteOverlay>(n), {},
-                              0xF16'4000 + 991ull * k + i);
+                              trial_seed(0xF16'4000 + 991ull * k, i));
     });
     const Tick opt = cooperative_lower_bound(n, k);
     table.add_row({std::to_string(n), std::to_string(k),
@@ -39,6 +40,7 @@ int main_impl(int argc, char** argv) {
   std::cout << "# E3/Figure 4: randomized cooperative, T vs k (complete graph, "
                "Random policy, n = " << n << ")\n";
   emit(args, table);
+  trials.report(std::cout);
   return 0;
 }
 

@@ -19,6 +19,7 @@ namespace {
 
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
+  TrialRunner trials(args);
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 1000));
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
   std::vector<std::int64_t> ks = args.get_int_list("k", {1000, 2000});
@@ -39,12 +40,12 @@ int main_impl(int argc, char** argv) {
     cfg.num_blocks = k;
     for (const std::int64_t d64 : degrees) {
       const auto d = static_cast<std::uint32_t>(d64);
-      const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
-        Rng graph_rng(0xF16'5000 + 89ull * d + 7ull * k + i);
+      const TrialStats stats = trials(runs, [&](std::uint32_t i) {
+        Rng graph_rng(trial_seed(0xF16'5000 + 89ull * d + 7ull * k, i));
         auto overlay =
             std::make_shared<GraphOverlay>(make_random_regular(n, d, graph_rng));
         return randomized_trial(cfg, std::move(overlay), {},
-                                0xF16'5100 + 83ull * d + 5ull * k + i);
+                                trial_seed(0xF16'5100 + 83ull * d + 5ull * k, i));
       });
       table.add_row({"random-regular", std::to_string(d), std::to_string(k),
                      fmt_ci(stats.completion.mean, stats.completion.ci95),
@@ -54,19 +55,19 @@ int main_impl(int argc, char** argv) {
     {
       const Graph cube = make_hypercube_overlay(n);
       const double avg_degree = cube.average_degree();
-      const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
+      const TrialStats stats = trials(runs, [&](std::uint32_t i) {
         auto overlay = std::make_shared<GraphOverlay>(make_hypercube_overlay(n));
         return randomized_trial(cfg, std::move(overlay), {},
-                                0xF16'5200 + 5ull * k + i);
+                                trial_seed(0xF16'5200 + 5ull * k, i));
       });
       table.add_row({"hypercube-like", fmt(avg_degree), std::to_string(k),
                      fmt_ci(stats.completion.mean, stats.completion.ci95),
                      std::to_string(cooperative_lower_bound(n, k))});
     }
     {
-      const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
+      const TrialStats stats = trials(runs, [&](std::uint32_t i) {
         return randomized_trial(cfg, std::make_shared<CompleteOverlay>(n), {},
-                                0xF16'5300 + 5ull * k + i);
+                                trial_seed(0xF16'5300 + 5ull * k, i));
       });
       table.add_row({"complete", std::to_string(n - 1), std::to_string(k),
                      fmt_ci(stats.completion.mean, stats.completion.ci95),
@@ -76,6 +77,7 @@ int main_impl(int argc, char** argv) {
   std::cout << "# E5/Figure 5: cooperative randomized, T vs overlay degree (n = "
             << n << ", Random policy)\n";
   emit(args, table);
+  trials.report(std::cout);
   return 0;
 }
 

@@ -23,6 +23,7 @@ namespace pob::bench {
 inline int run_fig67(int argc, char** argv, BlockPolicy policy,
                      const char* figure_name) {
   const Args args(argc, argv);
+  TrialRunner trials(args);
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 1000));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 1000));
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
@@ -50,9 +51,9 @@ inline int run_fig67(int argc, char** argv, BlockPolicy policy,
     for (const std::int64_t d64 : degrees) {
       const auto d = static_cast<std::uint32_t>(d64);
       const std::uint32_t s = unit ? 1u : std::max(1u, (100u + d / 2) / d);
-      const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
+      const TrialStats stats = trials(runs, [&](std::uint32_t i) {
         return credit_trial(cfg, d, s, opt,
-                            0xF16'6000 + 101ull * d + (unit ? 0 : 7777) + i);
+                            trial_seed(0xF16'6000 + 101ull * d + (unit ? 0 : 7777), i));
       });
       table.add_row({curve, std::to_string(d), std::to_string(s),
                      completion_cell(stats, static_cast<double>(cap)),
@@ -65,6 +66,7 @@ inline int run_fig67(int argc, char** argv, BlockPolicy policy,
             << " policy; censored = no completion within " << cap
             << " ticks or stalled)\n";
   emit(args, table);
+  trials.report(std::cout);
   return 0;
 }
 

@@ -22,6 +22,7 @@ namespace {
 
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
+  TrialRunner trials(args);
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
   std::vector<std::int64_t> ns = args.get_int_list("n", {16, 64, 256, 1024});
   std::vector<std::int64_t> ks = args.get_int_list("k", {64, 128, 256, 512, 1024});
@@ -39,9 +40,9 @@ int main_impl(int argc, char** argv) {
       EngineConfig cfg;
       cfg.num_nodes = n;
       cfg.num_blocks = k;
-      const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
+      const TrialStats stats = trials(runs, [&](std::uint32_t i) {
         return randomized_trial(cfg, std::make_shared<CompleteOverlay>(n), {},
-                                0xF17'0000 + 1009ull * n + 31ull * k + i);
+                                trial_seed(0xF17'0000 + 1009ull * n + 31ull * k, i));
       });
       points.push_back({static_cast<double>(k),
                         static_cast<double>(ceil_log2(n)), stats.completion.mean});
@@ -52,6 +53,7 @@ int main_impl(int argc, char** argv) {
   const RegressionFit fit = fit_two_predictor(points);
   std::cout << "# E4: least-squares fit of randomized cooperative completion time\n";
   emit(args, table);
+  trials.report(std::cout);
   std::cout << "\nfit: T = " << fmt(fit.a, 4) << " * k + " << fmt(fit.b, 2)
             << " * log2(n) + " << fmt(fit.c, 2) << "   (R^2 = " << fmt(fit.r2, 4)
             << ")\n";

@@ -18,6 +18,7 @@ namespace {
 
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
+  TrialRunner trials(args);
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 500));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 500));
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
@@ -43,12 +44,12 @@ int main_impl(int argc, char** argv) {
       opt.regular_unchokes = reg;
       opt.optimistic_unchokes = 1;
       opt.rechoke_period = period;
-      const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
-        Rng grng(0xB17'0000 + 37ull * reg + period + i);
+      const TrialStats stats = trials(runs, [&](std::uint32_t i) {
+        Rng grng(trial_seed(0xB17'0000 + 37ull * reg + period, i));
         auto overlay =
             std::make_shared<GraphOverlay>(make_random_regular(n, degree, grng));
         TitForTatScheduler sched(std::move(overlay), opt,
-                                 Rng(0xB17'1000 + 41ull * reg + period + i));
+                                 Rng(trial_seed(0xB17'1000 + 41ull * reg + period, i)));
         const RunResult r = run(cfg, sched);
         TrialOutcome out;
         out.completed = r.completed;
@@ -62,11 +63,11 @@ int main_impl(int argc, char** argv) {
     }
   }
   {
-    const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) {
-      Rng grng(0xB17'2000 + i);
+    const TrialStats stats = trials(runs, [&](std::uint32_t i) {
+      Rng grng(trial_seed(0xB17'2000, i));
       auto overlay =
           std::make_shared<GraphOverlay>(make_random_regular(n, degree, grng));
-      return randomized_trial(cfg, std::move(overlay), {}, 0xB17'3000 + i);
+      return randomized_trial(cfg, std::move(overlay), {}, trial_seed(0xB17'3000, i));
     });
     add("randomized (sec 2.4)", "-", "-", stats);
   }
@@ -74,6 +75,7 @@ int main_impl(int argc, char** argv) {
                "(n = " << n << ", k = " << k << ", degree-" << degree
             << " overlay; paper claims tit-for-tat > 30% over optimal)\n";
   emit(args, table);
+  trials.report(std::cout);
   return 0;
 }
 

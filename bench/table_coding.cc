@@ -18,6 +18,7 @@ namespace {
 
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
+  TrialRunner trials(args);
   // GF(2) rank maintenance is O(k^2/64) per packet, so the default stays at
   // a scale where the full sweep takes tens of seconds; --n/--k scale it up.
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 300));
@@ -46,15 +47,15 @@ int main_impl(int argc, char** argv) {
     }
 
     const auto block_trial = [&](BlockPolicy policy, std::uint32_t i) {
-      Rng grng(0xC0DE'2000 + 31ull * d + i);
+      Rng grng(trial_seed(0xC0DE'2000 + 31ull * d, i));
       auto ov = std::make_shared<GraphOverlay>(make_random_regular(n, d, grng));
       RandomizedOptions opt;
       opt.policy = policy;
-      return randomized_trial(cfg, std::move(ov), opt, 0xC0DE'3000 + 7ull * d + i);
+      return randomized_trial(cfg, std::move(ov), opt, trial_seed(0xC0DE'3000 + 7ull * d, i));
     };
-    const TrialStats rnd = repeat_trials(
+    const TrialStats rnd = trials(
         runs, [&](std::uint32_t i) { return block_trial(BlockPolicy::kRandom, i); });
-    const TrialStats rar = repeat_trials(runs, [&](std::uint32_t i) {
+    const TrialStats rar = trials(runs, [&](std::uint32_t i) {
       return block_trial(BlockPolicy::kRarestFirst, i);
     });
 
@@ -67,6 +68,7 @@ int main_impl(int argc, char** argv) {
   std::cout << "# E21/§4 [13]: GF(2) network coding vs block-based randomized "
                "(n = " << n << ", k = " << k << ", cooperative)\n";
   emit(args, table);
+  trials.report(std::cout);
   return 0;
 }
 

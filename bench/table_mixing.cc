@@ -21,6 +21,7 @@ namespace {
 
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
+  TrialRunner trials(args);
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 500));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 500));
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 3));
@@ -54,13 +55,13 @@ int main_impl(int argc, char** argv) {
     const Graph sample = make_random_regular(n, d, graph_rng);
     const SpectralEstimate spec = estimate_lambda2(sample, spectral_rng, 400);
 
-    const TrialStats coop = repeat_trials(runs, [&](std::uint32_t i) {
-      Rng grng(0xE20'2000 + 131ull * d + i);
+    const TrialStats coop = trials(runs, [&](std::uint32_t i) {
+      Rng grng(trial_seed(0xE20'2000 + 131ull * d, i));
       auto ov = std::make_shared<GraphOverlay>(make_random_regular(n, d, grng));
-      return randomized_trial(coop_cfg, std::move(ov), {}, 0xE20'3000 + 7ull * d + i);
+      return randomized_trial(coop_cfg, std::move(ov), {}, trial_seed(0xE20'3000 + 7ull * d, i));
     });
-    const TrialStats credit = repeat_trials(runs, [&](std::uint32_t i) {
-      return credit_trial(credit_cfg, d, 1, {}, 0xE20'4000 + 11ull * d + i);
+    const TrialStats credit = trials(runs, [&](std::uint32_t i) {
+      return credit_trial(credit_cfg, d, 1, {}, trial_seed(0xE20'4000 + 11ull * d, i));
     });
     row("random-regular", d, spec.gap, coop, credit);
   }
@@ -68,15 +69,15 @@ int main_impl(int argc, char** argv) {
     Rng spectral_rng(0xE20'5000);
     const Graph cube = make_hypercube_overlay(n);
     const SpectralEstimate spec = estimate_lambda2(cube, spectral_rng, 400);
-    const TrialStats coop = repeat_trials(runs, [&](std::uint32_t i) {
+    const TrialStats coop = trials(runs, [&](std::uint32_t i) {
       auto ov = std::make_shared<GraphOverlay>(make_hypercube_overlay(n));
-      return randomized_trial(coop_cfg, std::move(ov), {}, 0xE20'6000 + i);
+      return randomized_trial(coop_cfg, std::move(ov), {}, trial_seed(0xE20'6000, i));
     });
-    const TrialStats credit = repeat_trials(runs, [&](std::uint32_t i) {
+    const TrialStats credit = trials(runs, [&](std::uint32_t i) {
       auto ov = std::make_shared<GraphOverlay>(make_hypercube_overlay(n));
       RandomizedOptions opt;
       CreditRandomized cr = make_credit_randomized(std::move(ov), opt,
-                                                   Rng(0xE20'7000 + i), 1);
+                                                   Rng(trial_seed(0xE20'7000, i)), 1);
       const RunResult r = run(credit_cfg, *cr.scheduler, cr.mechanism.get());
       TrialOutcome out;
       out.completed = r.completed;
@@ -92,6 +93,7 @@ int main_impl(int argc, char** argv) {
   std::cout << "# E20/§2.4.4 conjecture: spectral gap (mixing) vs completion time "
                "(n = " << n << ", k = " << k << ")\n";
   emit(args, table);
+  trials.report(std::cout);
   std::cout << "\nreading: cooperative T is insensitive once the graph is connected\n"
                "enough, but the credit-limited threshold tracks the gap — poor\n"
                "mixing (small gap) is where credit exhaustion strands the swarm.\n";

@@ -1,6 +1,7 @@
 #include "pob/async/event_engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 
@@ -75,7 +76,7 @@ AsyncResult run_async(const AsyncConfig& config, AsyncPolicy& policy) {
   std::uint64_t seq = 0;
 
   AsyncResult result;
-  result.client_completion.assign(n - 1, 0.0);
+  result.client_completion.assign(n - 1, std::numeric_limits<double>::quiet_NaN());
   std::uint32_t incomplete_clients = n - 1;
 
   std::vector<char> wakeup_pending(n, 0);
@@ -117,8 +118,9 @@ AsyncResult run_async(const AsyncConfig& config, AsyncPolicy& policy) {
   while (!events.empty() && incomplete_clients > 0) {
     const Event ev = events.top();
     events.pop();
+    if (ev.time > time_cap) break;  // cap abort: `now` stays at the last real event
     now = ev.time;
-    if (now > time_cap) break;
+    result.last_event_time = now;
     const Transfer& tr = ev.transfer;
     if (tr.to == kNoNode) {  // policy wakeup timer
       wakeup_pending[tr.from] = 0;
@@ -142,6 +144,7 @@ AsyncResult run_async(const AsyncConfig& config, AsyncPolicy& policy) {
   }
 
   result.completed = incomplete_clients == 0;
+  result.unfinished_clients = incomplete_clients;
   if (result.completed) {
     double sum = 0.0;
     for (const double t : result.client_completion) {

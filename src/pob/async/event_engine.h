@@ -64,9 +64,21 @@ struct AsyncConfig {
 
 struct AsyncResult {
   bool completed = false;
-  double completion_time = 0.0;          ///< last client finish time
-  double mean_completion_time = 0.0;     ///< mean client finish time
-  std::vector<double> client_completion; ///< per client (index 0 = node 1)
+  double completion_time = 0.0;          ///< last client finish time (completed runs)
+  double mean_completion_time = 0.0;     ///< mean client finish time (completed runs)
+
+  /// Simulation time actually reached: the time of the last processed event.
+  /// On a time-cap abort this is where the run was cut off, so censored runs
+  /// are distinguishable from ones that finished instantly.
+  double last_event_time = 0.0;
+
+  /// Clients that had not finished when the run ended; nonzero exactly when
+  /// !completed.
+  std::uint32_t unfinished_clients = 0;
+
+  /// Per client (index 0 = node 1); NaN marks a client that never finished
+  /// (censored), never 0.0-as-unfinished.
+  std::vector<double> client_completion;
   std::uint64_t total_transfers = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 #include <sstream>
+#include <unordered_set>
 
 namespace pob {
 
@@ -16,6 +17,11 @@ double RunResult::mean_client_completion() const {
 
 double RunResult::utilization(Tick t, const EngineConfig& cfg) const {
   if (t == 0 || t > uploads_per_tick.size()) return 0.0;
+  if (t <= active_slots_per_tick.size()) {
+    const double active = active_slots_per_tick[t - 1];
+    if (active <= 0.0) return 0.0;  // everyone but the server departed
+    return static_cast<double>(uploads_per_tick[t - 1]) / active;
+  }
   double slots = 0.0;
   if (!cfg.upload_capacities.empty()) {
     for (const std::uint32_t c : cfg.upload_capacities) slots += c;
@@ -33,7 +39,8 @@ double RunResult::utilization(Tick t, const EngineConfig& cfg) const {
 Tick default_tick_cap(std::uint32_t num_nodes, std::uint32_t num_blocks) {
   // Generous: covers even the slowest deterministic baseline in this repo
   // (binomial tree sending one block at a time, T = k * ceil(log2 n)) with
-  // ample headroom for n up to 2^64th... practically, log2 n <= 64.
+  // ample headroom, since ceil(log2 n) <= 32 for any 32-bit n and the 66x
+  // block factor doubles that.
   return 1024 + 2 * num_nodes + 66 * num_blocks;
 }
 
@@ -91,9 +98,28 @@ RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
   std::vector<Transfer> kept;
   std::vector<std::uint32_t> up_used(n), down_used(n);
 
-  double slots_per_tick = 0.0;
-  for (NodeId u = 0; u < n; ++u) slots_per_tick += up_cap_of(u);
-  std::uint64_t window_sum = 0;
+  // Upload slots offered by currently active nodes; shrinks as nodes depart
+  // so that stall detection and utilization compare against capacity that
+  // actually exists, not the tick-0 fleet.
+  std::uint64_t active_slots = 0;
+  for (NodeId u = 0; u < n; ++u) active_slots += up_cap_of(u);
+  const auto deactivate = [&](NodeId node) {
+    if (!state.is_active(node)) return;
+    state.deactivate(node);
+    active_slots -= up_cap_of(node);
+  };
+  std::uint64_t window_sum = 0;        // transfers in the stall window
+  std::uint64_t window_slots_sum = 0;  // active slots in the stall window
+
+  // Deliveries severed by churn, keyed (receiver << 32) | block. A rigid
+  // schedule's later sends of a block that never arrived — and duplicate
+  // re-deliveries of one that was rerouted — are casualties of these, and
+  // only these, so they are what lossy mode may drop without masking real
+  // scheduler bugs.
+  std::unordered_set<std::uint64_t> lost_deliveries;
+  const auto delivery_key = [](NodeId to, BlockId block) {
+    return (static_cast<std::uint64_t>(to) << 32) | block;
+  };
 
   std::vector<NodeId> leaving;  // depart_on_complete: who finished last tick
 
@@ -101,11 +127,11 @@ RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
   while (!state.all_complete() && tick < cap) {
     ++tick;
     while (next_departure < departures.size() && departures[next_departure].first <= tick) {
-      state.deactivate(departures[next_departure].second);
+      deactivate(departures[next_departure].second);
       ++next_departure;
     }
     if (config.depart_on_complete) {
-      for (const NodeId c : leaving) state.deactivate(c);
+      for (const NodeId c : leaving) deactivate(c);
       leaving.clear();
     }
     if (state.all_complete()) break;  // survivors may already all be done
@@ -122,15 +148,36 @@ RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
       if (tr.from == tr.to) violation(tick, tr, "self transfer");
       if (tr.block >= config.num_blocks) violation(tick, tr, "block id out of range");
       if (!state.is_active(tr.from) || !state.is_active(tr.to)) {
-        if (config.drop_transfers_involving_inactive) continue;
+        if (config.drop_transfers_involving_inactive) {
+          ++result.dropped_transfers;
+          if (state.is_active(tr.to)) {
+            // A live receiver just lost this delivery; its own forwards of
+            // the block become casualties too.
+            lost_deliveries.insert(delivery_key(tr.to, tr.block));
+          }
+          continue;
+        }
         violation(tick, tr, "transfer involves a departed node");
       }
       if (!state.has(tr.from, tr.block)) {
-        if (config.drop_transfers_involving_inactive) continue;  // lost upstream
+        if (config.drop_transfers_involving_inactive &&
+            lost_deliveries.count(delivery_key(tr.from, tr.block)) != 0) {
+          // Lost upstream: the sender never received the block because a
+          // departure severed its delivery. The casualty cascades.
+          ++result.dropped_transfers;
+          lost_deliveries.insert(delivery_key(tr.to, tr.block));
+          continue;
+        }
         violation(tick, tr, "sender does not hold the block at tick start");
       }
       if (state.has(tr.to, tr.block)) {
-        if (config.drop_transfers_involving_inactive) continue;
+        if (config.drop_transfers_involving_inactive &&
+            lost_deliveries.count(delivery_key(tr.to, tr.block)) != 0) {
+          // The original delivery was severed but a reroute filled the gap;
+          // drop the stale duplicate.
+          ++result.dropped_transfers;
+          continue;
+        }
         violation(tick, tr, "receiver already holds the block");
       }
       if (++up_used[tr.from] > up_cap_of(tr.from)) {
@@ -178,17 +225,19 @@ RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
     }
     result.total_transfers += tick_transfers.size();
     result.uploads_per_tick.push_back(static_cast<std::uint32_t>(tick_transfers.size()));
+    result.active_slots_per_tick.push_back(static_cast<std::uint32_t>(active_slots));
     if (config.record_trace) result.trace.push_back(tick_transfers);
 
     if (config.stall_window != 0) {
       window_sum += tick_transfers.size();
+      window_slots_sum += active_slots;
       if (tick > config.stall_window) {
         window_sum -= result.uploads_per_tick[tick - config.stall_window - 1];
+        window_slots_sum -= result.active_slots_per_tick[tick - config.stall_window - 1];
       }
       if (tick >= config.stall_window &&
           static_cast<double>(window_sum) <
-              config.stall_utilization * slots_per_tick *
-                  static_cast<double>(config.stall_window)) {
+              config.stall_utilization * static_cast<double>(window_slots_sum)) {
         result.stalled = true;
         break;
       }

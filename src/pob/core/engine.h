@@ -64,12 +64,14 @@ struct EngineConfig {
   bool depart_on_complete = false;
 
   /// Lossy churn mode: when true, transfers touching a departed node are
-  /// silently dropped (broken connections), and so are the downstream
-  /// casualties of rigid schedules — sends of blocks that never arrived and
-  /// re-sends of blocks the receiver already has. Capacity violations still
-  /// throw (those are genuine scheduler bugs). This is what lets the
-  /// binomial pipeline run under churn and simply lose the affected flows —
-  /// the §2.4 robustness story.
+  /// dropped (broken connections) and counted in RunResult::
+  /// dropped_transfers, and so are the downstream casualties of rigid
+  /// schedules — sends of blocks whose delivery was severed by a departure,
+  /// and re-delivery attempts of such blocks. Model violations between two
+  /// active nodes with no departed node in the causal chain still throw, as
+  /// do capacity violations: those are genuine scheduler bugs, and churn
+  /// must not mask them. This is what lets the binomial pipeline run under
+  /// churn and simply lose the affected flows — the §2.4 robustness story.
   bool drop_transfers_involving_inactive = false;
 
   /// Hard tick cap; 0 selects a generous default that any terminating
@@ -97,17 +99,30 @@ struct RunResult {
   Tick completion_tick = 0;     ///< paper's T (valid when completed)
   Tick ticks_executed = 0;      ///< ticks actually simulated
   std::uint64_t total_transfers = 0;
+
+  /// Transfers discarded under drop_transfers_involving_inactive: broken
+  /// connections plus their downstream casualties. Always 0 outside lossy
+  /// churn mode.
+  std::uint64_t dropped_transfers = 0;
   std::uint32_t departed = 0;              ///< nodes that left (churn runs)
   std::vector<Tick> client_completion;     ///< per client (index 0 = node 1)
   std::vector<std::uint32_t> uploads_per_node;  ///< fairness accounting
   std::vector<std::uint32_t> uploads_per_tick;  ///< utilization trace
+
+  /// Upload slots actually available in each executed tick (departed nodes'
+  /// capacity excluded). Parallel to uploads_per_tick; filled by the engine,
+  /// may be empty for hand-built results (utilization then falls back to the
+  /// static config capacity).
+  std::vector<std::uint32_t> active_slots_per_tick;
   std::vector<std::vector<Transfer>> trace;     ///< per tick, if recorded
 
   /// Mean client completion tick ("average time for nodes to finish",
   /// §3.2.4 remarks on it being less dramatic than the maximum).
   double mean_client_completion() const;
 
-  /// Fraction of upload slots used in tick t (1-based), given capacities.
+  /// Fraction of upload slots used in tick t (1-based). Uses the recorded
+  /// per-tick active capacity when available, so departures shrink the
+  /// denominator; falls back to the static capacities in `cfg`.
   double utilization(Tick t, const EngineConfig& cfg) const;
 };
 

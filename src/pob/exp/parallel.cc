@@ -1,0 +1,130 @@
+#include "pob/exp/parallel.h"
+
+#include <algorithm>
+
+namespace pob {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t trial_seed(std::uint64_t base, std::uint32_t trial) {
+  // Two splitmix64 steps: the first diffuses the base, the second mixes in
+  // the trial index, so seeds for consecutive trials share no structure.
+  std::uint64_t s = base;
+  const std::uint64_t mixed_base = splitmix64(s);
+  s = mixed_base ^ (0xd1342543de82ef95ULL * (static_cast<std::uint64_t>(trial) + 1));
+  return splitmix64(s);
+}
+
+unsigned default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ThreadPool::ThreadPool(unsigned jobs) {
+  if (jobs == 0) jobs = default_jobs();
+  workers_.reserve(jobs - 1);
+  for (unsigned i = 1; i < jobs; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::uint32_t)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+    }
+    if (body != nullptr) drain(*body);
+  }
+}
+
+void ThreadPool::drain(const std::function<void(std::uint32_t)>& body) {
+  const std::uint32_t count = count_;
+  const std::uint32_t chunk = chunk_;
+  for (;;) {
+    const std::uint32_t begin = next_.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= count) return;
+    const std::uint32_t end = std::min(count, begin + chunk);
+    for (std::uint32_t i = begin; i < end; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(mu_);  // pairs with the waiter's wait
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::uint32_t count,
+                              const std::function<void(std::uint32_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::uint32_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    count_ = count;
+    // Small chunks keep threads balanced when per-trial cost varies (censored
+    // runs finish early; completed ones run long); one item per claim once
+    // the pool is large relative to the range.
+    chunk_ = std::max(1u, count / (jobs() * 8u));
+    next_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  drain(body);  // the calling thread is the jobs-th worker
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [&] { return done_.load(std::memory_order_acquire) == count_; });
+  body_ = nullptr;
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+TrialStats repeat_trials_parallel(
+    std::uint32_t runs, unsigned jobs,
+    const std::function<TrialOutcome(std::uint32_t)>& trial) {
+  if (jobs == 0) jobs = default_jobs();
+  if (jobs <= 1 || runs <= 1) return repeat_trials(runs, trial);
+  std::vector<TrialOutcome> outcomes(runs);
+  ThreadPool pool(std::min<unsigned>(jobs, runs));
+  pool.parallel_for(runs, [&](std::uint32_t i) { outcomes[i] = trial(i); });
+  return aggregate_trials(outcomes);
+}
+
+}  // namespace pob

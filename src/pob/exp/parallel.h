@@ -1,0 +1,88 @@
+// Deterministic parallel trial execution.
+//
+// Randomized sweeps (Figures 3-7, the barter/credit tables) need hundreds of
+// independent trials; running them serially leaves every core but one idle.
+// The pieces here parallelize the *trials* while keeping the aggregate
+// statistics bit-identical to the serial runner: each trial's RNG seed is a
+// pure function of its index (never of thread or schedule), outcomes land in
+// an index-addressed slot, and aggregation happens in index order on the
+// calling thread.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pob/exp/sweep.h"
+
+namespace pob {
+
+/// Derives the RNG seed for trial `trial` from a base seed, splitmix64-style.
+/// Depends only on (base, trial) — never on thread assignment — so trial i
+/// sees the same seed at any --jobs setting. Nearby trial indices map to
+/// uncorrelated seeds (unlike `base + i`, which hands xoshiro's seeding
+/// nearly identical inputs for every run of a sweep point).
+std::uint64_t trial_seed(std::uint64_t base, std::uint32_t trial);
+
+/// Hardware concurrency, with a floor of 1 when the runtime reports 0.
+unsigned default_jobs();
+
+/// A small self-scheduling thread pool. Work is claimed from a shared index
+/// range in chunks (fetch_add on an atomic cursor), so fast threads
+/// automatically take over the items a slow thread never reached — the
+/// load-balancing benefit of work stealing without per-thread deques.
+///
+/// The pool owns jobs-1 worker threads; the thread calling parallel_for
+/// participates as the jobs-th worker.
+class ThreadPool {
+ public:
+  /// `jobs` = total worker count, including the calling thread; 0 selects
+  /// default_jobs(). A pool of size 1 runs everything inline.
+  explicit ThreadPool(unsigned jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned jobs() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs body(i) for every i in [0, count), across the pool. Blocks until
+  /// all items finish. If any body throws, the first exception is rethrown
+  /// here after the remaining items complete. Not reentrant.
+  void parallel_for(std::uint32_t count,
+                    const std::function<void(std::uint32_t)>& body);
+
+ private:
+  void worker_loop();
+  void drain(const std::function<void(std::uint32_t)>& body);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable all_done_;
+  std::uint64_t generation_ = 0;  // bumped per parallel_for dispatch
+  bool stop_ = false;
+  const std::function<void(std::uint32_t)>* body_ = nullptr;  // guarded by mu_
+  std::uint32_t count_ = 0;
+  std::uint32_t chunk_ = 1;
+  std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> done_{0};
+  std::exception_ptr error_;  // guarded by mu_
+};
+
+/// As repeat_trials, but runs trials on `jobs` threads (0 = default_jobs(),
+/// 1 = the serial runner). The returned TrialStats is bit-identical to
+/// repeat_trials(runs, trial) for every `jobs` value: outcomes are collected
+/// per index and aggregated in index order. `trial` must be safe to call
+/// concurrently from multiple threads with distinct indices.
+TrialStats repeat_trials_parallel(
+    std::uint32_t runs, unsigned jobs,
+    const std::function<TrialOutcome(std::uint32_t)>& trial);
+
+}  // namespace pob

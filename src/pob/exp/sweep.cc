@@ -6,16 +6,14 @@
 
 namespace pob {
 
-TrialStats repeat_trials(std::uint32_t runs,
-                         const std::function<TrialOutcome(std::uint32_t)>& trial) {
+TrialStats aggregate_trials(std::span<const TrialOutcome> outcomes) {
   TrialStats stats;
-  stats.runs = runs;
+  stats.runs = static_cast<std::uint32_t>(outcomes.size());
   std::vector<double> completions;
   std::vector<double> means;
-  completions.reserve(runs);
-  means.reserve(runs);
-  for (std::uint32_t i = 0; i < runs; ++i) {
-    const TrialOutcome outcome = trial(i);
+  completions.reserve(outcomes.size());
+  means.reserve(outcomes.size());
+  for (const TrialOutcome& outcome : outcomes) {
     if (!outcome.completed) {
       ++stats.censored;
       continue;
@@ -26,6 +24,14 @@ TrialStats repeat_trials(std::uint32_t runs,
   stats.completion = summarize(completions);
   stats.mean_completion = summarize(means);
   return stats;
+}
+
+TrialStats repeat_trials(std::uint32_t runs,
+                         const std::function<TrialOutcome(std::uint32_t)>& trial) {
+  std::vector<TrialOutcome> outcomes;
+  outcomes.reserve(runs);
+  for (std::uint32_t i = 0; i < runs; ++i) outcomes.push_back(trial(i));
+  return aggregate_trials(outcomes);
 }
 
 std::string completion_cell(const TrialStats& stats, double cap, int precision) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 
 #include "pob/analysis/stats.h"
@@ -27,7 +28,14 @@ struct TrialStats {
   bool all_censored() const { return runs > 0 && censored == runs; }
 };
 
-/// Runs `trial(run_index)` `runs` times and aggregates.
+/// Aggregates outcomes listed in trial-index order. Both the serial and the
+/// parallel runner funnel through this, which is what makes their TrialStats
+/// bit-identical: the floating-point reductions see the same values in the
+/// same order regardless of execution schedule.
+TrialStats aggregate_trials(std::span<const TrialOutcome> outcomes);
+
+/// Runs `trial(run_index)` `runs` times serially and aggregates. For the
+/// multi-threaded equivalent see repeat_trials_parallel (pob/exp/parallel.h).
 TrialStats repeat_trials(std::uint32_t runs,
                          const std::function<TrialOutcome(std::uint32_t)>& trial);
 

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "pob/analysis/bounds.h"
 #include "pob/async/policies.h"
 #include "pob/overlay/builders.h"
@@ -164,6 +166,54 @@ TEST(AsyncEngine, TimeCapCensorsRuns) {
                           kUnlimited, Rng(17));
   const AsyncResult r = run_async(cfg, policy);
   EXPECT_FALSE(r.completed);
+  // Censored runs are distinguishable from "finished at t=0": the run
+  // records how far it got and who was cut off.
+  EXPECT_GT(r.last_event_time, 0.0);
+  EXPECT_LE(r.last_event_time, cfg.max_time);
+  EXPECT_EQ(r.unfinished_clients, 31u);
+  for (const double t : r.client_completion) {
+    EXPECT_TRUE(std::isnan(t));  // nobody can finish 64 blocks in 1.5 units
+  }
+}
+
+// Stalls forever: never uploads, but keeps requesting a wakeup timer, so
+// simulated time advances until the cap — the regression shape where a
+// policy drives itself into timeout instead of going quiet.
+class StallingPolicy final : public AsyncPolicy {
+ public:
+  Transfer next_upload(NodeId, double, const AsyncView&) override {
+    return {kNoNode, kNoNode, kNoBlock};
+  }
+  double retry_after(NodeId, double) override { return 1.0; }
+};
+
+TEST(AsyncEngine, PolicyDrivenTimeoutMarksUnfinishedClients) {
+  AsyncConfig cfg = basic(4, 2);
+  cfg.max_time = 25.0;
+  StallingPolicy policy;
+  const AsyncResult r = run_async(cfg, policy);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.unfinished_clients, 3u);
+  // The engine ran its wakeup timers all the way to the cap.
+  EXPECT_GE(r.last_event_time, cfg.max_time - 1.0);
+  EXPECT_LE(r.last_event_time, cfg.max_time);
+  EXPECT_EQ(r.total_transfers, 0u);
+  ASSERT_EQ(r.client_completion.size(), 3u);
+  for (const double t : r.client_completion) EXPECT_TRUE(std::isnan(t));
+  // A censored run reports no completion statistics.
+  EXPECT_EQ(r.completion_time, 0.0);
+  EXPECT_EQ(r.mean_completion_time, 0.0);
+}
+
+TEST(AsyncEngine, CompletedRunsHaveNoNaNsAndMatchLastEvent) {
+  const std::uint32_t n = 16, k = 8;
+  AsyncSwarmPolicy policy(std::make_shared<CompleteOverlay>(n), BlockPolicy::kRandom,
+                          kUnlimited, Rng(19));
+  const AsyncResult r = run_async(basic(n, k), policy);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.unfinished_clients, 0u);
+  for (const double t : r.client_completion) EXPECT_FALSE(std::isnan(t));
+  EXPECT_DOUBLE_EQ(r.completion_time, r.last_event_time);
 }
 
 }  // namespace

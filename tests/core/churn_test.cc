@@ -59,6 +59,89 @@ TEST(EngineChurn, DropModeLosesFlowsInsteadOfThrowing) {
   // The chain is severed at its first hop: clients 2 and 3 can never finish.
   EXPECT_FALSE(r.completed);
   EXPECT_EQ(r.departed, 1u);
+  // Every severed flow is accounted for: the departed relay's own transfers
+  // plus the downstream sends of blocks that never arrived.
+  EXPECT_GT(r.dropped_transfers, 0u);
+}
+
+TEST(EngineChurn, CleanRunsDropNothing) {
+  EngineConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.num_blocks = 8;
+  cfg.drop_transfers_involving_inactive = true;  // armed but never triggered
+  PipelineScheduler sched(8, 8);
+  const RunResult r = run(cfg, sched);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.dropped_transfers, 0u);
+}
+
+// A scheduler with a genuine bug: it sends a block the server never gave
+// anyone, between two perfectly healthy nodes.
+class BuggyScheduler final : public Scheduler {
+ public:
+  std::string_view name() const override { return "buggy"; }
+  void plan_tick(Tick tick, const SwarmState&, std::vector<Transfer>& out) override {
+    if (tick == 1) out.push_back({kServer, 1, 0});
+    if (tick == 2) out.push_back({1, 2, 1});  // client 1 never received block 1
+  }
+};
+
+TEST(EngineChurn, DropModeDoesNotMaskSchedulerBugsBetweenActiveNodes) {
+  // Before drop accounting, lossy mode swallowed ALL "sender lacks block" /
+  // "receiver already holds" violations, hiding real scheduler bugs. Only
+  // casualties of an actual departure may be dropped.
+  EngineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_blocks = 4;
+  cfg.drop_transfers_involving_inactive = true;  // no departures configured
+  cfg.max_ticks = 10;
+  BuggyScheduler sched;
+  EXPECT_THROW(run(cfg, sched), EngineViolation);
+}
+
+// Re-delivers block 0 to client 2 at every tick — a duplicate-delivery bug
+// once client 2 holds it, unrelated to any departure.
+class DuplicateSender final : public Scheduler {
+ public:
+  std::string_view name() const override { return "duplicate-sender"; }
+  void plan_tick(Tick, const SwarmState& state, std::vector<Transfer>& out) override {
+    if (!state.has(1, 0)) {
+      out.push_back({kServer, 1, 0});
+      return;
+    }
+    out.push_back({1, 2, 0});  // violates once client 2 already holds block 0
+  }
+};
+
+TEST(EngineChurn, DropModeDoesNotMaskDuplicateDeliveryBugs) {
+  EngineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_blocks = 1;
+  cfg.drop_transfers_involving_inactive = true;
+  cfg.max_ticks = 10;
+  DuplicateSender sched;
+  EXPECT_THROW(run(cfg, sched), EngineViolation);
+}
+
+TEST(EngineChurn, DeparturesCombineWithDepartOnComplete) {
+  // Both churn mechanisms at once: scheduled departures sever flows while
+  // finished clients leave on their own; accounting covers both.
+  const std::uint32_t n = 48, k = 24;
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.depart_on_complete = true;
+  cfg.departures = {{5, 2}, {8, 9}, {11, 17}};
+  cfg.drop_transfers_involving_inactive = true;
+  RandomizedScheduler sched(std::make_shared<CompleteOverlay>(n), {}, Rng(77));
+  const RunResult r = run(cfg, sched);
+  ASSERT_TRUE(r.completed);
+  // Nearly all clients departed: 3 by schedule, the rest on completion.
+  // (Clients finishing in the final tick never reach their departure tick.)
+  EXPECT_GE(r.departed, 40u);
+  // The randomized scheduler reads state each tick, so it never targets
+  // already-departed nodes and nothing is dropped.
+  EXPECT_EQ(r.dropped_transfers, 0u);
 }
 
 TEST(EngineChurn, RandomizedSwarmRoutesAroundDepartures) {
@@ -125,6 +208,53 @@ TEST(EngineChurn, SelfishLeechersLeaveOnCompletion) {
   ASSERT_TRUE(selfish.completed);
   EXPECT_GT(selfish.departed, 0u);
   EXPECT_GE(selfish.completion_tick, with_seeders.completion_tick);
+}
+
+// Feeds client 1 one block per tick from the server; nothing else.
+class DripScheduler final : public Scheduler {
+ public:
+  explicit DripScheduler(std::uint32_t k) : k_(k) {}
+  std::string_view name() const override { return "drip"; }
+  void plan_tick(Tick tick, const SwarmState&, std::vector<Transfer>& out) override {
+    if (tick <= k_) out.push_back({kServer, 1, static_cast<BlockId>(tick - 1)});
+  }
+
+ private:
+  std::uint32_t k_;
+};
+
+TEST(EngineChurn, DeparturesShrinkTheUtilizationDenominator) {
+  EngineConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.num_blocks = 2;
+  cfg.departures = {{2, 2}};  // client 2 leaves before tick 2
+  DripScheduler sched(2);
+  const RunResult r = run(cfg, sched);
+  ASSERT_TRUE(r.completed);  // client 1 finished, client 2 departed
+  ASSERT_EQ(r.active_slots_per_tick.size(), 2u);
+  EXPECT_EQ(r.active_slots_per_tick[0], 3u);  // full fleet
+  EXPECT_EQ(r.active_slots_per_tick[1], 2u);  // minus the departed client
+  EXPECT_DOUBLE_EQ(r.utilization(1, cfg), 1.0 / 3.0);
+  // Against the stale static fleet this read 1/3; the live capacity is 2.
+  EXPECT_DOUBLE_EQ(r.utilization(2, cfg), 0.5);
+}
+
+TEST(EngineChurn, StallDetectorUsesSurvivingCapacity) {
+  // One transfer per tick is 50% of the surviving two upload slots — healthy.
+  // Against the stale four-slot fleet it is 25% < 40% and the old detector
+  // would have censored the run as stalled.
+  const std::uint32_t k = 12;
+  EngineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_blocks = k;
+  cfg.departures = {{1, 2}, {1, 3}};
+  cfg.stall_window = 4;
+  cfg.stall_utilization = 0.4;
+  DripScheduler sched(k);
+  const RunResult r = run(cfg, sched);
+  EXPECT_FALSE(r.stalled);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, k);
 }
 
 TEST(EngineChurn, DepartureOfFinishedNodeIsHarmlessToOthers) {

@@ -1,0 +1,143 @@
+// The deterministic parallel trial runner: per-index seed derivation,
+// bit-identical aggregation at any job count, and thread-pool basics.
+
+#include "pob/exp/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "pob/core/engine.h"
+#include "pob/overlay/overlay.h"
+#include "pob/rand/randomized.h"
+
+namespace pob {
+namespace {
+
+TEST(TrialSeed, DependsOnlyOnBaseAndIndex) {
+  // Same (base, i) always maps to the same seed — the property that makes
+  // results independent of --jobs and of scheduling order.
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(trial_seed(42, i), trial_seed(42, i));
+  }
+  EXPECT_NE(trial_seed(42, 0), trial_seed(43, 0));
+}
+
+TEST(TrialSeed, NearbyIndicesAndBasesGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base : {0ull, 1ull, 42ull, 0xF16'6000ull}) {
+    for (std::uint32_t i = 0; i < 256; ++i) seeds.insert(trial_seed(base, i));
+  }
+  EXPECT_EQ(seeds.size(), 4u * 256u);  // no collisions among nearby inputs
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.jobs(), 4u);
+  std::vector<std::atomic<std::uint32_t>> hits(1000);
+  pool.parallel_for(1000, [&](std::uint32_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1u);
+}
+
+TEST(ThreadPool, ReusableAcrossDispatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(100, [&](std::uint32_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, ZeroAndOneItemWork) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](std::uint32_t) { FAIL() << "no items to run"; });
+  std::atomic<std::uint32_t> hits{0};
+  pool.parallel_for(1, [&](std::uint32_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 1u);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::uint32_t i) {
+                                   if (i == 13) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives a throwing dispatch.
+  std::atomic<std::uint32_t> hits{0};
+  pool.parallel_for(8, [&](std::uint32_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 8u);
+}
+
+// A real randomized workload: completion time of a small cooperative swarm,
+// seeded purely from the trial index.
+TrialOutcome swarm_trial(std::uint32_t i) {
+  EngineConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.num_blocks = 12;
+  RandomizedScheduler sched(std::make_shared<CompleteOverlay>(24), {},
+                            Rng(trial_seed(0xABCD, i)));
+  const RunResult r = run(cfg, sched);
+  TrialOutcome out;
+  out.completed = r.completed;
+  if (r.completed) {
+    out.completion = static_cast<double>(r.completion_tick);
+    out.mean_completion = r.mean_client_completion();
+  }
+  return out;
+}
+
+void expect_bit_identical(const TrialStats& a, const TrialStats& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.censored, b.censored);
+  for (const auto& [sa, sb] : {std::pair{a.completion, b.completion},
+                               std::pair{a.mean_completion, b.mean_completion}}) {
+    EXPECT_EQ(sa.count, sb.count);
+    EXPECT_EQ(sa.mean, sb.mean);  // exact: same values reduced in same order
+    EXPECT_EQ(sa.stddev, sb.stddev);
+    EXPECT_EQ(sa.ci95, sb.ci95);
+    EXPECT_EQ(sa.min, sb.min);
+    EXPECT_EQ(sa.max, sb.max);
+    EXPECT_EQ(sa.median, sb.median);
+  }
+}
+
+TEST(RepeatTrialsParallel, BitIdenticalToSerialAtAnyJobCount) {
+  const TrialStats serial = repeat_trials(32, swarm_trial);
+  for (const unsigned jobs : {1u, 2u, 3u, 8u, 64u}) {
+    const TrialStats parallel = repeat_trials_parallel(32, jobs, swarm_trial);
+    expect_bit_identical(serial, parallel);
+  }
+}
+
+TEST(RepeatTrialsParallel, CountsCensoredRunsLikeSerial) {
+  const auto trial = [](std::uint32_t i) {
+    TrialOutcome out;
+    out.completed = i % 3 != 0;  // every third run censored
+    out.completion = static_cast<double>(100 + i);
+    out.mean_completion = static_cast<double>(50 + i);
+    return out;
+  };
+  const TrialStats serial = repeat_trials(20, trial);
+  const TrialStats parallel = repeat_trials_parallel(20, 7, trial);
+  EXPECT_EQ(parallel.censored, 7u);
+  expect_bit_identical(serial, parallel);
+}
+
+TEST(RepeatTrialsParallel, MoreJobsThanRunsIsFine) {
+  const TrialStats stats = repeat_trials_parallel(3, 16, swarm_trial);
+  EXPECT_EQ(stats.runs, 3u);
+  EXPECT_EQ(stats.censored, 0u);
+}
+
+TEST(RepeatTrialsParallel, JobsZeroUsesHardwareDefault) {
+  EXPECT_GE(default_jobs(), 1u);
+  const TrialStats stats = repeat_trials_parallel(8, 0, swarm_trial);
+  expect_bit_identical(repeat_trials(8, swarm_trial), stats);
+}
+
+}  // namespace
+}  // namespace pob

@@ -9,6 +9,8 @@
 //   pobsim --algo=riffle --mechanism=strict --n=100 --k=99 --download=2
 //
 // Flags:
+//   --jobs       worker threads for repeated runs (0 = all cores; results
+//                are identical at any value)
 //   --algo       pipeline | tree | binomial-tree | binomial-pipeline |
 //                multi-server | riffle | randomized | credit-randomized |
 //                rotating | tit-for-tat | striped-trees
@@ -21,15 +23,16 @@
 //   --save-trace=<file> (record run 0) --replay=<file> (validate a saved trace)
 //   --trace --csv
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <memory>
-
-#include <fstream>
 
 #include "pob/analysis/bounds.h"
 #include "pob/core/engine.h"
 #include "pob/core/metrics.h"
 #include "pob/exp/cli.h"
+#include "pob/exp/parallel.h"
 #include "pob/exp/sweep.h"
 #include "pob/exp/table.h"
 #include "pob/exp/trace_io.h"
@@ -111,6 +114,7 @@ int main_impl(int argc, char** argv) {
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 32));
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 1));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto jobs = static_cast<unsigned>(args.get_int("jobs", 0));
 
   EngineConfig cfg;
   cfg.num_nodes = n;
@@ -148,8 +152,9 @@ int main_impl(int argc, char** argv) {
   opt.upload_capacity = cfg.upload_capacity;
   opt.download_capacity = cfg.download_capacity;
 
-  const TrialStats stats = repeat_trials(runs, [&](std::uint32_t i) -> TrialOutcome {
-    Rng run_rng(seed + i);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const TrialStats stats = repeat_trials_parallel(runs, jobs, [&](std::uint32_t i) -> TrialOutcome {
+    Rng run_rng(trial_seed(seed, i));
     std::unique_ptr<Mechanism> mech = make_mechanism(args);
     std::unique_ptr<Scheduler> sched;
     if (algo == "pipeline") {
@@ -243,6 +248,12 @@ int main_impl(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+  std::cout << "# sweep: " << runs << " trials in " << fmt(sweep_seconds, 2) << " s ("
+            << fmt(sweep_seconds > 0.0 ? runs / sweep_seconds : 0.0, 1)
+            << " trials/s, jobs=" << (jobs == 0 ? default_jobs() : jobs) << ")\n";
   return 0;
 }
 
