@@ -34,7 +34,7 @@ inline void emit(const Args& args, const Table& table) {
 class TrialRunner {
  public:
   explicit TrialRunner(const Args& args)
-      : jobs_(static_cast<unsigned>(args.get_int("jobs", 0))) {}
+      : jobs_(jobs_from_flag(args.get_int("jobs", 0))) {}
 
   TrialStats operator()(std::uint32_t runs,
                         const std::function<TrialOutcome(std::uint32_t)>& trial) {

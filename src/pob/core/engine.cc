@@ -115,7 +115,9 @@ RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
   // schedule's later sends of a block that never arrived — and duplicate
   // re-deliveries of one that was rerouted — are casualties of these, and
   // only these, so they are what lossy mode may drop without masking real
-  // scheduler bugs.
+  // scheduler bugs. A key is retired once the loss is resolved (the receiver
+  // acquires the block, or one stale duplicate has been forgiven), so a
+  // later genuine anomaly on the same (node, block) pair throws again.
   std::unordered_set<std::uint64_t> lost_deliveries;
   const auto delivery_key = [](NodeId to, BlockId block) {
     return (static_cast<std::uint64_t>(to) << 32) | block;
@@ -172,9 +174,10 @@ RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
       }
       if (state.has(tr.to, tr.block)) {
         if (config.drop_transfers_involving_inactive &&
-            lost_deliveries.count(delivery_key(tr.to, tr.block)) != 0) {
-          // The original delivery was severed but a reroute filled the gap;
-          // drop the stale duplicate.
+            lost_deliveries.erase(delivery_key(tr.to, tr.block)) != 0) {
+          // The original delivery was severed but the receiver holds the
+          // block anyway; drop the stale duplicate. Erasing the key forgives
+          // only this first one — a second duplicate is a scheduler bug.
           ++result.dropped_transfers;
           continue;
         }
@@ -218,6 +221,11 @@ RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
       const bool added = state.add_block(tr.to, tr.block, tick);
       assert(added);
       (void)added;
+      if (!lost_deliveries.empty()) {
+        // A delivery filled this receiver's severed gap; retire the key so
+        // the lossy forgiveness for this (node, block) pair ends here.
+        lost_deliveries.erase(delivery_key(tr.to, tr.block));
+      }
       ++result.uploads_per_node[tr.from];
       if (config.depart_on_complete && became_complete && state.is_complete(tr.to)) {
         leaving.push_back(tr.to);

@@ -1,6 +1,8 @@
 #include "pob/exp/parallel.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace pob {
 namespace {
@@ -29,6 +31,14 @@ unsigned default_jobs() {
   return hw == 0 ? 1u : hw;
 }
 
+unsigned jobs_from_flag(std::int64_t jobs) {
+  if (jobs < 0) {
+    throw std::invalid_argument("--jobs must be >= 0 (got " +
+                                std::to_string(jobs) + ")");
+  }
+  return static_cast<unsigned>(jobs);
+}
+
 ThreadPool::ThreadPool(unsigned jobs) {
   if (jobs == 0) jobs = default_jobs();
   workers_.reserve(jobs - 1);
@@ -50,20 +60,31 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::uint32_t)>* body = nullptr;
+    std::uint32_t count = 0;
+    std::uint32_t chunk = 1;
     {
       std::unique_lock<std::mutex> lock(mu_);
       wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
       seen = generation_;
+      // Adopt the dispatch entirely under the lock: body_ is nullptr once its
+      // parallel_for has returned, so a worker that wakes late sees either a
+      // complete, still-live dispatch or nothing at all.
       body = body_;
+      count = count_;
+      chunk = chunk_;
+      if (body != nullptr) ++in_flight_;
     }
-    if (body != nullptr) drain(*body);
+    if (body != nullptr) {
+      drain(*body, count, chunk);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
   }
 }
 
-void ThreadPool::drain(const std::function<void(std::uint32_t)>& body) {
-  const std::uint32_t count = count_;
-  const std::uint32_t chunk = chunk_;
+void ThreadPool::drain(const std::function<void(std::uint32_t)>& body,
+                       const std::uint32_t count, const std::uint32_t chunk) {
   for (;;) {
     const std::uint32_t begin = next_.fetch_add(chunk, std::memory_order_relaxed);
     if (begin >= count) return;
@@ -90,23 +111,29 @@ void ThreadPool::parallel_for(std::uint32_t count,
     for (std::uint32_t i = 0; i < count; ++i) body(i);
     return;
   }
+  // Small chunks keep threads balanced when per-trial cost varies (censored
+  // runs finish early; completed ones run long); one item per claim once
+  // the pool is large relative to the range.
+  const std::uint32_t chunk = std::max(1u, count / (jobs() * 8u));
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
     count_ = count;
-    // Small chunks keep threads balanced when per-trial cost varies (censored
-    // runs finish early; completed ones run long); one item per claim once
-    // the pool is large relative to the range.
-    chunk_ = std::max(1u, count / (jobs() * 8u));
+    chunk_ = chunk;
     next_.store(0, std::memory_order_relaxed);
     done_.store(0, std::memory_order_relaxed);
     error_ = nullptr;
     ++generation_;
   }
   wake_.notify_all();
-  drain(body);  // the calling thread is the jobs-th worker
+  drain(body, count, chunk);  // the calling thread is the jobs-th worker
+  // Wait for the items *and* the workers: every item done, and no worker
+  // still inside drain() for this dispatch. Workers that never woke are
+  // harmless — they adopt under mu_ and find body_ already nulled below.
   std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [&] { return done_.load(std::memory_order_acquire) == count_; });
+  all_done_.wait(lock, [&] {
+    return done_.load(std::memory_order_acquire) == count && in_flight_ == 0;
+  });
   body_ = nullptr;
   if (error_) {
     std::exception_ptr err = error_;

@@ -33,6 +33,11 @@ std::uint64_t trial_seed(std::uint64_t base, std::uint32_t trial);
 /// Hardware concurrency, with a floor of 1 when the runtime reports 0.
 unsigned default_jobs();
 
+/// Validates a --jobs flag value and narrows it to a worker count. 0 means
+/// "use default_jobs()" (resolved later); negative values are rejected rather
+/// than wrapped through the unsigned conversion.
+unsigned jobs_from_flag(std::int64_t jobs);
+
 /// A small self-scheduling thread pool. Work is claimed from a shared index
 /// range in chunks (fetch_add on an atomic cursor), so fast threads
 /// automatically take over the items a slow thread never reached — the
@@ -60,17 +65,25 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void drain(const std::function<void(std::uint32_t)>& body);
+  void drain(const std::function<void(std::uint32_t)>& body, std::uint32_t count,
+             std::uint32_t chunk);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable wake_;
   std::condition_variable all_done_;
+  // Dispatch state, all guarded by mu_. Workers adopt a dispatch under the
+  // lock (copying body/count/chunk and incrementing in_flight_), so drain()
+  // touches no shared non-atomic state; parallel_for returns only once every
+  // adopting worker has left drain(), never just when the items ran out —
+  // otherwise a preempted worker could wake into the *next* dispatch's
+  // cursors while holding the previous (already destroyed) body.
   std::uint64_t generation_ = 0;  // bumped per parallel_for dispatch
   bool stop_ = false;
-  const std::function<void(std::uint32_t)>* body_ = nullptr;  // guarded by mu_
+  const std::function<void(std::uint32_t)>* body_ = nullptr;
   std::uint32_t count_ = 0;
   std::uint32_t chunk_ = 1;
+  std::uint32_t in_flight_ = 0;  // workers currently inside drain()
   std::atomic<std::uint32_t> next_{0};
   std::atomic<std::uint32_t> done_{0};
   std::exception_ptr error_;  // guarded by mu_

@@ -123,6 +123,71 @@ TEST(EngineChurn, DropModeDoesNotMaskDuplicateDeliveryBugs) {
   EXPECT_THROW(run(cfg, sched), EngineViolation);
 }
 
+// Replays a fixed per-tick script of transfers; exercises the drop-mode
+// bookkeeping paths precisely.
+class ScriptedScheduler final : public Scheduler {
+ public:
+  explicit ScriptedScheduler(std::vector<std::vector<Transfer>> script)
+      : script_(std::move(script)) {}
+  std::string_view name() const override { return "scripted"; }
+  void plan_tick(Tick tick, const SwarmState&, std::vector<Transfer>& out) override {
+    if (tick <= script_.size()) out = script_[tick - 1];
+  }
+
+ private:
+  std::vector<std::vector<Transfer>> script_;
+};
+
+TEST(EngineChurn, DropForgivenessEndsOnceRerouteFillsTheGap) {
+  // Once a reroute delivers the block the departure severed, the lossy
+  // bookkeeping for that (node, block) pair is retired: a later duplicate
+  // delivery is a genuine scheduler bug again, not a churn casualty.
+  EngineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_blocks = 2;  // block 1 is never distributed, keeping the run alive
+  cfg.departures = {{2, 3}};
+  cfg.drop_transfers_involving_inactive = true;
+  cfg.max_ticks = 6;
+  const std::vector<std::vector<Transfer>> script = {
+      {{kServer, 1, 0}},  // tick 1
+      {{3, 2, 0}},        // tick 2: severed by 3's departure
+      {{1, 2, 0}},        // tick 3: reroute fills client 2's gap
+  };
+  {
+    ScriptedScheduler ok(script);
+    const RunResult r = run(cfg, ok);
+    EXPECT_EQ(r.dropped_transfers, 1u);
+  }
+  auto with_dup = script;
+  with_dup.push_back({{1, 2, 0}});  // tick 4: duplicate after the gap filled
+  ScriptedScheduler buggy(with_dup);
+  EXPECT_THROW(run(cfg, buggy), EngineViolation);
+}
+
+TEST(EngineChurn, StaleDuplicateIsForgivenExactlyOnce) {
+  EngineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_blocks = 2;
+  cfg.upload_capacity = 2;
+  cfg.departures = {{2, 3}};
+  cfg.drop_transfers_involving_inactive = true;
+  cfg.max_ticks = 6;
+  const std::vector<std::vector<Transfer>> script = {
+      {{kServer, 1, 0}, {kServer, 2, 0}},  // tick 1
+      {{3, 2, 0}},  // tick 2: severed send to a receiver that already holds 0
+      {{1, 2, 0}},  // tick 3: stale duplicate — forgiven, key retired
+  };
+  {
+    ScriptedScheduler ok(script);
+    const RunResult r = run(cfg, ok);
+    EXPECT_EQ(r.dropped_transfers, 2u);
+  }
+  auto with_second = script;
+  with_second.push_back({{1, 2, 0}});  // tick 4: second duplicate must throw
+  ScriptedScheduler buggy(with_second);
+  EXPECT_THROW(run(cfg, buggy), EngineViolation);
+}
+
 TEST(EngineChurn, DeparturesCombineWithDepartOnComplete) {
   // Both churn mechanisms at once: scheduled departures sever flows while
   // finished clients leave on their own; accounting covers both.

@@ -34,6 +34,13 @@ TEST(TrialSeed, NearbyIndicesAndBasesGiveDistinctSeeds) {
   EXPECT_EQ(seeds.size(), 4u * 256u);  // no collisions among nearby inputs
 }
 
+TEST(JobsFromFlag, RejectsNegativeValues) {
+  // A --jobs=-1 typo must not wrap to 4294967295 workers.
+  EXPECT_EQ(jobs_from_flag(0), 0u);
+  EXPECT_EQ(jobs_from_flag(6), 6u);
+  EXPECT_THROW(jobs_from_flag(-1), std::invalid_argument);
+}
+
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   EXPECT_EQ(pool.jobs(), 4u);

@@ -114,7 +114,7 @@ int main_impl(int argc, char** argv) {
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 32));
   const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 1));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const auto jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+  const unsigned jobs = jobs_from_flag(args.get_int("jobs", 0));
 
   EngineConfig cfg;
   cfg.num_nodes = n;
