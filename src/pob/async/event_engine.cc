@@ -133,6 +133,9 @@ AsyncResult run_async(const AsyncConfig& config, AsyncPolicy& policy) {
     view.have_[tr.to].insert(tr.block);
     ++view.freq_[tr.block];
     ++result.total_transfers;
+    if (config.record_log) {
+      result.log.push_back({tr, now - 1.0 / rate[tr.from], now});
+    }
     if (view.have_[tr.to].full() && tr.to != kServer) {
       result.client_completion[tr.to - 1] = now;
       --incomplete_clients;

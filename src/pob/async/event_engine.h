@@ -60,6 +60,18 @@ struct AsyncConfig {
   std::uint32_t download_ports = kUnlimited;
   /// Simulation time cap; 0 picks a generous default.
   double max_time = 0.0;
+  /// Record every completed transfer into AsyncResult::log (for differential
+  /// checking and trace export).
+  bool record_log = false;
+};
+
+/// One completed transfer in an asynchronous run. `start` is when the upload
+/// port was claimed, `finish` = start + 1/rate(from) is when the receiver
+/// gained the block.
+struct AsyncTransfer {
+  Transfer transfer;
+  double start = 0.0;
+  double finish = 0.0;
 };
 
 struct AsyncResult {
@@ -80,6 +92,9 @@ struct AsyncResult {
   /// (censored), never 0.0-as-unfinished.
   std::vector<double> client_completion;
   std::uint64_t total_transfers = 0;
+
+  /// Completed transfers in completion order (config.record_log only).
+  std::vector<AsyncTransfer> log;
 };
 
 /// Runs the asynchronous simulation to completion (or the time cap).

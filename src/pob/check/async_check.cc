@@ -1,0 +1,145 @@
+#include "pob/check/async_check.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace pob::check {
+namespace {
+
+// Event times round-trip through now + 1/rate then start = now - 1/rate, so
+// exact equality is too strict; the slack is far below any 1/rate duration.
+constexpr double kTol = 1e-6;
+
+std::string entry_str(std::size_t i, const AsyncTransfer& e) {
+  std::ostringstream os;
+  os << "log[" << i << "] " << e.transfer.from << "->" << e.transfer.to << " block "
+     << e.transfer.block << " [" << e.start << ", " << e.finish << "]";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::string> check_async_log(const AsyncConfig& config,
+                                           const AsyncResult& result) {
+  const std::uint32_t n = config.num_nodes;
+  const std::uint32_t k = config.num_blocks;
+  std::vector<double> rate = config.upload_rate;
+  if (rate.empty()) rate.assign(n, 1.0);
+  if (rate.size() != n) return "upload_rate has wrong length";
+
+  if (result.total_transfers != result.log.size()) {
+    return "total_transfers=" + std::to_string(result.total_transfers) +
+           " but the log has " + std::to_string(result.log.size()) + " entries";
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // acquired[u][b]: when u gained block b (server: 0, never delivered to).
+  std::vector<std::vector<double>> acquired(n, std::vector<double>(k, kInf));
+  for (BlockId b = 0; b < k; ++b) acquired[kServer][b] = 0.0;
+  std::vector<double> port_free(n, 0.0);  // sender's upload port frees up at
+  double prev_finish = 0.0;
+
+  for (std::size_t i = 0; i < result.log.size(); ++i) {
+    const AsyncTransfer& e = result.log[i];
+    const Transfer& tr = e.transfer;
+    if (tr.from >= n || tr.to >= n || tr.block >= k) {
+      return entry_str(i, e) + ": out of range";
+    }
+    if (tr.from == tr.to) return entry_str(i, e) + ": self-transfer";
+    if (tr.to == kServer) return entry_str(i, e) + ": delivery to the server";
+    if (std::abs(e.finish - e.start - 1.0 / rate[tr.from]) > kTol) {
+      return entry_str(i, e) + ": duration is not 1/rate(" +
+             std::to_string(tr.from) + ")";
+    }
+    if (e.finish < prev_finish - kTol) {
+      return entry_str(i, e) + ": log is not in completion order";
+    }
+    prev_finish = e.finish;
+    if (acquired[tr.from][tr.block] > e.start + kTol) {
+      return entry_str(i, e) + ": sender had not received the block when the "
+                               "upload started";
+    }
+    if (acquired[tr.to][tr.block] != kInf) {
+      return entry_str(i, e) + ": receiver already got this block at t=" +
+             std::to_string(acquired[tr.to][tr.block]);
+    }
+    if (e.start < port_free[tr.from] - kTol) {
+      return entry_str(i, e) + ": overlaps the sender's previous upload "
+                               "(port busy until t=" +
+             std::to_string(port_free[tr.from]) + ")";
+    }
+    port_free[tr.from] = e.finish;
+    acquired[tr.to][tr.block] = e.finish;
+  }
+
+  // Download ports: at any instant, at most `download_ports` transfers may be
+  // in flight toward one receiver. Counting, for each transfer, how many
+  // intervals toward the same receiver cover its start instant is exact: the
+  // in-flight count only changes at starts, so its maximum is attained at one.
+  if (config.download_ports != kUnlimited) {
+    for (std::size_t i = 0; i < result.log.size(); ++i) {
+      const AsyncTransfer& e = result.log[i];
+      std::uint32_t in_flight = 0;
+      for (const AsyncTransfer& other : result.log) {
+        if (other.transfer.to == e.transfer.to && other.start <= e.start + kTol &&
+            e.start < other.finish - kTol) {
+          ++in_flight;
+        }
+      }
+      if (in_flight > config.download_ports) {
+        return entry_str(i, e) + ": " + std::to_string(in_flight) +
+               " concurrent inbound transfers exceed download_ports=" +
+               std::to_string(config.download_ports);
+      }
+    }
+  }
+
+  // Completion statistics must be derivable from the log alone.
+  bool all_complete = true;
+  double last = 0.0, sum = 0.0;
+  for (NodeId c = 1; c < n; ++c) {
+    double done = 0.0;
+    bool full = true;
+    for (BlockId b = 0; b < k; ++b) {
+      if (acquired[c][b] == kInf) {
+        full = false;
+        break;
+      }
+      done = std::max(done, acquired[c][b]);
+    }
+    const double reported = result.client_completion[c - 1];
+    if (full != !std::isnan(reported)) {
+      return "client " + std::to_string(c) + ": log says " +
+             (full ? "complete" : "incomplete") + " but client_completion says " +
+             (std::isnan(reported) ? "censored" : "finished");
+    }
+    if (full && std::abs(reported - done) > kTol) {
+      return "client " + std::to_string(c) + ": finished at t=" +
+             std::to_string(done) + " per the log but client_completion=" +
+             std::to_string(reported);
+    }
+    all_complete = all_complete && full;
+    last = std::max(last, done);
+    sum += done;
+  }
+  if (result.completed != all_complete) {
+    return std::string("completed flag is ") + (result.completed ? "true" : "false") +
+           " but the log says otherwise";
+  }
+  if (result.completed) {
+    if (std::abs(result.completion_time - last) > kTol) {
+      return "completion_time=" + std::to_string(result.completion_time) +
+             " but the last client finished at t=" + std::to_string(last);
+    }
+    const double mean = sum / static_cast<double>(n - 1);
+    if (std::abs(result.mean_completion_time - mean) > kTol) {
+      return "mean_completion_time=" + std::to_string(result.mean_completion_time) +
+             " but the log's mean is " + std::to_string(mean);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pob::check

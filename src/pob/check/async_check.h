@@ -1,0 +1,24 @@
+// Differential checking for the asynchronous event engine: replays a
+// recorded AsyncResult::log entry by entry and verifies every model rule
+// from §2.3.4 independently of the engine's own bookkeeping — senders held
+// the block when the upload started, uploads of one node never overlap
+// (one upload port), download ports are respected, no block is delivered
+// twice, and the completion statistics match the log.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pob/async/event_engine.h"
+
+namespace pob::check {
+
+/// Returns std::nullopt when the log is a legal execution consistent with
+/// `result`'s summary fields, otherwise a one-line description of the first
+/// rule violated. `config` must be the configuration the run used (with
+/// `record_log = true`).
+std::optional<std::string> check_async_log(const AsyncConfig& config,
+                                           const AsyncResult& result);
+
+}  // namespace pob::check

@@ -1,0 +1,140 @@
+#include "pob/check/corpus.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "pob/async/policies.h"
+#include "pob/exp/trace_io.h"
+
+namespace pob::check {
+namespace {
+
+Scenario base(SchedulerKind kind, std::uint32_t n, std::uint32_t k) {
+  Scenario sc;
+  sc.scheduler = kind;
+  sc.n = n;
+  sc.k = k;
+  sc.seed = 0x9e3779b97f4a7c15ull;  // fixed: corpus runs must be reproducible
+  return sc;
+}
+
+std::vector<CorpusEntry> make_corpus() {
+  std::vector<CorpusEntry> corpus;
+  const auto add = [&](std::string filename, Scenario sc, bool completes = true) {
+    sanitize(sc);
+    corpus.push_back({std::move(filename), std::move(sc), completes});
+  };
+
+  add("pipeline.pobtrace", base(SchedulerKind::kPipeline, 12, 9));
+  {
+    Scenario sc = base(SchedulerKind::kMulticastTree, 14, 9);
+    sc.arity = 3;
+    add("multicast-tree.pobtrace", sc);
+  }
+  add("binomial-tree.pobtrace", base(SchedulerKind::kBinomialTree, 19, 6));
+  add("binomial-pipeline.pobtrace", base(SchedulerKind::kBinomialPipeline, 16, 21));
+  {
+    // k = 3 * (n - 1): full riffle cycles, so the recorded schedule is also
+    // legal under strict barter — the replay exercises the mechanism path.
+    Scenario sc = base(SchedulerKind::kRiffle, 11, 30);
+    sc.download = 2;
+    sc.mechanism.kind = MechanismSpec::Kind::kStrictBarter;
+    add("riffle.pobtrace", sc);
+  }
+  {
+    Scenario sc = base(SchedulerKind::kStripedTrees, 25, 24);
+    sc.stripes = 4;
+    sc.download = 4;
+    add("striped-trees.pobtrace", sc);
+  }
+  {
+    Scenario sc = base(SchedulerKind::kMultiServer, 20, 16);
+    sc.servers = 4;
+    add("multi-server.pobtrace", sc);
+  }
+  add("randomized.pobtrace", base(SchedulerKind::kRandomized, 40, 30));
+  {
+    // Heterogeneous capacities: exercises the v2 !up / !down directives.
+    Scenario sc = base(SchedulerKind::kRandomized, 10, 8);
+    sc.upload_caps = {1, 2, 3, 1, 2, 1, 3, 1, 2, 1};
+    sc.download_caps = {kUnlimited, 2, 3, kUnlimited, 2,
+                        kUnlimited, 3, 2, kUnlimited, 2};
+    add("hetero-randomized.pobtrace", sc);
+  }
+  {
+    // Lossy churn against a rigid schedule: the pipeline keeps naming the
+    // departed nodes, drop mode forgives, and the run honestly fails to
+    // complete — exercising !depart/!drop and dropped_transfers accounting.
+    Scenario sc = base(SchedulerKind::kBinomialPipeline, 16, 21);
+    sc.departures = {{6, 3}, {9, 10}};
+    add("churn-binomial-pipeline.pobtrace", sc, /*completes=*/false);
+  }
+  {
+    // Churn against an adaptive scheduler: the randomized swarm routes
+    // around the departure and still completes.
+    Scenario sc = base(SchedulerKind::kRandomized, 18, 10);
+    sc.departures = {{4, 2}};
+    add("churn-randomized.pobtrace", sc);
+  }
+  return corpus;
+}
+
+std::string fmt(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", t);
+  return buf;
+}
+
+}  // namespace
+
+const std::vector<CorpusEntry>& golden_corpus() {
+  static const std::vector<CorpusEntry> corpus = make_corpus();
+  return corpus;
+}
+
+std::string render_corpus_entry(const CorpusEntry& entry) {
+  BuiltScenario built = build_scenario(entry.scenario);
+  EngineConfig cfg = built.config;
+  cfg.record_trace = true;
+  SwarmState state(cfg.num_nodes, cfg.num_blocks);
+  const RunResult result =
+      run_with_state(cfg, *built.scheduler, built.mechanism.get(), state);
+  std::ostringstream os;
+  os << "# golden trace: " << entry.scenario.describe() << "\n";
+  os << "# regenerate with: pobfuzz --write-corpus=tests/check/corpus\n";
+  write_trace(os, cfg, result);
+  return os.str();
+}
+
+AsyncGolden async_golden() {
+  AsyncGolden g;
+  g.filename = "async-swarm.pobasync";
+  g.config.num_nodes = 12;
+  g.config.num_blocks = 8;
+  g.config.upload_rate = {1.0, 1.0, 2.0, 1.0, 0.5, 1.0, 1.0, 2.0, 1.0, 1.0, 0.5, 1.0};
+  g.config.download_ports = 2;
+  g.config.record_log = true;
+
+  const auto overlay = std::make_shared<CompleteOverlay>(g.config.num_nodes);
+  AsyncSwarmPolicy policy(overlay, BlockPolicy::kRarestFirst, g.config.download_ports,
+                          Rng(0xC0FFEEull));
+  g.result = run_async(g.config, policy);
+
+  std::ostringstream os;
+  os << "# golden async trace: swarm n=" << g.config.num_nodes
+     << " k=" << g.config.num_blocks << " ports=" << g.config.download_ports
+     << " rarest-first seed=0xC0FFEE\n";
+  os << "pobasync 1 " << g.config.num_nodes << ' ' << g.config.num_blocks << ' '
+     << g.config.download_ports << "\n";
+  os << "!rate";
+  for (const double r : g.config.upload_rate) os << ' ' << fmt(r);
+  os << "\n";
+  for (const AsyncTransfer& e : g.result.log) {
+    os << e.transfer.from << ':' << e.transfer.to << ':' << e.transfer.block << ' '
+       << fmt(e.start) << ' ' << fmt(e.finish) << "\n";
+  }
+  g.text = os.str();
+  return g;
+}
+
+}  // namespace pob::check

@@ -1,0 +1,42 @@
+// The golden trace corpus: a fixed set of recorded runs — one per scheduler
+// family, two churn/lossy, one heterogeneous, one asynchronous — committed
+// under tests/check/corpus/. Every entry is regenerated deterministically
+// from a Scenario (or a fixed async setup) and byte-compared against the
+// committed file, so any drift in engine or scheduler behavior fails loudly;
+// the committed bytes are then replayed through the differential oracle.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pob/async/event_engine.h"
+#include "pob/check/scenario.h"
+
+namespace pob::check {
+
+struct CorpusEntry {
+  std::string filename;  ///< e.g. "pipeline.pobtrace"
+  Scenario scenario;     ///< deterministic generator; also the replay mechanism
+  bool completes = true; ///< false for the lossy-churn entry that honestly DNFs
+};
+
+/// The synchronous corpus, in a stable order.
+const std::vector<CorpusEntry>& golden_corpus();
+
+/// Renders one entry to its full file contents: a comment banner plus the
+/// pobtrace emitted by recording the scenario's fast-engine run.
+std::string render_corpus_entry(const CorpusEntry& entry);
+
+/// The asynchronous golden: a fixed heterogeneous-rate swarm run with its
+/// recorded log, plus the rendered `.pobasync` file contents.
+struct AsyncGolden {
+  std::string filename;
+  AsyncConfig config;
+  AsyncResult result;
+  std::string text;
+};
+
+AsyncGolden async_golden();
+
+}  // namespace pob::check

@@ -1,0 +1,173 @@
+#include "pob/check/fuzzer.h"
+
+#include <algorithm>
+
+#include "pob/exp/parallel.h"
+#include "pob/exp/sweep.h"
+
+namespace pob::check {
+namespace {
+
+constexpr std::uint32_t kMaxReportedFailures = 32;
+constexpr std::uint32_t kMinimizeBudget = 400;  // scenario runs, not mutations
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FuzzReport fuzz_many(std::uint64_t base_seed, std::uint32_t budget, unsigned jobs,
+                     FaultKind fault) {
+  FuzzReport report;
+  report.budget = budget;
+  if (budget == 0) return report;
+
+  // Index-addressed slots: each trial writes only its own entry, and all
+  // aggregation below happens serially in index order, so the report is
+  // bit-identical at any job count.
+  std::vector<Scenario> scenarios(budget);
+  std::vector<ScenarioOutcome> outcomes(budget);
+  const auto trial = [&](std::uint32_t i) {
+    Scenario sc = sample_scenario(base_seed, i);
+    sc.fault = fault;
+    scenarios[i] = sc;
+    outcomes[i] = run_scenario(sc);
+    TrialOutcome out;
+    out.completed = outcomes[i].ok;
+    out.completion = 1.0;
+    out.mean_completion = 1.0;
+    return out;
+  };
+  repeat_trials_parallel(budget, jobs, trial);
+
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  for (std::uint32_t i = 0; i < budget; ++i) {
+    digest = fnv1a(digest, scenarios[i].describe());
+    digest = fnv1a(digest, outcomes[i].ok ? "ok" : outcomes[i].diagnosis);
+    if (!outcomes[i].ok) {
+      ++report.failed;
+      if (report.failures.size() < kMaxReportedFailures) {
+        report.failures.push_back({i, scenarios[i], outcomes[i].diagnosis});
+      }
+    }
+  }
+  report.stream_digest = digest;
+  return report;
+}
+
+MinimizedScenario minimize(const Scenario& failing) {
+  MinimizedScenario m;
+  m.scenario = failing;
+  m.diagnosis = run_scenario(failing).diagnosis;
+  ++m.steps_tried;
+
+  // Accepts the candidate iff (after re-sanitizing) it is a genuinely new
+  // scenario that still fails.
+  const auto still_fails = [&](Scenario cand) {
+    sanitize(cand);
+    if (cand.describe() == m.scenario.describe()) return false;
+    if (m.steps_tried >= kMinimizeBudget) return false;
+    ++m.steps_tried;
+    const ScenarioOutcome out = run_scenario(cand);
+    if (out.ok) return false;
+    m.scenario = cand;
+    m.diagnosis = out.diagnosis;
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && m.steps_tried < kMinimizeBudget) {
+    progress = false;
+
+    // Structural simplifications first: each one that sticks removes a whole
+    // dimension from the search the numeric shrinks below have to do.
+    {
+      Scenario c = m.scenario;
+      c.departures.clear();
+      c.depart_on_complete = false;
+      c.drop_on_churn = false;
+      if (still_fails(c)) progress = true;
+    }
+    while (!m.scenario.departures.empty()) {
+      Scenario c = m.scenario;
+      c.departures.pop_back();
+      if (!still_fails(c)) break;
+      progress = true;
+    }
+    {
+      Scenario c = m.scenario;
+      c.upload_caps.clear();
+      c.download_caps.clear();
+      if (still_fails(c)) progress = true;
+    }
+    if (m.scenario.overlay != OverlayKind::kComplete) {
+      Scenario c = m.scenario;
+      c.overlay = OverlayKind::kComplete;
+      if (still_fails(c)) progress = true;
+    }
+    if (m.scenario.mechanism.kind != MechanismSpec::Kind::kNone) {
+      Scenario c = m.scenario;
+      c.mechanism.kind = MechanismSpec::Kind::kNone;
+      if (still_fails(c)) progress = true;
+    }
+    {
+      Scenario c = m.scenario;
+      c.download = kUnlimited;
+      if (still_fails(c)) progress = true;
+    }
+    {
+      Scenario c = m.scenario;
+      c.upload = 1;
+      c.server_upload = 0;
+      if (still_fails(c)) progress = true;
+    }
+
+    // Numeric shrinks: halve toward the floor, then single steps.
+    while (m.scenario.n > 2) {
+      Scenario c = m.scenario;
+      c.n = std::max(2u, c.n / 2);
+      if (!still_fails(c)) break;
+      progress = true;
+    }
+    while (m.scenario.n > 2) {
+      Scenario c = m.scenario;
+      --c.n;
+      if (!still_fails(c)) break;
+      progress = true;
+    }
+    while (m.scenario.k > 1) {
+      Scenario c = m.scenario;
+      c.k = std::max(1u, c.k / 2);
+      if (!still_fails(c)) break;
+      progress = true;
+    }
+    while (m.scenario.k > 1) {
+      Scenario c = m.scenario;
+      --c.k;
+      if (!still_fails(c)) break;
+      progress = true;
+    }
+    for (auto dim : {&Scenario::arity, &Scenario::stripes, &Scenario::servers,
+                     &Scenario::degree}) {
+      while (m.scenario.*dim > 2) {
+        Scenario c = m.scenario;
+        --(c.*dim);
+        if (!still_fails(c)) break;
+        progress = true;
+      }
+    }
+    while (m.scenario.period > 2) {
+      Scenario c = m.scenario;
+      c.period /= 2;
+      if (!still_fails(c)) break;
+      progress = true;
+    }
+  }
+  return m;
+}
+
+}  // namespace pob::check

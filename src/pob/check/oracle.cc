@@ -1,0 +1,221 @@
+#include "pob/check/oracle.h"
+
+#include <sstream>
+
+namespace pob::check {
+namespace {
+
+std::string transfers_to_string(const std::vector<Transfer>& transfers) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << transfers[i].from << ':' << transfers[i].to << ':' << transfers[i].block;
+  }
+  return os.str();
+}
+
+template <typename T>
+bool compare_scalar(OracleReport& report, const char* what, const T& fast, const T& ref) {
+  if (fast == ref) return true;
+  std::ostringstream os;
+  os << what << ": fast=" << fast << " reference=" << ref;
+  report.ok = false;
+  report.diagnosis = os.str();
+  return false;
+}
+
+template <typename T>
+bool compare_vector(OracleReport& report, const char* what, const std::vector<T>& fast,
+                    const std::vector<T>& ref) {
+  if (fast.size() != ref.size()) {
+    std::ostringstream os;
+    os << what << ": fast has " << fast.size() << " entries, reference " << ref.size();
+    report.ok = false;
+    report.diagnosis = os.str();
+    return false;
+  }
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    if (fast[i] != ref[i]) {
+      std::ostringstream os;
+      os << what << "[" << i << "]: fast=" << fast[i] << " reference=" << ref[i];
+      report.ok = false;
+      report.diagnosis = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+OracleReport differential_check(const EngineConfig& config, Scheduler& scheduler,
+                                const MechanismSpec& mech, Mechanism* fast_mechanism) {
+  OracleReport report;
+
+  EngineConfig cfg = config;
+  cfg.record_trace = true;
+
+  std::unique_ptr<Mechanism> owned;
+  if (fast_mechanism == nullptr) {
+    owned = make_mechanism(mech);
+    fast_mechanism = owned.get();
+  }
+
+  RecordingScheduler recorder(scheduler);
+  SwarmState state(cfg.num_nodes, cfg.num_blocks);
+  bool fast_threw = false;
+  std::string fast_message;
+  try {
+    report.fast = run_with_state(cfg, recorder, fast_mechanism, state);
+  } catch (const EngineViolation& e) {
+    fast_threw = true;
+    fast_message = e.what();
+  }
+
+  const ReferenceResult ref = reference_run(cfg, recorder.log(), mech);
+
+  // --- Accept/reject agreement. ---
+  report.violated = fast_threw;
+  if (fast_threw) {
+    report.violation_message = fast_message;
+    if (!ref.violated) {
+      report.ok = false;
+      report.diagnosis =
+          "fast engine rejected the schedule (" + fast_message +
+          ") but the reference accepted it" +
+          (ref.ran_out_of_log ? " (reference ran out of recorded ticks)" : "");
+      return report;
+    }
+    report.violation_tick = ref.violation_tick;
+    if (recorder.log().empty() || recorder.log().back().tick != ref.violation_tick) {
+      report.ok = false;
+      report.diagnosis = "fast engine rejected on tick " +
+                         std::to_string(recorder.log().empty()
+                                            ? Tick{0}
+                                            : recorder.log().back().tick) +
+                         " but the reference rejected tick " +
+                         std::to_string(ref.violation_tick) + " (" +
+                         ref.violation_message + ")";
+    }
+    return report;  // both sides rejected, same tick: agreement
+  }
+  if (ref.violated) {
+    report.ok = false;
+    report.diagnosis = "reference rejected the schedule (" + ref.violation_message +
+                       ") but the fast engine accepted it";
+    return report;
+  }
+  if (ref.ran_out_of_log) {
+    report.ok = false;
+    report.diagnosis =
+        "fast engine stopped after " + std::to_string(recorder.log().size()) +
+        " planned ticks but the reference expected more" +
+        (ref.violation_message.empty() ? "" : " (" + ref.violation_message + ")");
+    return report;
+  }
+
+  // --- Final RunResult agreement. ---
+  const RunResult& fast = report.fast;
+  if (!compare_scalar(report, "completed", fast.completed, ref.completed)) return report;
+  if (!compare_scalar(report, "stalled", fast.stalled, ref.stalled)) return report;
+  if (!compare_scalar(report, "completion_tick", fast.completion_tick,
+                      ref.completion_tick)) {
+    return report;
+  }
+  if (!compare_scalar(report, "ticks_executed", fast.ticks_executed, ref.ticks_executed)) {
+    return report;
+  }
+  if (!compare_scalar(report, "total_transfers", fast.total_transfers,
+                      ref.total_transfers)) {
+    return report;
+  }
+  if (!compare_scalar(report, "dropped_transfers", fast.dropped_transfers,
+                      ref.dropped_transfers)) {
+    return report;
+  }
+  if (!compare_scalar(report, "departed", fast.departed, ref.departed)) return report;
+  if (!compare_vector(report, "client_completion", fast.client_completion,
+                      ref.client_completion)) {
+    return report;
+  }
+  if (!compare_vector(report, "uploads_per_node", fast.uploads_per_node,
+                      ref.uploads_per_node)) {
+    return report;
+  }
+  if (!compare_vector(report, "uploads_per_tick", fast.uploads_per_tick,
+                      ref.uploads_per_tick)) {
+    return report;
+  }
+  if (!compare_vector(report, "active_slots_per_tick", fast.active_slots_per_tick,
+                      ref.active_slots_per_tick)) {
+    return report;
+  }
+
+  // --- Per-tick accept decisions (the kept trace). ---
+  if (fast.trace.size() != ref.accepted.size()) {
+    report.ok = false;
+    report.diagnosis = "trace length: fast=" + std::to_string(fast.trace.size()) +
+                       " reference=" + std::to_string(ref.accepted.size());
+    return report;
+  }
+  for (std::size_t t = 0; t < fast.trace.size(); ++t) {
+    if (fast.trace[t] != ref.accepted[t]) {
+      report.ok = false;
+      report.diagnosis = "accepted transfers diverge on tick " + std::to_string(t + 1) +
+                         ": fast [" + transfers_to_string(fast.trace[t]) +
+                         "] reference [" + transfers_to_string(ref.accepted[t]) + "]";
+      return report;
+    }
+  }
+
+  // --- Start-of-tick observations (replica counts, blocks held). ---
+  const std::vector<TickRecord>& log = recorder.log();
+  if (log.size() != ref.blocks_held_at_start.size()) {
+    report.ok = false;
+    report.diagnosis = "planned tick count: fast=" + std::to_string(log.size()) +
+                       " reference=" + std::to_string(ref.blocks_held_at_start.size());
+    return report;
+  }
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log[i].blocks_held_at_start != ref.blocks_held_at_start[i]) {
+      report.ok = false;
+      report.diagnosis = "blocks held at start of tick " + std::to_string(log[i].tick) +
+                         ": fast=" + std::to_string(log[i].blocks_held_at_start) +
+                         " reference=" + std::to_string(ref.blocks_held_at_start[i]);
+      return report;
+    }
+    if (log[i].freq_fingerprint != ref.freq_fingerprint[i]) {
+      report.ok = false;
+      report.diagnosis = "replica counts diverge at start of tick " +
+                         std::to_string(log[i].tick);
+      return report;
+    }
+  }
+
+  // --- Final possession, node by node, block by block. ---
+  for (NodeId u = 0; u < cfg.num_nodes; ++u) {
+    for (BlockId b = 0; b < cfg.num_blocks; ++b) {
+      const bool fast_has = state.has(u, b);
+      const bool ref_has = ref.final_have[u].count(b) != 0;
+      if (fast_has != ref_has) {
+        report.ok = false;
+        report.diagnosis = "final possession of block " + std::to_string(b) +
+                           " by node " + std::to_string(u) +
+                           ": fast=" + (fast_has ? "yes" : "no") +
+                           " reference=" + (ref_has ? "yes" : "no");
+        return report;
+      }
+    }
+  }
+
+  return report;
+}
+
+OracleReport differential_replay(const LoadedTrace& trace, const MechanismSpec& mech) {
+  EngineConfig cfg = trace.to_config();
+  cfg.max_ticks = static_cast<Tick>(trace.ticks.size()) + 1;
+  TraceScheduler scheduler(trace);
+  return differential_check(cfg, scheduler, mech);
+}
+
+}  // namespace pob::check

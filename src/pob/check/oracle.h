@@ -1,0 +1,44 @@
+// Differential oracle: run a scheduler through the fast engine with trace
+// recording on, replay the recorded schedule through the reference engine,
+// and require bit-exact agreement on every accept/reject decision, per-tick
+// observation, and the final RunResult.
+
+#pragma once
+
+#include <string>
+
+#include "pob/check/reference_engine.h"
+#include "pob/core/engine.h"
+#include "pob/exp/trace_io.h"
+
+namespace pob::check {
+
+struct OracleReport {
+  bool ok = true;
+  /// First disagreement found (empty when ok).
+  std::string diagnosis;
+
+  /// True when the fast engine threw EngineViolation (and, if ok, the
+  /// reference agreed the schedule was illegal on the same tick).
+  bool violated = false;
+  Tick violation_tick = 0;
+  std::string violation_message;
+
+  /// The fast engine's result; meaningful only when !violated.
+  RunResult fast;
+};
+
+/// Runs `scheduler` under `config` through both engines and compares.
+/// `fast_mechanism` is the fast-side mechanism instance; it must be freshly
+/// constructed (its ledger advances during the run) and must correspond to
+/// `mech`. Pass nullptr to have one built from the spec — callers only need
+/// to supply their own when the scheduler itself holds a precheck pointer to
+/// it (the §3.2.3 credit-limited randomized pair).
+OracleReport differential_check(const EngineConfig& config, Scheduler& scheduler,
+                                const MechanismSpec& mech,
+                                Mechanism* fast_mechanism = nullptr);
+
+/// Replays a loaded trace through both engines (the golden-corpus check).
+OracleReport differential_replay(const LoadedTrace& trace, const MechanismSpec& mech);
+
+}  // namespace pob::check

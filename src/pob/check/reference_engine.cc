@@ -1,0 +1,462 @@
+#include "pob/check/reference_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "pob/mech/barter.h"
+
+namespace pob::check {
+namespace {
+
+using PairKey = std::pair<NodeId, NodeId>;  // (min, max)
+
+PairKey pair_key(NodeId a, NodeId b) {
+  return a < b ? PairKey{a, b} : PairKey{b, a};
+}
+
+/// Reference re-implementation of the §3 legality predicates over one tick's
+/// simultaneous transfer set. The ledger is a plain std::map with the same
+/// sign convention as pob::CreditLedger: positive net(lo, hi) means lo has
+/// sent more blocks to hi than it received back.
+class RefMechanism {
+ public:
+  explicit RefMechanism(const MechanismSpec& spec) : spec_(spec) {}
+
+  std::optional<std::string> check(const std::vector<Transfer>& transfers) const {
+    switch (spec_.kind) {
+      case MechanismSpec::Kind::kNone:
+        return std::nullopt;
+      case MechanismSpec::Kind::kStrictBarter:
+        return check_strict(transfers);
+      case MechanismSpec::Kind::kCreditLimited:
+        return check_credit(transfers, nullptr);
+      case MechanismSpec::Kind::kCyclicBarter: {
+        std::vector<char> cleared;
+        if (auto err = classify_cycles(transfers, cleared)) return err;
+        return check_credit(transfers, &cleared);
+      }
+    }
+    return std::nullopt;
+  }
+
+  void commit(const std::vector<Transfer>& transfers) {
+    if (spec_.kind != MechanismSpec::Kind::kCreditLimited &&
+        spec_.kind != MechanismSpec::Kind::kCyclicBarter) {
+      return;
+    }
+    std::vector<char> cleared(transfers.size(), 0);
+    if (spec_.kind == MechanismSpec::Kind::kCyclicBarter) {
+      (void)classify_cycles(transfers, cleared);  // validated in check()
+    }
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      const Transfer& tr = transfers[i];
+      if (tr.from == kServer || tr.to == kServer || cleared[i]) continue;
+      const PairKey k = pair_key(tr.from, tr.to);
+      ledger_[k] += tr.from == k.first ? 1 : -1;
+    }
+  }
+
+ private:
+  std::int64_t net(const PairKey& k) const {
+    const auto it = ledger_.find(k);
+    return it == ledger_.end() ? 0 : it->second;
+  }
+
+  static std::optional<std::string> check_strict(const std::vector<Transfer>& transfers) {
+    // Every client pair's u->v and v->u transfer counts must be equal.
+    std::map<PairKey, std::int64_t> bal;
+    for (const Transfer& tr : transfers) {
+      if (tr.from == kServer) continue;
+      if (tr.to == kServer) {
+        return "client " + std::to_string(tr.from) + " uploads to the server";
+      }
+      const PairKey k = pair_key(tr.from, tr.to);
+      bal[k] += tr.from == k.first ? 1 : -1;
+    }
+    for (const auto& [k, b] : bal) {
+      if (b != 0) {
+        std::ostringstream os;
+        os << "unreciprocated exchange between clients " << k.first << " and "
+           << k.second;
+        return os.str();
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// |end-of-tick net| <= credit_limit for every pair touched this tick,
+  /// counting only uncleared transfers when `cleared` is provided.
+  std::optional<std::string> check_credit(const std::vector<Transfer>& transfers,
+                                          const std::vector<char>* cleared) const {
+    std::map<PairKey, std::int64_t> delta;
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      const Transfer& tr = transfers[i];
+      if (tr.from == kServer) continue;
+      if (tr.to == kServer) {
+        return "client " + std::to_string(tr.from) + " uploads to the server";
+      }
+      if (cleared != nullptr && (*cleared)[i]) continue;
+      const PairKey k = pair_key(tr.from, tr.to);
+      delta[k] += tr.from == k.first ? 1 : -1;
+    }
+    const auto limit = static_cast<std::int64_t>(spec_.credit_limit);
+    for (const auto& [k, d] : delta) {
+      const std::int64_t end = net(k) + d;
+      if (end > limit || -end > limit) {
+        std::ostringstream os;
+        os << "credit limit " << spec_.credit_limit << " exceeded between clients "
+           << k.first << " and " << k.second << " (end-of-tick net " << end << ")";
+        return os.str();
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// An edge clears iff it lies on a directed cycle of client transfers of
+  /// length <= max_cycle_len — equivalently, iff a directed path of at most
+  /// max_cycle_len - 1 edges runs from its receiver back to its sender. BFS
+  /// shortest paths make that criterion order-independent and obviously
+  /// correct, unlike the fast engine's path-clearing DFS (whose cleared set
+  /// it must nonetheless equal: every edge on a found cycle of length <= L
+  /// has a return path of length <= L - 1 along that same cycle).
+  std::optional<std::string> classify_cycles(const std::vector<Transfer>& transfers,
+                                             std::vector<char>& cleared) const {
+    cleared.assign(transfers.size(), 0);
+    std::map<NodeId, std::vector<NodeId>> out;
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      const Transfer& tr = transfers[i];
+      if (tr.from == kServer) {
+        cleared[i] = 1;  // the server gives freely
+        continue;
+      }
+      if (tr.to == kServer) {
+        return "client " + std::to_string(tr.from) + " uploads to the server";
+      }
+      out[tr.from].push_back(tr.to);
+    }
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      const Transfer& tr = transfers[i];
+      if (tr.from == kServer) continue;
+      // BFS from tr.to, looking for tr.from within max_cycle_len - 1 hops.
+      std::map<NodeId, std::uint32_t> dist;
+      std::deque<NodeId> queue;
+      dist[tr.to] = 0;
+      queue.push_back(tr.to);
+      while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        const std::uint32_t du = dist[u];
+        if (u == tr.from) break;
+        if (du + 1 > spec_.max_cycle_len - 1) continue;
+        const auto it = out.find(u);
+        if (it == out.end()) continue;
+        for (const NodeId v : it->second) {
+          if (dist.count(v) == 0) {
+            dist[v] = du + 1;
+            queue.push_back(v);
+          }
+        }
+      }
+      const auto hit = dist.find(tr.from);
+      if (hit != dist.end() && hit->second + 1 <= spec_.max_cycle_len) cleared[i] = 1;
+    }
+    return std::nullopt;
+  }
+
+  MechanismSpec spec_;
+  std::map<PairKey, std::int64_t> ledger_;
+};
+
+}  // namespace
+
+std::string MechanismSpec::describe() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kStrictBarter:
+      return "strict";
+    case Kind::kCreditLimited:
+      return "credit:" + std::to_string(credit_limit);
+    case Kind::kCyclicBarter:
+      return "cyclic:" + std::to_string(max_cycle_len) + ":" +
+             std::to_string(credit_limit);
+  }
+  return "?";
+}
+
+std::unique_ptr<Mechanism> make_mechanism(const MechanismSpec& spec) {
+  switch (spec.kind) {
+    case MechanismSpec::Kind::kNone:
+      return nullptr;
+    case MechanismSpec::Kind::kStrictBarter:
+      return std::make_unique<StrictBarter>();
+    case MechanismSpec::Kind::kCreditLimited:
+      return std::make_unique<CreditLimited>(spec.credit_limit);
+    case MechanismSpec::Kind::kCyclicBarter:
+      return std::make_unique<CyclicBarter>(spec.max_cycle_len, spec.credit_limit);
+  }
+  return nullptr;
+}
+
+std::uint64_t fingerprint_frequencies(std::span<const std::uint32_t> freq) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const std::uint32_t f : freq) {
+    h = (h ^ f) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void RecordingScheduler::plan_tick(Tick tick, const SwarmState& state,
+                                   std::vector<Transfer>& out) {
+  TickRecord rec;
+  rec.tick = tick;
+  rec.blocks_held_at_start = state.total_blocks_held();
+  rec.freq_fingerprint = fingerprint_frequencies(state.block_frequency());
+  const std::size_t before = out.size();
+  inner_->plan_tick(tick, state, out);
+  rec.planned.assign(out.begin() + static_cast<std::ptrdiff_t>(before), out.end());
+  log_.push_back(std::move(rec));
+}
+
+ReferenceResult reference_run(const EngineConfig& config,
+                              const std::vector<TickRecord>& log,
+                              const MechanismSpec& mech) {
+  const std::uint32_t n = config.num_nodes;
+  const std::uint32_t k = config.num_blocks;
+
+  // --- Naive swarm state. ---
+  std::vector<std::set<BlockId>> have(n);
+  for (BlockId b = 0; b < k; ++b) have[kServer].insert(b);
+  std::vector<char> active(n, 1);
+  std::vector<Tick> completion(n, 0);
+  std::uint32_t departed = 0;
+
+  const auto client_incomplete = [&](NodeId c) {
+    return active[c] != 0 && have[c].size() < k;
+  };
+  const auto all_complete = [&] {
+    for (NodeId c = 1; c < n; ++c) {
+      if (client_incomplete(c)) return false;
+    }
+    return true;
+  };
+  const auto count_blocks_held = [&] {
+    std::uint64_t total = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (active[u]) total += have[u].size();
+    }
+    return total;
+  };
+  const auto frequencies = [&] {
+    std::vector<std::uint32_t> freq(k, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      for (const BlockId b : have[u]) ++freq[b];
+    }
+    return freq;
+  };
+
+  // --- Capacities, mirroring the fast engine's resolution rules. ---
+  const std::uint32_t server_up = config.server_upload_capacity != 0
+                                      ? config.server_upload_capacity
+                                      : config.upload_capacity;
+  const auto up_cap_of = [&](NodeId node) -> std::uint32_t {
+    if (!config.upload_capacities.empty()) return config.upload_capacities[node];
+    return node == kServer ? server_up : config.upload_capacity;
+  };
+  const auto down_cap_of = [&](NodeId node) -> std::uint32_t {
+    if (!config.download_capacities.empty()) return config.download_capacities[node];
+    return config.download_capacity;
+  };
+
+  std::uint64_t active_slots = 0;
+  for (NodeId u = 0; u < n; ++u) active_slots += up_cap_of(u);
+  const auto deactivate = [&](NodeId node) {
+    if (!active[node]) return;
+    active[node] = 0;
+    ++departed;
+    active_slots -= up_cap_of(node);
+  };
+
+  const Tick cap = config.max_ticks != 0 ? config.max_ticks
+                                         : default_tick_cap(n, k);
+
+  std::vector<std::pair<Tick, NodeId>> departures = config.departures;
+  std::sort(departures.begin(), departures.end());
+  std::size_t next_departure = 0;
+
+  RefMechanism mechanism(mech);
+
+  ReferenceResult res;
+  res.uploads_per_node.assign(n, 0);
+
+  std::set<std::pair<NodeId, BlockId>> lost_deliveries;
+  std::vector<NodeId> leaving;
+  std::size_t ri = 0;  // next record in the log
+
+  const auto reject = [&](Tick tick, std::string message) {
+    res.violated = true;
+    res.violation_tick = tick;
+    res.violation_message = std::move(message);
+  };
+  const auto describe_transfer = [](Tick tick, const Transfer& tr, const char* why) {
+    std::ostringstream os;
+    os << "tick " << tick << ": transfer " << tr.from << " -> " << tr.to
+       << " (block " << tr.block << "): " << why;
+    return os.str();
+  };
+
+  Tick tick = 0;
+  while (!all_complete() && tick < cap) {
+    ++tick;
+    while (next_departure < departures.size() &&
+           departures[next_departure].first <= tick) {
+      deactivate(departures[next_departure].second);
+      ++next_departure;
+    }
+    if (config.depart_on_complete) {
+      for (const NodeId c : leaving) deactivate(c);
+      leaving.clear();
+    }
+    if (all_complete()) break;
+
+    if (ri >= log.size()) {
+      res.ran_out_of_log = true;
+      break;
+    }
+    if (log[ri].tick != tick) {
+      res.ran_out_of_log = true;
+      res.violation_message = "log misalignment: expected tick " +
+                              std::to_string(tick) + ", log has tick " +
+                              std::to_string(log[ri].tick);
+      break;
+    }
+    res.blocks_held_at_start.push_back(count_blocks_held());
+    res.freq_fingerprint.push_back(fingerprint_frequencies(frequencies()));
+    const std::vector<Transfer>& planned = log[ri].planned;
+    ++ri;
+
+    // --- Validate, transfer by transfer, in schedule order. ---
+    std::vector<Transfer> kept;
+    std::vector<std::uint32_t> up_used(n, 0), down_used(n, 0);
+    std::uint64_t dropped_this_tick = 0;
+    for (const Transfer& tr : planned) {
+      if (tr.from >= n || tr.to >= n) {
+        reject(tick, describe_transfer(tick, tr, "node id out of range"));
+        break;
+      }
+      if (tr.from == tr.to) {
+        reject(tick, describe_transfer(tick, tr, "self transfer"));
+        break;
+      }
+      if (tr.block >= k) {
+        reject(tick, describe_transfer(tick, tr, "block id out of range"));
+        break;
+      }
+      if (!active[tr.from] || !active[tr.to]) {
+        if (config.drop_transfers_involving_inactive) {
+          ++dropped_this_tick;
+          if (active[tr.to]) lost_deliveries.insert({tr.to, tr.block});
+          continue;
+        }
+        reject(tick, describe_transfer(tick, tr, "transfer involves a departed node"));
+        break;
+      }
+      if (have[tr.from].count(tr.block) == 0) {
+        if (config.drop_transfers_involving_inactive &&
+            lost_deliveries.count({tr.from, tr.block}) != 0) {
+          ++dropped_this_tick;
+          lost_deliveries.insert({tr.to, tr.block});
+          continue;
+        }
+        reject(tick,
+               describe_transfer(tick, tr, "sender does not hold the block at tick start"));
+        break;
+      }
+      if (have[tr.to].count(tr.block) != 0) {
+        if (config.drop_transfers_involving_inactive &&
+            lost_deliveries.erase({tr.to, tr.block}) != 0) {
+          ++dropped_this_tick;
+          continue;
+        }
+        reject(tick, describe_transfer(tick, tr, "receiver already holds the block"));
+        break;
+      }
+      if (++up_used[tr.from] > up_cap_of(tr.from)) {
+        reject(tick, describe_transfer(tick, tr, "sender over upload capacity"));
+        break;
+      }
+      const std::uint32_t dcap = down_cap_of(tr.to);
+      if (dcap != kUnlimited && ++down_used[tr.to] > dcap) {
+        reject(tick, describe_transfer(tick, tr, "receiver over download capacity"));
+        break;
+      }
+      kept.push_back(tr);
+    }
+    if (res.violated) break;
+    // No block may be delivered twice to one receiver within a tick.
+    for (std::size_t i = 0; i < kept.size() && !res.violated; ++i) {
+      for (std::size_t j = i + 1; j < kept.size(); ++j) {
+        if (kept[i].to == kept[j].to && kept[i].block == kept[j].block) {
+          reject(tick,
+                 describe_transfer(tick, kept.front(),
+                                   "same block delivered twice to one receiver in one tick"));
+          break;
+        }
+      }
+    }
+    if (res.violated) break;
+    if (auto err = mechanism.check(kept)) {
+      reject(tick, "tick " + std::to_string(tick) + ": mechanism violated: " + *err);
+      break;
+    }
+
+    // --- Commit. ---
+    res.dropped_transfers += dropped_this_tick;
+    mechanism.commit(kept);
+    for (const Transfer& tr : kept) {
+      const bool was_incomplete = have[tr.to].size() < k;
+      have[tr.to].insert(tr.block);
+      lost_deliveries.erase({tr.to, tr.block});
+      if (was_incomplete && have[tr.to].size() == k && tr.to != kServer) {
+        completion[tr.to] = tick;
+        if (config.depart_on_complete) leaving.push_back(tr.to);
+      }
+      ++res.uploads_per_node[tr.from];
+    }
+    res.total_transfers += kept.size();
+    res.uploads_per_tick.push_back(static_cast<std::uint32_t>(kept.size()));
+    res.active_slots_per_tick.push_back(static_cast<std::uint32_t>(active_slots));
+    res.accepted.push_back(std::move(kept));
+
+    if (config.stall_window != 0 && tick >= config.stall_window) {
+      std::uint64_t window_sum = 0, window_slots = 0;
+      const std::size_t ticks_so_far = res.uploads_per_tick.size();
+      for (std::size_t t = ticks_so_far - config.stall_window; t < ticks_so_far; ++t) {
+        window_sum += res.uploads_per_tick[t];
+        window_slots += res.active_slots_per_tick[t];
+      }
+      if (static_cast<double>(window_sum) <
+          config.stall_utilization * static_cast<double>(window_slots)) {
+        res.stalled = true;
+        break;
+      }
+    }
+  }
+
+  res.ticks_executed = tick;
+  res.completed = !res.violated && !res.ran_out_of_log && all_complete();
+  res.departed = departed;
+  res.client_completion.assign(completion.begin() + 1, completion.end());
+  if (res.completed) {
+    res.completion_tick = *std::max_element(res.client_completion.begin(),
+                                            res.client_completion.end());
+  }
+  res.final_have = std::move(have);
+  return res;
+}
+
+}  // namespace pob::check

@@ -1,0 +1,120 @@
+// The reference half of the differential oracle: a deliberately slow,
+// obviously-correct re-implementation of the §2.1 bandwidth / data-transfer
+// model and of each §3 mechanism's legality predicate.
+//
+// The fast engine (pob/core/engine.cc) validates schedules with incremental
+// indexes — swap-removed incomplete lists, tick-stamped scratch, cached
+// replica counts. A bug there re-validates itself, because every other test
+// in the repo trusts the same code. The reference engine shares *no* code
+// and no data structures with it: possession is a std::set per node, replica
+// counts are recounted from scratch every tick, mechanism ledgers are plain
+// std::map, and cyclic-barter clearing is a BFS reachability check instead
+// of the fast engine's path-clearing DFS. It replays a recorded schedule
+// transfer-by-transfer and must agree with the fast engine on every
+// accept/reject decision, per-tick replica count, and the final RunResult.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pob/core/engine.h"
+#include "pob/core/mechanism.h"
+#include "pob/core/scheduler.h"
+
+namespace pob::check {
+
+/// Which §3 mechanism a run is validated under, as plain data — the fast
+/// side builds a pob::Mechanism from it, the reference side interprets it
+/// with its own independent predicates.
+struct MechanismSpec {
+  enum class Kind { kNone, kStrictBarter, kCreditLimited, kCyclicBarter };
+  Kind kind = Kind::kNone;
+  std::uint32_t credit_limit = 1;
+  std::uint32_t max_cycle_len = 3;
+
+  std::string describe() const;
+};
+
+/// Fast-side instance for the spec (nullptr for kNone).
+std::unique_ptr<Mechanism> make_mechanism(const MechanismSpec& spec);
+
+/// What the fast engine was *asked* to do on one tick, captured before any
+/// validation ran, plus two start-of-tick observations of the fast engine's
+/// incremental state that the reference recomputes from scratch.
+struct TickRecord {
+  Tick tick = 0;
+  std::vector<Transfer> planned;
+  std::uint64_t blocks_held_at_start = 0;  ///< SwarmState::total_blocks_held()
+  std::uint64_t freq_fingerprint = 0;      ///< fingerprint_frequencies(block_frequency())
+};
+
+/// FNV-1a over the per-block replica counts.
+std::uint64_t fingerprint_frequencies(std::span<const std::uint32_t> freq);
+
+/// Wraps the real scheduler and records every planned tick; the engine never
+/// knows it is being watched, so recording cannot perturb the run. The log
+/// survives an EngineViolation (which destroys the fast RunResult), so the
+/// oracle can still see the schedule that triggered it.
+class RecordingScheduler final : public Scheduler {
+ public:
+  explicit RecordingScheduler(Scheduler& inner) : inner_(&inner) {}
+
+  std::string_view name() const override { return inner_->name(); }
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override;
+
+  const std::vector<TickRecord>& log() const { return log_; }
+
+ private:
+  Scheduler* inner_;
+  std::vector<TickRecord> log_;
+};
+
+/// Everything the reference engine concludes from a recorded schedule.
+struct ReferenceResult {
+  // Accept/reject decision: set when the reference rejects the schedule (the
+  // fast engine must have thrown EngineViolation on the same tick).
+  bool violated = false;
+  Tick violation_tick = 0;
+  std::string violation_message;
+
+  // Set when the reference loop wanted a tick the log does not contain —
+  // the fast engine stopped earlier than the reference thinks it should.
+  bool ran_out_of_log = false;
+
+  // Mirror of RunResult, recomputed with naive data structures.
+  bool completed = false;
+  bool stalled = false;
+  Tick completion_tick = 0;
+  Tick ticks_executed = 0;
+  std::uint64_t total_transfers = 0;
+  std::uint64_t dropped_transfers = 0;
+  std::uint32_t departed = 0;
+  std::vector<Tick> client_completion;
+  std::vector<std::uint32_t> uploads_per_node;
+  std::vector<std::uint32_t> uploads_per_tick;
+  std::vector<std::uint32_t> active_slots_per_tick;
+
+  /// Transfers the reference accepted, per executed tick (compare to
+  /// RunResult::trace).
+  std::vector<std::vector<Transfer>> accepted;
+
+  /// The reference's own start-of-tick observations, index-aligned with the
+  /// recorded log (compare to TickRecord's fields).
+  std::vector<std::uint64_t> blocks_held_at_start;
+  std::vector<std::uint64_t> freq_fingerprint;
+
+  /// Final possession per node, departed nodes included.
+  std::vector<std::set<BlockId>> final_have;
+};
+
+/// Replays a recorded schedule through the reference model. `config` must be
+/// the exact EngineConfig the fast run used.
+ReferenceResult reference_run(const EngineConfig& config,
+                              const std::vector<TickRecord>& log,
+                              const MechanismSpec& mech);
+
+}  // namespace pob::check

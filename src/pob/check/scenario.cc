@@ -1,0 +1,594 @@
+#include "pob/check/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/rng.h"
+#include "pob/exp/parallel.h"
+#include "pob/overlay/builders.h"
+#include "pob/rand/randomized.h"
+#include "pob/rand/rotation.h"
+#include "pob/rand/tit_for_tat.h"
+#include "pob/sched/binomial_pipeline.h"
+#include "pob/sched/binomial_tree.h"
+#include "pob/sched/multi_server.h"
+#include "pob/sched/multicast_tree.h"
+#include "pob/sched/pipeline.h"
+#include "pob/sched/riffle_pipeline.h"
+#include "pob/sched/striped_trees.h"
+
+namespace pob::check {
+namespace {
+
+constexpr std::uint32_t kMaxNodes = 64;
+constexpr std::uint32_t kMaxBlocks = 48;
+
+bool is_randomized_family(SchedulerKind kind) {
+  return kind == SchedulerKind::kRandomized || kind == SchedulerKind::kCreditRandomized ||
+         kind == SchedulerKind::kRotating || kind == SchedulerKind::kTitForTat;
+}
+
+bool may_have_churn(SchedulerKind kind) {
+  return is_randomized_family(kind) || kind == SchedulerKind::kPipeline ||
+         kind == SchedulerKind::kBinomialPipeline;
+}
+
+/// Appends a same-tick forward of the first planned transfer's block — the
+/// deliberately broken scheduler of FaultKind::kSameTickForward.
+class FaultyScheduler final : public Scheduler {
+ public:
+  FaultyScheduler(Scheduler& inner, std::uint32_t num_nodes)
+      : inner_(&inner), n_(num_nodes) {}
+
+  std::string_view name() const override { return "faulty"; }
+
+  void plan_tick(Tick tick, const SwarmState& state, std::vector<Transfer>& out) override {
+    const std::size_t before = out.size();
+    inner_->plan_tick(tick, state, out);
+    if (out.size() == before) return;
+    const Transfer first = out[before];
+    // The receiver forwards the block it is only now being sent. With no
+    // third node to forward to, bounce it back to the sender (equally
+    // illegal: the sender already holds it).
+    NodeId target = first.from;
+    for (NodeId w = 0; w < n_; ++w) {
+      if (w != first.from && w != first.to) {
+        target = w;
+        break;
+      }
+    }
+    out.push_back({first.to, target, first.block});
+  }
+
+ private:
+  Scheduler* inner_;
+  std::uint32_t n_;
+};
+
+}  // namespace
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kPipeline: return "pipeline";
+    case SchedulerKind::kMulticastTree: return "multicast-tree";
+    case SchedulerKind::kBinomialTree: return "binomial-tree";
+    case SchedulerKind::kBinomialPipeline: return "binomial-pipeline";
+    case SchedulerKind::kRiffle: return "riffle";
+    case SchedulerKind::kStripedTrees: return "striped-trees";
+    case SchedulerKind::kMultiServer: return "multi-server";
+    case SchedulerKind::kRandomized: return "randomized";
+    case SchedulerKind::kCreditRandomized: return "credit-randomized";
+    case SchedulerKind::kRotating: return "rotating";
+    case SchedulerKind::kTitForTat: return "tit-for-tat";
+  }
+  return "?";
+}
+
+const char* to_string(OverlayKind kind) {
+  switch (kind) {
+    case OverlayKind::kComplete: return "complete";
+    case OverlayKind::kRegular: return "regular";
+    case OverlayKind::kHypercube: return "hypercube";
+    case OverlayKind::kRing: return "ring";
+    case OverlayKind::kKaryTree: return "karytree";
+  }
+  return "?";
+}
+
+EngineConfig Scenario::to_config() const {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.upload_capacity = upload;
+  cfg.download_capacity = download;
+  cfg.server_upload_capacity = server_upload;
+  cfg.upload_capacities = upload_caps;
+  cfg.download_capacities = download_caps;
+  cfg.departures = departures;
+  cfg.drop_transfers_involving_inactive = drop_on_churn;
+  cfg.depart_on_complete = depart_on_complete;
+  // Cut hopeless runs (disconnected overlays, churned-out pipelines) early
+  // instead of spinning to the generous default tick cap.
+  cfg.stall_window = 64;
+  return cfg;
+}
+
+std::string Scenario::describe() const {
+  std::ostringstream os;
+  os << to_string(scheduler) << " n=" << n << " k=" << k << " u=" << upload << " d=";
+  if (download == kUnlimited) {
+    os << "inf";
+  } else {
+    os << download;
+  }
+  if (server_upload != 0) os << " su=" << server_upload;
+  os << " mech=" << mechanism.describe();
+  if (is_randomized_family(scheduler) && scheduler != SchedulerKind::kRotating) {
+    os << " overlay=" << to_string(overlay);
+    if (overlay == OverlayKind::kRegular) os << ":" << degree;
+    if (overlay == OverlayKind::kKaryTree) os << ":" << arity;
+  }
+  switch (scheduler) {
+    case SchedulerKind::kMulticastTree: os << " arity=" << arity; break;
+    case SchedulerKind::kStripedTrees: os << " stripes=" << stripes; break;
+    case SchedulerKind::kMultiServer: os << " servers=" << servers; break;
+    case SchedulerKind::kRotating: os << " degree=" << degree << " period=" << period; break;
+    default: break;
+  }
+  if (!upload_caps.empty()) os << " hetero-up";
+  if (!download_caps.empty()) os << " hetero-down";
+  if (!departures.empty()) {
+    os << " depart=";
+    for (std::size_t i = 0; i < departures.size(); ++i) {
+      if (i != 0) os << ',';
+      os << departures[i].first << ':' << departures[i].second;
+    }
+  }
+  if (drop_on_churn) os << " drop";
+  if (depart_on_complete) os << " depart-on-complete";
+  if (fault == FaultKind::kSameTickForward) os << " FAULT=same-tick-forward";
+  os << " seed=" << seed;
+  return os.str();
+}
+
+std::string Scenario::to_gtest(const std::string& diagnosis) const {
+  std::ostringstream os;
+  os << "TEST(PobFuzzRepro, Seed" << seed << ") {\n";
+  os << "  // " << describe() << "\n";
+  if (!diagnosis.empty()) os << "  // failed with: " << diagnosis << "\n";
+  os << "  using namespace pob::check;\n";
+  os << "  Scenario sc;\n";
+  os << "  sc.seed = " << seed << "ull;\n";
+  os << "  sc.scheduler = SchedulerKind::k";
+  switch (scheduler) {
+    case SchedulerKind::kPipeline: os << "Pipeline"; break;
+    case SchedulerKind::kMulticastTree: os << "MulticastTree"; break;
+    case SchedulerKind::kBinomialTree: os << "BinomialTree"; break;
+    case SchedulerKind::kBinomialPipeline: os << "BinomialPipeline"; break;
+    case SchedulerKind::kRiffle: os << "Riffle"; break;
+    case SchedulerKind::kStripedTrees: os << "StripedTrees"; break;
+    case SchedulerKind::kMultiServer: os << "MultiServer"; break;
+    case SchedulerKind::kRandomized: os << "Randomized"; break;
+    case SchedulerKind::kCreditRandomized: os << "CreditRandomized"; break;
+    case SchedulerKind::kRotating: os << "Rotating"; break;
+    case SchedulerKind::kTitForTat: os << "TitForTat"; break;
+  }
+  os << ";\n";
+  os << "  sc.overlay = OverlayKind::k";
+  switch (overlay) {
+    case OverlayKind::kComplete: os << "Complete"; break;
+    case OverlayKind::kRegular: os << "Regular"; break;
+    case OverlayKind::kHypercube: os << "Hypercube"; break;
+    case OverlayKind::kRing: os << "Ring"; break;
+    case OverlayKind::kKaryTree: os << "KaryTree"; break;
+  }
+  os << ";\n";
+  os << "  sc.mechanism.kind = MechanismSpec::Kind::k";
+  switch (mechanism.kind) {
+    case MechanismSpec::Kind::kNone: os << "None"; break;
+    case MechanismSpec::Kind::kStrictBarter: os << "StrictBarter"; break;
+    case MechanismSpec::Kind::kCreditLimited: os << "CreditLimited"; break;
+    case MechanismSpec::Kind::kCyclicBarter: os << "CyclicBarter"; break;
+  }
+  os << ";\n";
+  os << "  sc.mechanism.credit_limit = " << mechanism.credit_limit << ";\n";
+  os << "  sc.mechanism.max_cycle_len = " << mechanism.max_cycle_len << ";\n";
+  os << "  sc.n = " << n << ";\n  sc.k = " << k << ";\n";
+  os << "  sc.upload = " << upload << ";\n";
+  if (download == kUnlimited) {
+    os << "  sc.download = pob::kUnlimited;\n";
+  } else {
+    os << "  sc.download = " << download << ";\n";
+  }
+  os << "  sc.server_upload = " << server_upload << ";\n";
+  os << "  sc.arity = " << arity << ";\n  sc.stripes = " << stripes << ";\n";
+  os << "  sc.servers = " << servers << ";\n  sc.degree = " << degree << ";\n";
+  os << "  sc.period = " << period << ";\n";
+  if (!upload_caps.empty()) {
+    os << "  sc.upload_caps = {";
+    for (std::size_t i = 0; i < upload_caps.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << upload_caps[i];
+    }
+    os << "};\n";
+  }
+  if (!download_caps.empty()) {
+    os << "  sc.download_caps = {";
+    for (std::size_t i = 0; i < download_caps.size(); ++i) {
+      if (i != 0) os << ", ";
+      if (download_caps[i] == kUnlimited) {
+        os << "pob::kUnlimited";
+      } else {
+        os << download_caps[i];
+      }
+    }
+    os << "};\n";
+  }
+  for (const auto& [t, c] : departures) {
+    os << "  sc.departures.push_back({" << t << ", " << c << "});\n";
+  }
+  os << "  sc.drop_on_churn = " << (drop_on_churn ? "true" : "false") << ";\n";
+  os << "  sc.depart_on_complete = " << (depart_on_complete ? "true" : "false") << ";\n";
+  if (fault == FaultKind::kSameTickForward) {
+    os << "  sc.fault = FaultKind::kSameTickForward;\n";
+  }
+  os << "  const ScenarioOutcome out = run_scenario(sc);\n";
+  os << "  EXPECT_TRUE(out.ok) << out.diagnosis;\n";
+  os << "}\n";
+  return os.str();
+}
+
+void sanitize(Scenario& sc) {
+  sc.n = std::clamp(sc.n, 2u, kMaxNodes);
+  sc.k = std::clamp(sc.k, 1u, kMaxBlocks);
+  sc.upload = std::clamp(sc.upload, 1u, 2u);
+  sc.arity = std::clamp(sc.arity, 2u, 4u);
+  sc.period = std::clamp<Tick>(sc.period, 1, 32);
+  sc.mechanism.credit_limit = std::clamp(sc.mechanism.credit_limit, 1u, 3u);
+  sc.mechanism.max_cycle_len = std::clamp(sc.mechanism.max_cycle_len, 2u, 4u);
+
+  // Deterministic schedules are materialized for unit capacities; the riffle
+  // additionally takes (u, d) but the schedule builder is only exercised at
+  // u = 1 here.
+  if (!is_randomized_family(sc.scheduler)) sc.upload = 1;
+  if (sc.download != kUnlimited && sc.download < sc.upload) sc.download = sc.upload;
+
+  switch (sc.scheduler) {
+    case SchedulerKind::kRiffle:
+      // Theorem 3's schedule; d = 2u is the tight regime, d = u serializes.
+      if (sc.download == kUnlimited || sc.download > 2 * sc.upload) {
+        sc.download = 2 * sc.upload;
+      }
+      if (sc.mechanism.kind != MechanismSpec::Kind::kStrictBarter) {
+        sc.mechanism.kind = MechanismSpec::Kind::kNone;
+      }
+      break;
+    case SchedulerKind::kStripedTrees:
+      sc.n = std::max(sc.n, 3u);
+      sc.stripes = std::clamp(sc.stripes, 2u, std::min(4u, sc.n - 1));
+      if (sc.download != kUnlimited) sc.download = std::max(sc.download, sc.stripes);
+      sc.mechanism.kind = MechanismSpec::Kind::kNone;
+      break;
+    case SchedulerKind::kMultiServer:
+      sc.n = std::max(sc.n, 3u);
+      sc.servers = std::clamp(sc.servers, 2u, std::min(4u, sc.n - 1));
+      sc.server_upload = sc.servers;
+      sc.mechanism.kind = MechanismSpec::Kind::kNone;
+      break;
+    case SchedulerKind::kCreditRandomized:
+      // The may_upload precheck only guarantees end-of-tick legality when
+      // each client sends at most one block per tick.
+      sc.upload = 1;
+      if (sc.mechanism.kind != MechanismSpec::Kind::kCreditLimited &&
+          sc.mechanism.kind != MechanismSpec::Kind::kCyclicBarter) {
+        sc.mechanism.kind = MechanismSpec::Kind::kCreditLimited;
+      }
+      break;
+    case SchedulerKind::kPipeline:
+    case SchedulerKind::kMulticastTree:
+    case SchedulerKind::kBinomialTree:
+    case SchedulerKind::kBinomialPipeline:
+      sc.mechanism.kind = MechanismSpec::Kind::kNone;
+      break;
+    case SchedulerKind::kRandomized:
+    case SchedulerKind::kRotating:
+    case SchedulerKind::kTitForTat:
+      sc.mechanism.kind = MechanismSpec::Kind::kNone;
+      break;
+  }
+  if (sc.scheduler != SchedulerKind::kMultiServer) {
+    sc.server_upload = std::min(sc.server_upload, 2u);
+  }
+
+  // Heterogeneous capacities: plain randomized only (the scheduler options
+  // must mirror the config, and only RandomizedOptions carries the vectors).
+  if (sc.scheduler != SchedulerKind::kRandomized) {
+    sc.upload_caps.clear();
+    sc.download_caps.clear();
+  }
+  if (!sc.upload_caps.empty()) {
+    sc.upload_caps.resize(sc.n, 1);
+    for (auto& c : sc.upload_caps) c = std::clamp(c, 1u, 3u);
+  }
+  if (!sc.upload_caps.empty() && sc.download_caps.empty() && sc.download != kUnlimited) {
+    // A limited scalar download under heterogeneous uploads would violate
+    // d >= u wherever the node's upload exceeds it; materialize per-node
+    // downloads so the fixup below can raise them.
+    sc.download_caps.assign(sc.n, sc.download);
+  }
+  if (!sc.download_caps.empty()) {
+    sc.download_caps.resize(sc.n, kUnlimited);
+    const auto up_of = [&](std::size_t i) {
+      return sc.upload_caps.empty() ? sc.upload : sc.upload_caps[i];
+    };
+    for (std::size_t i = 0; i < sc.download_caps.size(); ++i) {
+      if (sc.download_caps[i] != kUnlimited) {
+        sc.download_caps[i] = std::max(sc.download_caps[i], up_of(i));
+      }
+    }
+  }
+
+  if (sc.overlay == OverlayKind::kRing && sc.n < 3) sc.overlay = OverlayKind::kComplete;
+
+  // Regular-graph degree (used by the regular overlay and by rotation):
+  // make_random_regular needs degree < n with degree * n even.
+  {
+    const std::uint32_t hi = sc.n - 1;
+    sc.degree = std::clamp(sc.degree, std::min(2u, hi), hi);
+    if (sc.degree % 2 != 0 && sc.n % 2 != 0) {
+      // n odd forces even degree; hi = n - 1 is even, so the odd degree is
+      // strictly below it and bumping up stays in range.
+      sc.degree = sc.degree < hi ? sc.degree + 1 : sc.degree - 1;
+    }
+  }
+
+  // Churn: only schedulers whose interplay with lossy drop mode is defined
+  // (randomized family reads live state; pipelines are the drop-forgiveness
+  // regression family). Any timed departure forces drop mode — rigid
+  // schedules keep naming departed nodes, and that must be lossy, not fatal.
+  if (!may_have_churn(sc.scheduler)) {
+    sc.departures.clear();
+    sc.depart_on_complete = false;
+  }
+  if (sc.departures.size() > 3) sc.departures.resize(3);
+  for (auto& [t, c] : sc.departures) {
+    if (t < 1 || t > 40) t = 1 + t % 40;
+    if (c < 1 || c >= sc.n) c = 1 + c % (sc.n - 1);
+  }
+  if (sc.depart_on_complete && sc.scheduler != SchedulerKind::kRandomized) {
+    sc.depart_on_complete = false;
+  }
+  sc.drop_on_churn = !sc.departures.empty() || sc.depart_on_complete;
+}
+
+Scenario sample_scenario(std::uint64_t base_seed, std::uint32_t index) {
+  Rng rng(trial_seed(base_seed, index));
+  Scenario sc;
+  sc.seed = rng.next();
+  constexpr SchedulerKind kKinds[] = {
+      SchedulerKind::kPipeline,       SchedulerKind::kMulticastTree,
+      SchedulerKind::kBinomialTree,   SchedulerKind::kBinomialPipeline,
+      SchedulerKind::kRiffle,         SchedulerKind::kStripedTrees,
+      SchedulerKind::kMultiServer,    SchedulerKind::kRandomized,
+      SchedulerKind::kRandomized,     SchedulerKind::kRandomized,
+      SchedulerKind::kCreditRandomized, SchedulerKind::kCreditRandomized,
+      SchedulerKind::kRotating,       SchedulerKind::kTitForTat,
+  };
+  sc.scheduler = kKinds[rng.below(static_cast<std::uint32_t>(std::size(kKinds)))];
+  constexpr OverlayKind kOverlays[] = {
+      OverlayKind::kComplete, OverlayKind::kComplete, OverlayKind::kRegular,
+      OverlayKind::kHypercube, OverlayKind::kRing, OverlayKind::kKaryTree,
+  };
+  sc.overlay = kOverlays[rng.below(static_cast<std::uint32_t>(std::size(kOverlays)))];
+  sc.n = 2 + rng.below(kMaxNodes - 1);
+  sc.k = 1 + rng.below(kMaxBlocks);
+  sc.upload = 1 + rng.below(2);
+  switch (rng.below(3)) {  // d in {u, 2u, inf}
+    case 0: sc.download = sc.upload; break;
+    case 1: sc.download = 2 * sc.upload; break;
+    default: sc.download = kUnlimited; break;
+  }
+  sc.server_upload = rng.below(4) == 0 ? 2 : 0;
+  sc.arity = 2 + rng.below(3);
+  sc.stripes = 2 + rng.below(3);
+  sc.servers = 2 + rng.below(3);
+  sc.degree = 3 + rng.below(8);
+  sc.period = 2 + rng.below(16);
+  switch (rng.below(3)) {
+    case 0:
+      sc.mechanism.kind = MechanismSpec::Kind::kCreditLimited;
+      break;
+    case 1:
+      sc.mechanism.kind = MechanismSpec::Kind::kCyclicBarter;
+      break;
+    default:
+      sc.mechanism.kind = sc.scheduler == SchedulerKind::kRiffle
+                              ? MechanismSpec::Kind::kStrictBarter
+                              : MechanismSpec::Kind::kNone;
+      break;
+  }
+  sc.mechanism.credit_limit = 1 + rng.below(3);
+  sc.mechanism.max_cycle_len = 3 + rng.below(2);
+  if (sc.scheduler == SchedulerKind::kRandomized && rng.below(3) == 0) {
+    sc.upload_caps.resize(sc.n);
+    for (auto& c : sc.upload_caps) c = 1 + rng.below(3);
+    if (rng.below(2) == 0) {
+      sc.download_caps.resize(sc.n);
+      for (std::size_t i = 0; i < sc.n; ++i) {
+        sc.download_caps[i] =
+            rng.below(2) == 0 ? kUnlimited : sc.upload_caps[i] + rng.below(2);
+      }
+    }
+  }
+  if (may_have_churn(sc.scheduler) && rng.below(3) == 0) {
+    const std::uint32_t count = 1 + rng.below(3);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      sc.departures.emplace_back(1 + rng.below(40), 1 + rng.below(sc.n - 1));
+    }
+  }
+  if (sc.scheduler == SchedulerKind::kRandomized && rng.below(8) == 0) {
+    sc.depart_on_complete = true;
+  }
+  sanitize(sc);
+  return sc;
+}
+
+BuiltScenario build_scenario(const Scenario& sc) {
+  BuiltScenario built;
+  built.config = sc.to_config();
+  Rng rng(sc.seed);
+
+  if (is_randomized_family(sc.scheduler) && sc.scheduler != SchedulerKind::kRotating) {
+    Rng overlay_rng = rng.split(0);
+    switch (sc.overlay) {
+      case OverlayKind::kComplete:
+        built.overlay = std::make_shared<CompleteOverlay>(sc.n);
+        break;
+      case OverlayKind::kRegular:
+        built.overlay = std::make_shared<GraphOverlay>(
+            make_random_regular(sc.n, sc.degree, overlay_rng));
+        break;
+      case OverlayKind::kHypercube:
+        built.overlay = std::make_shared<GraphOverlay>(make_hypercube_overlay(sc.n));
+        break;
+      case OverlayKind::kRing:
+        built.overlay = std::make_shared<GraphOverlay>(make_ring(sc.n));
+        break;
+      case OverlayKind::kKaryTree:
+        built.overlay =
+            std::make_shared<GraphOverlay>(make_kary_tree(sc.n, sc.arity));
+        break;
+    }
+  }
+
+  RandomizedOptions opt;
+  opt.upload_capacity = sc.upload;
+  opt.download_capacity = sc.download;
+  opt.upload_capacities = sc.upload_caps;
+  opt.download_capacities = sc.download_caps;
+  opt.policy = sc.seed % 2 == 0 ? BlockPolicy::kRandom : BlockPolicy::kRarestFirst;
+
+  switch (sc.scheduler) {
+    case SchedulerKind::kPipeline:
+      built.scheduler = std::make_unique<PipelineScheduler>(sc.n, sc.k);
+      break;
+    case SchedulerKind::kMulticastTree:
+      built.scheduler = std::make_unique<MulticastTreeScheduler>(sc.n, sc.k, sc.arity);
+      break;
+    case SchedulerKind::kBinomialTree:
+      built.scheduler = std::make_unique<BinomialTreeScheduler>(sc.n, sc.k);
+      break;
+    case SchedulerKind::kBinomialPipeline:
+      built.scheduler = std::make_unique<BinomialPipelineScheduler>(sc.n, sc.k);
+      break;
+    case SchedulerKind::kRiffle:
+      built.scheduler = std::make_unique<RifflePipelineScheduler>(
+          sc.n, sc.k, sc.upload,
+          sc.download == kUnlimited ? 2 * sc.upload : sc.download);
+      break;
+    case SchedulerKind::kStripedTrees:
+      built.scheduler = std::make_unique<StripedTreesScheduler>(sc.n, sc.k, sc.stripes);
+      break;
+    case SchedulerKind::kMultiServer:
+      built.scheduler = std::make_unique<MultiServerScheduler>(sc.n, sc.k, sc.servers);
+      break;
+    case SchedulerKind::kRandomized:
+      built.scheduler =
+          std::make_unique<RandomizedScheduler>(built.overlay, opt, rng.split(1));
+      break;
+    case SchedulerKind::kCreditRandomized:
+      built.mechanism = make_mechanism(sc.mechanism);
+      built.scheduler = std::make_unique<RandomizedScheduler>(
+          built.overlay, opt, rng.split(1), built.mechanism.get());
+      break;
+    case SchedulerKind::kRotating:
+      built.scheduler = std::make_unique<RotatingRandomizedScheduler>(
+          sc.n, sc.degree, sc.period, opt, rng.split(1));
+      break;
+    case SchedulerKind::kTitForTat: {
+      TitForTatOptions tft;
+      tft.upload_capacity = sc.upload;
+      tft.download_capacity = sc.download;
+      built.scheduler =
+          std::make_unique<TitForTatScheduler>(built.overlay, tft, rng.split(1));
+      break;
+    }
+  }
+  if (built.mechanism == nullptr) built.mechanism = make_mechanism(sc.mechanism);
+  return built;
+}
+
+ScenarioOutcome run_scenario(const Scenario& sc) {
+  BuiltScenario built = build_scenario(sc);
+  Scheduler* scheduler = built.scheduler.get();
+  FaultyScheduler faulty(*built.scheduler, sc.n);
+  if (sc.fault == FaultKind::kSameTickForward) scheduler = &faulty;
+
+  const OracleReport report =
+      differential_check(built.config, *scheduler, sc.mechanism, built.mechanism.get());
+  if (!report.ok) {
+    return {false, "oracle disagreement: " + report.diagnosis};
+  }
+  if (report.violated) {
+    // Both engines rejected the schedule in agreement — for a sampled
+    // (legal-by-construction) scenario that still means the *scheduler*
+    // planned an illegal transfer, which is a bug worth failing on.
+    return {false, "schedule rejected by both engines: " + report.violation_message};
+  }
+
+  const RunResult& r = report.fast;
+  const bool uniform_unit = sc.upload == 1 && sc.server_upload <= 1 &&
+                            sc.upload_caps.empty();
+
+  // Theorem 1: no cooperative schedule with unit capacities beats
+  // k - 1 + ceil(log2 n).
+  if (r.completed && uniform_unit && sc.departures.empty()) {
+    const Tick bound = cooperative_lower_bound(sc.n, sc.k);
+    if (r.completion_tick < bound) {
+      return {false, "beats Theorem 1: completed at tick " +
+                         std::to_string(r.completion_tick) + " < lower bound " +
+                         std::to_string(bound)};
+    }
+  }
+
+  // Closed forms for the deterministic schedules (no churn, no mechanism).
+  const bool clean = sc.departures.empty() && !sc.depart_on_complete &&
+                     sc.mechanism.kind == MechanismSpec::Kind::kNone;
+  if (clean && sc.scheduler == SchedulerKind::kPipeline && sc.server_upload <= 1) {
+    const Tick want = pipeline_completion(sc.n, sc.k);
+    if (!r.completed || r.completion_tick != want) {
+      return {false, "pipeline missed its closed form k + n - 2 = " +
+                         std::to_string(want) + " (got " +
+                         (r.completed ? std::to_string(r.completion_tick) : "DNF") + ")"};
+    }
+  }
+  if (clean && sc.scheduler == SchedulerKind::kBinomialTree && sc.server_upload <= 1) {
+    const Tick want = binomial_tree_completion(sc.n, sc.k);
+    if (!r.completed || r.completion_tick != want) {
+      return {false, "binomial tree missed its closed form k*ceil(log2 n) = " +
+                         std::to_string(want) + " (got " +
+                         (r.completed ? std::to_string(r.completion_tick) : "DNF") + ")"};
+    }
+  }
+  // Theorem 3: the riffle pipeline with d = 2u and full cycles meets the
+  // strict-barter lower bound k + n - 2 exactly (mechanism on or off).
+  if (sc.scheduler == SchedulerKind::kRiffle && sc.departures.empty() &&
+      sc.server_upload <= 1 && sc.upload == 1 && sc.download == 2 &&
+      sc.k % (sc.n - 1) == 0) {
+    const Tick want = RifflePipelineScheduler::ideal_completion_time(sc.n, sc.k);
+    if (!r.completed || r.completion_tick != want) {
+      return {false, "riffle missed Theorem 3's k + n - 2 = " + std::to_string(want) +
+                         " (got " +
+                         (r.completed ? std::to_string(r.completion_tick) : "DNF") + ")"};
+    }
+  }
+  // Deterministic schedules must complete outright when nothing departs.
+  if (sc.departures.empty() && !sc.depart_on_complete &&
+      !is_randomized_family(sc.scheduler) && !r.completed) {
+    return {false, std::string("deterministic schedule did not complete (") +
+                       (r.stalled ? "stalled" : "hit tick cap") + ")"};
+  }
+  return {true, ""};
+}
+
+}  // namespace pob::check

@@ -66,11 +66,29 @@ RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
   }
 
   const std::uint32_t n = config.num_nodes;
+  // Config shape errors are reported as EngineViolation with distinct
+  // messages: they are machine-checked preconditions of the §2.1 model, and
+  // the differential oracle (pob/check) mirrors each rule independently.
   if (!config.upload_capacities.empty() && config.upload_capacities.size() != n) {
-    throw std::invalid_argument("engine: upload_capacities size mismatch");
+    throw EngineViolation("config: upload_capacities has " +
+                          std::to_string(config.upload_capacities.size()) +
+                          " entries for " + std::to_string(n) + " nodes");
   }
   if (!config.download_capacities.empty() && config.download_capacities.size() != n) {
-    throw std::invalid_argument("engine: download_capacities size mismatch");
+    throw EngineViolation("config: download_capacities has " +
+                          std::to_string(config.download_capacities.size()) +
+                          " entries for " + std::to_string(n) + " nodes");
+  }
+  for (const auto& [dep_tick, dep_node] : config.departures) {
+    (void)dep_tick;
+    if (dep_node == kServer) {
+      throw EngineViolation("config: departure names the server (node 0)");
+    }
+    if (dep_node >= n) {
+      throw EngineViolation("config: departure names out-of-range node " +
+                            std::to_string(dep_node) + " (num_nodes " +
+                            std::to_string(n) + ")");
+    }
   }
   const std::uint32_t server_up = config.server_upload_capacity != 0
                                       ? config.server_upload_capacity
@@ -83,6 +101,16 @@ RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
     if (!config.download_capacities.empty()) return config.download_capacities[node];
     return config.download_capacity;
   };
+  // The paper's model requires d >= u for every client (§2.1); the server
+  // never downloads, so its entries are exempt (e.g. §2.3.4's m*u server).
+  for (NodeId c = 1; c < n; ++c) {
+    if (down_cap_of(c) < up_cap_of(c)) {
+      throw EngineViolation("config: client " + std::to_string(c) +
+                            " has download capacity " + std::to_string(down_cap_of(c)) +
+                            " < upload capacity " + std::to_string(up_cap_of(c)) +
+                            " (the model requires d >= u)");
+    }
+  }
   const Tick cap = config.max_ticks != 0
                        ? config.max_ticks
                        : default_tick_cap(config.num_nodes, config.num_blocks);

@@ -36,6 +36,12 @@ unsigned jobs_from_flag(std::int64_t jobs) {
     throw std::invalid_argument("--jobs must be >= 0 (got " +
                                 std::to_string(jobs) + ")");
   }
+  // Oversubscribing a little can help with uneven trials, but --jobs=100000
+  // is always a typo; cap at 4x the hardware so it can't thread-bomb the box.
+  const std::uint64_t cap = 4ull * default_jobs();
+  if (static_cast<std::uint64_t>(jobs) > cap) {
+    return static_cast<unsigned>(cap);
+  }
   return static_cast<unsigned>(jobs);
 }
 

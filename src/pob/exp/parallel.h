@@ -35,7 +35,9 @@ unsigned default_jobs();
 
 /// Validates a --jobs flag value and narrows it to a worker count. 0 means
 /// "use default_jobs()" (resolved later); negative values are rejected rather
-/// than wrapped through the unsigned conversion.
+/// than wrapped through the unsigned conversion; values above 4x
+/// default_jobs() are clamped to that cap (a larger value is always a typo,
+/// and spawning it would thread-bomb the machine).
 unsigned jobs_from_flag(std::int64_t jobs);
 
 /// A small self-scheduling thread pool. Work is claimed from a shared index

@@ -15,14 +15,47 @@ EngineConfig LoadedTrace::to_config() const {
   cfg.upload_capacity = upload_capacity;
   cfg.download_capacity = download_capacity;
   cfg.server_upload_capacity = server_upload_capacity;
+  cfg.upload_capacities = upload_capacities;
+  cfg.download_capacities = download_capacities;
+  cfg.departures = departures;
+  cfg.drop_transfers_involving_inactive = drop_transfers_involving_inactive;
+  cfg.depart_on_complete = depart_on_complete;
   return cfg;
 }
 
 void write_trace(std::ostream& os, const EngineConfig& config, const RunResult& result) {
-  os << "pobtrace 1 " << config.num_nodes << ' ' << config.num_blocks << ' '
-     << config.upload_capacity << ' '
+  const bool extended = !config.upload_capacities.empty() ||
+                        !config.download_capacities.empty() ||
+                        !config.departures.empty() ||
+                        config.drop_transfers_involving_inactive ||
+                        config.depart_on_complete;
+  os << "pobtrace " << (extended ? 2 : 1) << ' ' << config.num_nodes << ' '
+     << config.num_blocks << ' ' << config.upload_capacity << ' '
      << (config.download_capacity == kUnlimited ? 0 : config.download_capacity) << ' '
      << config.server_upload_capacity << '\n';
+  if (extended) {
+    if (!config.upload_capacities.empty()) {
+      os << "!up";
+      for (std::uint32_t c : config.upload_capacities) os << ' ' << c;
+      os << '\n';
+    }
+    if (!config.download_capacities.empty()) {
+      os << "!down";
+      for (std::uint32_t c : config.download_capacities) {
+        os << ' ' << (c == kUnlimited ? 0 : c);
+      }
+      os << '\n';
+    }
+    if (!config.departures.empty()) {
+      os << "!depart";
+      for (const auto& [tick, node] : config.departures) {
+        os << ' ' << tick << ':' << node;
+      }
+      os << '\n';
+    }
+    if (config.drop_transfers_involving_inactive) os << "!drop\n";
+    if (config.depart_on_complete) os << "!depart-on-complete\n";
+  }
   for (const auto& tick : result.trace) {
     bool first = true;
     for (const Transfer& tr : tick) {
@@ -33,6 +66,44 @@ void write_trace(std::ostream& os, const EngineConfig& config, const RunResult& 
     os << '\n';
   }
 }
+
+namespace {
+
+void parse_directive(const std::string& line, LoadedTrace& trace) {
+  std::istringstream in(line);
+  std::string word;
+  in >> word;
+  if (word == "!up" || word == "!down") {
+    auto& caps = word == "!up" ? trace.upload_capacities : trace.download_capacities;
+    std::uint32_t c = 0;
+    while (in >> c) caps.push_back(word == "!down" && c == 0 ? kUnlimited : c);
+    if (caps.size() != trace.num_nodes) {
+      throw std::invalid_argument("pobtrace: " + word + " needs " +
+                                  std::to_string(trace.num_nodes) + " entries");
+    }
+  } else if (word == "!depart") {
+    std::string cell;
+    while (in >> cell) {
+      std::istringstream parts(cell);
+      Tick tick = 0;
+      NodeId node = 0;
+      char sep = 0;
+      parts >> tick >> sep >> node;
+      if (!parts || sep != ':') {
+        throw std::invalid_argument("pobtrace: bad departure cell: " + cell);
+      }
+      trace.departures.emplace_back(tick, node);
+    }
+  } else if (word == "!drop") {
+    trace.drop_transfers_involving_inactive = true;
+  } else if (word == "!depart-on-complete") {
+    trace.depart_on_complete = true;
+  } else {
+    throw std::invalid_argument("pobtrace: unknown directive: " + line);
+  }
+}
+
+}  // namespace
 
 LoadedTrace read_trace(std::istream& is) {
   LoadedTrace trace;
@@ -45,20 +116,29 @@ LoadedTrace read_trace(std::istream& is) {
     if (line.empty() || line[0] == '#') continue;
     break;
   }
+  int version = 0;
   {
     std::istringstream header(line);
     std::string magic;
-    int version = 0;
     std::uint32_t download = 0;
     header >> magic >> version >> trace.num_nodes >> trace.num_blocks >>
         trace.upload_capacity >> download >> trace.server_upload_capacity;
-    if (!header || magic != "pobtrace" || version != 1) {
+    if (!header || magic != "pobtrace" || (version != 1 && version != 2)) {
       throw std::invalid_argument("pobtrace: bad header: " + line);
     }
     trace.download_capacity = download == 0 ? kUnlimited : download;
   }
+  bool in_preamble = true;  // directives are only legal before the first tick
   while (std::getline(is, line)) {
     if (!line.empty() && line[0] == '#') continue;
+    if (!line.empty() && line[0] == '!') {
+      if (version < 2 || !in_preamble) {
+        throw std::invalid_argument("pobtrace: unexpected directive: " + line);
+      }
+      parse_directive(line, trace);
+      continue;
+    }
+    in_preamble = false;
     std::vector<Transfer>& tick = trace.ticks.emplace_back();
     std::istringstream cells(line);
     std::string cell;

@@ -11,10 +11,25 @@
 //   ...                                             # one line per tick
 //
 // An empty line encodes an idle tick. `download` of 0 encodes unlimited.
+//
+// Version 2 adds optional '!' directive lines between the header and the
+// first tick, carrying the config extensions a replay needs to reproduce a
+// churn or heterogeneous run:
+//
+//   pobtrace 2 <n> <k> <upload> <download> <server_upload>
+//   !up <n per-node upload capacities>
+//   !down <n per-node download capacities, 0 = unlimited>
+//   !depart <tick>:<node> <tick>:<node> ...
+//   !drop                # drop_transfers_involving_inactive
+//   !depart-on-complete
+//
+// write_trace emits version 1 when none of the extensions are present, so
+// existing v1 traces and consumers are unaffected.
 
 #pragma once
 
 #include <iosfwd>
+#include <utility>
 #include <vector>
 
 #include "pob/core/engine.h"
@@ -28,6 +43,12 @@ struct LoadedTrace {
   std::uint32_t upload_capacity = 1;
   std::uint32_t download_capacity = kUnlimited;
   std::uint32_t server_upload_capacity = 0;
+  // v2 extensions (empty/false in v1 traces).
+  std::vector<std::uint32_t> upload_capacities;
+  std::vector<std::uint32_t> download_capacities;
+  std::vector<std::pair<Tick, NodeId>> departures;
+  bool drop_transfers_involving_inactive = false;
+  bool depart_on_complete = false;
   std::vector<std::vector<Transfer>> ticks;
 
   EngineConfig to_config() const;

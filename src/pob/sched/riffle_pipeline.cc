@@ -111,10 +111,44 @@ void RifflePipelineScheduler::legalize(std::uint32_t upload_capacity,
   up_used.reserve(meetings_.size() * 2);
   down_used.reserve(meetings_.size() * 2);
 
+  // Every block a client uploads in a barter came straight from a server
+  // hand-off, so each client transfer has exactly one data dependency: the
+  // meeting that handed its block to its sender. When tight capacities
+  // (d = u) delay a hand-off, the barters bartering that block must slip
+  // past it, or the schedule would have a sender uploading a block it has
+  // not received yet.
+  std::unordered_map<std::uint64_t, std::uint32_t> provider;
+  provider.reserve(meetings_.size());
+  for (std::uint32_t i = 0; i < meetings_.size(); ++i) {
+    const Meeting& m = meetings_[i];
+    if (m.transfers.size() == 1 && m.transfers[0].from == kServer) {
+      provider[slot(m.transfers[0].to, m.transfers[0].block)] = i;
+    }
+  }
+  std::vector<Tick> placed(meetings_.size(), 0);  // 0 = not placed yet
+
   while (!queue.empty()) {
     const std::uint32_t idx = queue.top();
     queue.pop();
     Meeting& m = meetings_[idx];
+
+    Tick earliest = m.desired;
+    for (const Transfer& tr : m.transfers) {
+      if (tr.from == kServer) continue;
+      const auto it = provider.find(slot(tr.from, tr.block));
+      if (it == provider.end()) continue;
+      // Unplaced hand-offs can still slip further; chase their current
+      // desired tick and re-check once they settle.
+      const Tick dep = placed[it->second] != 0 ? placed[it->second]
+                                               : meetings_[it->second].desired;
+      earliest = std::max(earliest, dep + 1);
+    }
+    if (earliest > m.desired) {
+      m.desired = earliest;
+      queue.push(idx);
+      continue;
+    }
+
     bool fits = true;
     for (const Transfer& tr : m.transfers) {
       if (up_used[slot(tr.from, m.desired)] + 1 > upload_capacity ||
@@ -132,6 +166,7 @@ void RifflePipelineScheduler::legalize(std::uint32_t upload_capacity,
       ++up_used[slot(tr.from, m.desired)];
       ++down_used[slot(tr.to, m.desired)];
     }
+    placed[idx] = m.desired;
     if (schedule_.size() < m.desired) schedule_.resize(m.desired);
     for (const Transfer& tr : m.transfers) schedule_[m.desired - 1].push_back(tr);
   }

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "pob/check/fuzzer.h"
+
+namespace pob::check {
+namespace {
+
+TEST(SampleScenario, IsAPureFunctionOfSeedAndIndex) {
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(sample_scenario(7, i).describe(), sample_scenario(7, i).describe());
+  }
+  // Different indices explore the space rather than repeating one scenario.
+  EXPECT_NE(sample_scenario(7, 0).describe(), sample_scenario(7, 1).describe());
+}
+
+TEST(SampleScenario, SanitizeIsIdempotent) {
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    Scenario sc = sample_scenario(11, i);
+    const std::string before = sc.describe();
+    sanitize(sc);
+    EXPECT_EQ(sc.describe(), before) << "index " << i;
+  }
+}
+
+TEST(FuzzMany, CleanRunWithIdenticalStreamAtAnyJobCount) {
+  const FuzzReport serial = fuzz_many(7, 60, 1);
+  const FuzzReport parallel4 = fuzz_many(7, 60, 4);
+  EXPECT_EQ(serial.failed, 0u)
+      << (serial.failures.empty() ? "" : serial.failures.front().diagnosis);
+  EXPECT_EQ(serial.stream_digest, parallel4.stream_digest);
+  EXPECT_EQ(parallel4.failed, 0u);
+  // And reproducible across invocations.
+  EXPECT_EQ(fuzz_many(7, 60, 2).stream_digest, serial.stream_digest);
+  // A different seed explores a different stream.
+  EXPECT_NE(fuzz_many(8, 60, 2).stream_digest, serial.stream_digest);
+}
+
+TEST(FuzzMany, InjectedSameTickForwardIsAlwaysCaught) {
+  const FuzzReport report = fuzz_many(42, 8, 2, FaultKind::kSameTickForward);
+  EXPECT_EQ(report.failed, report.budget);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_EQ(report.failures.front().index, 0u);
+  EXPECT_FALSE(report.failures.front().diagnosis.empty());
+}
+
+TEST(Minimize, ShrinksAFaultyScenarioToAFewNodes) {
+  const FuzzReport report = fuzz_many(42, 1, 1, FaultKind::kSameTickForward);
+  ASSERT_EQ(report.failures.size(), 1u);
+  const MinimizedScenario min = minimize(report.failures.front().scenario);
+  EXPECT_LE(min.scenario.n, 8u);
+  EXPECT_LE(min.scenario.k, 4u);
+  EXPECT_FALSE(min.diagnosis.empty());
+  // The minimized repro still fails, and its gtest emitter mentions the seed.
+  EXPECT_FALSE(run_scenario(min.scenario).ok);
+  const std::string test_case = min.scenario.to_gtest(min.diagnosis);
+  EXPECT_NE(test_case.find("FaultKind::kSameTickForward"), std::string::npos);
+  EXPECT_NE(test_case.find("run_scenario"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pob::check

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "pob/check/oracle.h"
+#include "pob/exp/trace_io.h"
+#include "pob/overlay/builders.h"
+#include "pob/rand/randomized.h"
+#include "pob/sched/binomial_tree.h"
+#include "pob/sched/pipeline.h"
+#include "pob/sched/riffle_pipeline.h"
+
+namespace pob::check {
+namespace {
+
+template <typename Fn>
+class LambdaScheduler final : public Scheduler {
+ public:
+  explicit LambdaScheduler(Fn fn) : fn_(std::move(fn)) {}
+  std::string_view name() const override { return "lambda"; }
+  void plan_tick(Tick t, const SwarmState& s, std::vector<Transfer>& out) override {
+    fn_(t, s, out);
+  }
+
+ private:
+  Fn fn_;
+};
+
+EngineConfig config(std::uint32_t n, std::uint32_t k) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  return cfg;
+}
+
+TEST(DifferentialCheck, AgreesOnDeterministicSchedules) {
+  {
+    PipelineScheduler sched(12, 9);
+    const OracleReport report = differential_check(config(12, 9), sched, {});
+    EXPECT_TRUE(report.ok) << report.diagnosis;
+    EXPECT_FALSE(report.violated);
+    EXPECT_TRUE(report.fast.completed);
+  }
+  {
+    BinomialTreeScheduler sched(19, 6);
+    const OracleReport report = differential_check(config(19, 6), sched, {});
+    EXPECT_TRUE(report.ok) << report.diagnosis;
+  }
+}
+
+TEST(DifferentialCheck, AgreesOnTheRandomizedSwarm) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    EngineConfig cfg = config(24, 16);
+    RandomizedScheduler sched(std::make_shared<CompleteOverlay>(24), {}, Rng(seed));
+    const OracleReport report = differential_check(cfg, sched, {});
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": " << report.diagnosis;
+    EXPECT_TRUE(report.fast.completed);
+  }
+}
+
+TEST(DifferentialCheck, AgreesUnderStrictBarter) {
+  EngineConfig cfg = config(11, 30);
+  cfg.download_capacity = 2;
+  RifflePipelineScheduler sched(11, 30, 1, 2);
+  MechanismSpec spec;
+  spec.kind = MechanismSpec::Kind::kStrictBarter;
+  const OracleReport report = differential_check(cfg, sched, spec);
+  EXPECT_TRUE(report.ok) << report.diagnosis;
+  EXPECT_FALSE(report.violated);
+  EXPECT_TRUE(report.fast.completed);
+}
+
+TEST(DifferentialCheck, BothEnginesRejectTheSameTick) {
+  // Legal on ticks 1-2, illegal on tick 3 (node 2 never received block 1).
+  LambdaScheduler sched([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    if (t == 1) out.push_back({0, 1, 0});
+    if (t == 2) out.push_back({0, 2, 0});
+    if (t == 3) out.push_back({2, 1, 1});
+  });
+  const OracleReport report = differential_check(config(3, 2), sched, {});
+  EXPECT_TRUE(report.ok) << report.diagnosis;  // agreement, not success
+  EXPECT_TRUE(report.violated);
+  EXPECT_EQ(report.violation_tick, 3u);
+  EXPECT_FALSE(report.violation_message.empty());
+}
+
+TEST(DifferentialCheck, AgreesUnderLossyChurn) {
+  // The pipeline keeps naming node 3 after it departs; drop mode forgives
+  // and both engines must agree on every dropped transfer and final count.
+  EngineConfig cfg = config(12, 9);
+  cfg.departures = {{5, 3}};
+  cfg.drop_transfers_involving_inactive = true;
+  PipelineScheduler sched(12, 9);
+  const OracleReport report = differential_check(cfg, sched, {});
+  EXPECT_TRUE(report.ok) << report.diagnosis;
+  EXPECT_FALSE(report.violated);
+  EXPECT_GT(report.fast.dropped_transfers, 0u);
+}
+
+TEST(DifferentialReplay, RoundTripsARecordedRun) {
+  EngineConfig cfg = config(10, 6);
+  cfg.record_trace = true;
+  RandomizedScheduler sched(std::make_shared<CompleteOverlay>(10), {}, Rng(3));
+  const RunResult r = run(cfg, sched);
+  ASSERT_TRUE(r.completed);
+
+  std::ostringstream os;
+  write_trace(os, cfg, r);
+  std::istringstream is(os.str());
+  const LoadedTrace trace = read_trace(is);
+
+  const OracleReport report = differential_replay(trace, {});
+  EXPECT_TRUE(report.ok) << report.diagnosis;
+  EXPECT_FALSE(report.violated);
+  EXPECT_TRUE(report.fast.completed);
+  EXPECT_EQ(report.fast.completion_tick, r.completion_tick);
+}
+
+}  // namespace
+}  // namespace pob::check

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pob/check/reference_engine.h"
+
+namespace pob::check {
+namespace {
+
+template <typename Fn>
+class LambdaScheduler final : public Scheduler {
+ public:
+  explicit LambdaScheduler(Fn fn) : fn_(std::move(fn)) {}
+  std::string_view name() const override { return "lambda"; }
+  void plan_tick(Tick t, const SwarmState& s, std::vector<Transfer>& out) override {
+    fn_(t, s, out);
+  }
+
+ private:
+  Fn fn_;
+};
+
+EngineConfig config(std::uint32_t n, std::uint32_t k) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.record_trace = true;
+  return cfg;
+}
+
+TEST(FingerprintFrequencies, SeparatesPermutationsAndMatchesItself) {
+  const std::vector<std::uint32_t> a{1, 2, 3}, b{3, 2, 1}, c{1, 2, 3};
+  EXPECT_EQ(fingerprint_frequencies(a), fingerprint_frequencies(c));
+  EXPECT_NE(fingerprint_frequencies(a), fingerprint_frequencies(b));
+  EXPECT_NE(fingerprint_frequencies(a), fingerprint_frequencies({}));
+}
+
+TEST(RecordingScheduler, CapturesPlansAndStartOfTickObservations) {
+  EngineConfig cfg = config(3, 2);
+  LambdaScheduler inner([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    if (t == 1) out.push_back({0, 1, 0});
+    if (t == 2) {
+      out.push_back({0, 2, 1});
+      out.push_back({1, 2, 0});
+    }
+    if (t == 3) out.push_back({0, 1, 1});
+  });
+  RecordingScheduler recorder(inner);
+  const RunResult r = run(cfg, recorder);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, 3u);
+
+  const std::vector<TickRecord>& log = recorder.log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].tick, 1u);
+  ASSERT_EQ(log[0].planned.size(), 1u);
+  EXPECT_EQ(log[0].planned[0], (Transfer{0, 1, 0}));
+  EXPECT_EQ(log[1].planned.size(), 2u);
+  // Start of tick 1: only the server's k = 2 blocks exist.
+  EXPECT_EQ(log[0].blocks_held_at_start, 2u);
+  EXPECT_EQ(log[1].blocks_held_at_start, 3u);
+  EXPECT_EQ(log[2].blocks_held_at_start, 5u);
+  // Tick 1 replica counts are all-ones; tick 2 has block 0 doubled.
+  const std::vector<std::uint32_t> ones{1, 1}, after{2, 1};
+  EXPECT_EQ(log[0].freq_fingerprint, fingerprint_frequencies(ones));
+  EXPECT_EQ(log[1].freq_fingerprint, fingerprint_frequencies(after));
+}
+
+TEST(ReferenceEngine, MirrorsALegalRunExactly) {
+  EngineConfig cfg = config(3, 1);
+  LambdaScheduler inner([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    if (t == 1) out.push_back({0, 1, 0});
+    if (t == 2) out.push_back({1, 2, 0});
+  });
+  RecordingScheduler recorder(inner);
+  const RunResult r = run(cfg, recorder);
+  ASSERT_TRUE(r.completed);
+
+  const ReferenceResult ref = reference_run(cfg, recorder.log(), {});
+  EXPECT_FALSE(ref.violated) << ref.violation_message;
+  EXPECT_FALSE(ref.ran_out_of_log);
+  EXPECT_TRUE(ref.completed);
+  EXPECT_EQ(ref.completion_tick, r.completion_tick);
+  EXPECT_EQ(ref.ticks_executed, r.ticks_executed);
+  EXPECT_EQ(ref.total_transfers, r.total_transfers);
+  EXPECT_EQ(ref.client_completion, r.client_completion);
+  EXPECT_EQ(ref.uploads_per_node, r.uploads_per_node);
+  ASSERT_EQ(ref.accepted.size(), r.trace.size());
+  for (std::size_t t = 0; t < r.trace.size(); ++t) {
+    EXPECT_EQ(ref.accepted[t], r.trace[t]) << "tick " << t + 1;
+  }
+  EXPECT_EQ(ref.final_have[2].count(0), 1u);
+}
+
+TEST(ReferenceEngine, RejectsWhatTheFastEngineRejects) {
+  EngineConfig cfg = config(3, 1);
+  // Node 1 has nothing on tick 1; both engines must refuse this.
+  LambdaScheduler inner([](Tick, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({1, 2, 0});
+  });
+  RecordingScheduler recorder(inner);
+  EXPECT_THROW(run(cfg, recorder), EngineViolation);
+
+  const ReferenceResult ref = reference_run(cfg, recorder.log(), {});
+  EXPECT_TRUE(ref.violated);
+  EXPECT_EQ(ref.violation_tick, 1u);
+  EXPECT_NE(ref.violation_message.find("does not hold"), std::string::npos)
+      << ref.violation_message;
+}
+
+TEST(ReferenceEngine, EnforcesStrictBarterIndependently) {
+  EngineConfig cfg = config(3, 4);
+  cfg.download_capacity = kUnlimited;
+  // Tick 1-2: the server seeds both clients. Tick 3: a one-sided client
+  // upload — legal bandwidth-wise, but barter demands reciprocation.
+  LambdaScheduler inner([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    if (t == 1) out.push_back({0, 1, 0});
+    if (t == 2) out.push_back({0, 2, 1});
+    if (t == 3) out.push_back({1, 2, 0});
+  });
+  RecordingScheduler recorder(inner);
+  MechanismSpec spec;
+  spec.kind = MechanismSpec::Kind::kStrictBarter;
+  std::unique_ptr<Mechanism> mech = make_mechanism(spec);
+  EXPECT_THROW(run(cfg, recorder, mech.get()), EngineViolation);
+
+  const ReferenceResult ref = reference_run(cfg, recorder.log(), spec);
+  EXPECT_TRUE(ref.violated);
+  EXPECT_EQ(ref.violation_tick, 3u);
+}
+
+TEST(ReferenceEngine, AcceptsBalancedBarterAndCountsUploads) {
+  EngineConfig cfg = config(3, 4);
+  cfg.download_capacity = kUnlimited;
+  LambdaScheduler inner([](Tick t, const SwarmState&, std::vector<Transfer>& out) {
+    if (t == 1) out.push_back({0, 1, 0});
+    if (t == 2) out.push_back({0, 2, 1});
+    if (t == 3) {  // balanced swap
+      out.push_back({1, 2, 0});
+      out.push_back({2, 1, 1});
+    }
+    if (t == 4) out.push_back({0, 1, 2});
+    if (t == 5) out.push_back({0, 2, 3});
+    if (t == 6) {
+      out.push_back({1, 2, 2});
+      out.push_back({2, 1, 3});
+    }
+  });
+  RecordingScheduler recorder(inner);
+  MechanismSpec spec;
+  spec.kind = MechanismSpec::Kind::kStrictBarter;
+  std::unique_ptr<Mechanism> mech = make_mechanism(spec);
+  const RunResult r = run(cfg, recorder, mech.get());
+  ASSERT_TRUE(r.completed);
+
+  const ReferenceResult ref = reference_run(cfg, recorder.log(), spec);
+  EXPECT_FALSE(ref.violated) << ref.violation_message;
+  EXPECT_TRUE(ref.completed);
+  EXPECT_EQ(ref.uploads_per_node, r.uploads_per_node);
+  EXPECT_EQ(ref.uploads_per_tick, r.uploads_per_tick);
+}
+
+}  // namespace
+}  // namespace pob::check

@@ -226,6 +226,71 @@ TEST(Engine, ValidatesConfig) {
   EXPECT_THROW(run(cfg, s), std::invalid_argument);
 }
 
+// Runs `cfg` with an idle scheduler and returns the EngineViolation message,
+// failing the test if nothing is thrown.
+std::string violation_message(const EngineConfig& cfg) {
+  LambdaScheduler idle([](Tick, const SwarmState&, std::vector<Transfer>&) {});
+  try {
+    run(cfg, idle);
+  } catch (const EngineViolation& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected EngineViolation";
+  return "";
+}
+
+TEST(Engine, RejectsDeparturesNamingTheServer) {
+  EngineConfig cfg = tiny(4, 2);
+  cfg.departures = {{3, kServer}};
+  EXPECT_NE(violation_message(cfg).find("departure names the server"), std::string::npos);
+}
+
+TEST(Engine, RejectsDeparturesNamingOutOfRangeNodes) {
+  EngineConfig cfg = tiny(4, 2);
+  cfg.departures = {{3, 4}};  // valid ids are 1..3
+  EXPECT_NE(violation_message(cfg).find("out-of-range node 4"), std::string::npos);
+}
+
+TEST(Engine, RejectsMismatchedUploadCapacities) {
+  EngineConfig cfg = tiny(4, 2);
+  cfg.upload_capacities = {1, 1, 1};  // 3 entries for 4 nodes
+  EXPECT_NE(violation_message(cfg).find("upload_capacities has 3 entries for 4 nodes"),
+            std::string::npos);
+}
+
+TEST(Engine, RejectsMismatchedDownloadCapacities) {
+  EngineConfig cfg = tiny(4, 2);
+  cfg.download_capacities = {kUnlimited, kUnlimited, kUnlimited, kUnlimited, kUnlimited};
+  EXPECT_NE(violation_message(cfg).find("download_capacities has 5 entries for 4 nodes"),
+            std::string::npos);
+}
+
+TEST(Engine, RejectsDownloadBelowUpload) {
+  // Scalar form: d < u violates the §2.1 model.
+  EngineConfig cfg = tiny(4, 2);
+  cfg.upload_capacity = 2;
+  cfg.download_capacity = 1;
+  EXPECT_NE(violation_message(cfg).find("requires d >= u"), std::string::npos);
+  // Per-node form: one under-provisioned client is enough.
+  EngineConfig het = tiny(3, 2);
+  het.upload_capacities = {1, 3, 1};
+  het.download_capacities = {kUnlimited, 2, 1};
+  EXPECT_NE(violation_message(het).find("client 1"), std::string::npos);
+}
+
+TEST(Engine, ServerIsExemptFromDownloadBelowUpload) {
+  // §2.3.4's higher-bandwidth server: upload m*u with any download entry is
+  // fine because the server never downloads.
+  LambdaScheduler s([](Tick, const SwarmState&, std::vector<Transfer>& out) {
+    out.push_back({kServer, 1, 0});
+    out.push_back({kServer, 2, 0});
+  });
+  EngineConfig cfg = tiny(3, 1);
+  cfg.upload_capacities = {4, 1, 1};
+  cfg.download_capacities = {1, 1, 1};
+  EXPECT_TRUE(run(cfg, s).completed);
+}
+
 TEST(Engine, MeanClientCompletion) {
   RunResult r;
   r.client_completion = {2, 4, 6};

@@ -16,7 +16,7 @@ TEST(Heterogeneous, EngineValidatesVectorSizes) {
   cfg.num_blocks = 2;
   cfg.upload_capacities = {1, 1};  // wrong size
   RandomizedScheduler sched(std::make_shared<CompleteOverlay>(4), {}, Rng(1));
-  EXPECT_THROW(run(cfg, sched), std::invalid_argument);
+  EXPECT_THROW(run(cfg, sched), EngineViolation);
 }
 
 TEST(Heterogeneous, PerNodeUploadCapsAreEnforced) {

@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
 #include "pob/core/engine.h"
+#include "pob/exp/cli.h"
 #include "pob/overlay/overlay.h"
 #include "pob/rand/randomized.h"
 
@@ -36,9 +38,31 @@ TEST(TrialSeed, NearbyIndicesAndBasesGiveDistinctSeeds) {
 
 TEST(JobsFromFlag, RejectsNegativeValues) {
   // A --jobs=-1 typo must not wrap to 4294967295 workers.
-  EXPECT_EQ(jobs_from_flag(0), 0u);
-  EXPECT_EQ(jobs_from_flag(6), 6u);
+  EXPECT_EQ(jobs_from_flag(0), 0u);  // 0 = "use default_jobs()", resolved later
+  EXPECT_EQ(jobs_from_flag(1), 1u);
   EXPECT_THROW(jobs_from_flag(-1), std::invalid_argument);
+  EXPECT_THROW(jobs_from_flag(std::numeric_limits<std::int64_t>::min()),
+               std::invalid_argument);
+}
+
+TEST(JobsFromFlag, ClampsValuesAboveHardwareConcurrency) {
+  // Mild oversubscription passes through; absurd values clamp to 4x the
+  // hardware instead of spawning that many threads.
+  const std::uint64_t cap = 4ull * default_jobs();
+  EXPECT_EQ(jobs_from_flag(static_cast<std::int64_t>(cap)), cap);
+  EXPECT_EQ(jobs_from_flag(static_cast<std::int64_t>(cap) + 1), cap);
+  EXPECT_EQ(jobs_from_flag(1'000'000), cap);
+  EXPECT_EQ(jobs_from_flag(std::numeric_limits<std::int64_t>::max()), cap);
+}
+
+TEST(JobsFromFlag, NonNumericFlagTextIsRejectedByTheParser) {
+  // pobsim/pobfuzz route --jobs through Args::get_int, whose stoll call
+  // throws on text like --jobs=fast before jobs_from_flag ever runs.
+  const char* argv[] = {"prog", "--jobs=fast"};
+  const Args args(2, argv);
+  EXPECT_THROW(args.get_int("jobs", 0), std::invalid_argument);
+  const char* none[] = {"prog"};
+  EXPECT_EQ(Args(1, none).get_int("jobs", 0), 0);
 }
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {

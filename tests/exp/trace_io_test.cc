@@ -105,7 +105,7 @@ TEST(TraceIo, RejectsMalformedInput) {
     EXPECT_THROW(read_trace(in), std::invalid_argument);
   }
   {
-    std::stringstream in("pobtrace 2 3 2 1 0 0\n");  // bad version
+    std::stringstream in("pobtrace 3 3 2 1 0 0\n");  // unknown version
     EXPECT_THROW(read_trace(in), std::invalid_argument);
   }
   {
@@ -116,6 +116,51 @@ TEST(TraceIo, RejectsMalformedInput) {
     std::stringstream in;
     EXPECT_THROW(read_trace(in), std::invalid_argument);
   }
+  {  // v1 traces cannot carry directives
+    std::stringstream in("pobtrace 1 3 2 1 0 0\n!drop\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {  // !up must list one capacity per node
+    std::stringstream in("pobtrace 2 3 2 1 0 0\n!up 1 1\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {  // unknown directive
+    std::stringstream in("pobtrace 2 3 2 1 0 0\n!frobnicate\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {  // directives must precede the first tick
+    std::stringstream in("pobtrace 2 3 2 1 0 0\n0:1:0\n!drop\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+}
+
+TEST(TraceIo, V2RoundTripsChurnAndHeterogeneousConfigs) {
+  EngineConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.num_blocks = 4;
+  cfg.upload_capacities = {1, 2, 1, 1, 2, 1};
+  cfg.download_capacities = {kUnlimited, 2, kUnlimited, 2, 2, kUnlimited};
+  cfg.departures = {{9, 2}, {11, 4}};
+  cfg.drop_transfers_involving_inactive = true;
+  cfg.record_trace = true;
+
+  RunResult fake;  // an empty schedule round-trips the config alone
+  std::stringstream buffer;
+  write_trace(buffer, cfg, fake);
+  EXPECT_NE(buffer.str().find("pobtrace 2"), std::string::npos);
+
+  const LoadedTrace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.upload_capacities, cfg.upload_capacities);
+  EXPECT_EQ(loaded.download_capacities, cfg.download_capacities);
+  EXPECT_EQ(loaded.departures, cfg.departures);
+  EXPECT_TRUE(loaded.drop_transfers_involving_inactive);
+  EXPECT_FALSE(loaded.depart_on_complete);
+
+  const EngineConfig back = loaded.to_config();
+  EXPECT_EQ(back.upload_capacities, cfg.upload_capacities);
+  EXPECT_EQ(back.download_capacities, cfg.download_capacities);
+  EXPECT_EQ(back.departures, cfg.departures);
+  EXPECT_TRUE(back.drop_transfers_involving_inactive);
 }
 
 TEST(TraceIo, ReplayCatchesTamperedTraces) {

@@ -5,12 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <vector>
 
+#include "pob/check/async_check.h"
+#include "pob/check/corpus.h"
+#include "pob/check/oracle.h"
 #include "pob/core/engine.h"
+#include "pob/exp/trace_io.h"
 #include "pob/overlay/builders.h"
 #include "pob/rand/randomized.h"
 #include "pob/rand/tit_for_tat.h"
@@ -150,6 +156,51 @@ TEST(TraceReplay, TitForTat) {
     TitForTatScheduler sched(std::make_shared<CompleteOverlay>(36), {}, Rng(seed));
     replay_and_check(cfg, run(cfg, sched));
   }
+}
+
+// --- The golden corpus (tests/check/corpus/) ---
+//
+// Committed bytes are compared against a deterministic regeneration, so any
+// behavioral drift in an engine or scheduler fails here first; the committed
+// bytes are then replayed through the differential oracle. Regenerate on an
+// intentional change with: pobfuzz --write-corpus=tests/check/corpus
+
+std::string slurp(const std::string& filename) {
+  std::ifstream is(std::string(POB_CORPUS_DIR) + "/" + filename, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(GoldenCorpus, CommittedTracesMatchTheirGenerators) {
+  for (const check::CorpusEntry& entry : check::golden_corpus()) {
+    const std::string committed = slurp(entry.filename);
+    ASSERT_FALSE(committed.empty()) << entry.filename << " missing or empty";
+    EXPECT_EQ(committed, check::render_corpus_entry(entry))
+        << entry.filename << " drifted from its generator";
+  }
+}
+
+TEST(GoldenCorpus, CommittedTracesReplayCleanThroughTheOracle) {
+  for (const check::CorpusEntry& entry : check::golden_corpus()) {
+    std::istringstream is(slurp(entry.filename));
+    const LoadedTrace trace = read_trace(is);
+    const check::OracleReport report =
+        check::differential_replay(trace, entry.scenario.mechanism);
+    EXPECT_TRUE(report.ok) << entry.filename << ": " << report.diagnosis;
+    EXPECT_FALSE(report.violated)
+        << entry.filename << ": " << report.violation_message;
+    EXPECT_EQ(report.fast.completed, entry.completes) << entry.filename;
+  }
+}
+
+TEST(GoldenCorpus, AsyncGoldenMatchesAndItsLogChecksOut) {
+  const check::AsyncGolden golden = check::async_golden();
+  EXPECT_EQ(slurp(golden.filename), golden.text)
+      << golden.filename << " drifted from its generator";
+  const auto error = check::check_async_log(golden.config, golden.result);
+  EXPECT_FALSE(error.has_value()) << *error;
+  EXPECT_TRUE(golden.result.completed);
 }
 
 TEST(TraceReplay, StrictBarterPairingVerifiedIndependently) {
