@@ -1,11 +1,17 @@
-// Helpers shared by the experiment binaries: standard flag handling and the
-// randomized-trial plumbing (per-run seeds, censoring, CSV output).
+// Helpers shared by the experiment binaries: standard flag handling, the
+// randomized-trial plumbing (per-run seeds, censoring, CSV output), and the
+// machine-readable --json result format CI archives as BENCH_*.json.
 
 #pragma once
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "pob/core/engine.h"
 #include "pob/exp/cli.h"
@@ -59,6 +65,59 @@ class TrialRunner {
   unsigned jobs_;
   std::uint64_t trials_ = 0;
   double seconds_ = 0.0;
+};
+
+/// A flat JSON object a bench binary fills with its headline numbers and
+/// writes via --json=<path> (CI uploads these as artifacts, so throughput
+/// history survives the build logs). Values render on insertion; insertion
+/// order is preserved. Keys and strings must not need JSON escaping — bench
+/// metadata never does.
+class JsonReport {
+ public:
+  JsonReport& count(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonReport& num(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed << value;
+    fields_.emplace_back(key, os.str());
+    return *this;
+  }
+  JsonReport& str(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, '"' + value + '"');
+    return *this;
+  }
+  JsonReport& flag(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  /// Writes to the --json=<path> flag's target, or to `fallback` when the
+  /// flag is absent and a fallback is given. Returns false (with a note on
+  /// stderr) when the file cannot be opened; true otherwise, including the
+  /// silent no-op when there is nowhere to write.
+  bool write(const Args& args, const std::string& fallback = "") const {
+    const std::string path = args.get_string("json", fallback);
+    if (path.empty()) return true;
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot write " << path << "\n";
+      return false;
+    }
+    os << "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << '"' << fields_[i].first << "\": " << fields_[i].second;
+    }
+    os << "}\n";
+    std::cout << "# wrote " << path << "\n";
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
 };
 
 /// A randomized-cooperative trial on a fixed overlay.

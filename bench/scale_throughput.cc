@@ -1,0 +1,134 @@
+// E22: mega-swarm engine throughput — the "production scale" claim, measured.
+//
+// Runs one scale::Engine swarm at million-node size (defaults: n = 10^6,
+// k = 512, random 16-regular overlay, all cores) and reports the numbers the
+// roadmap cares about: node-ticks/second, transfers/second, peak RSS, and
+// bytes of engine state. Results land in BENCH_scale.json (override with
+// --json=<path>) so CI can archive the trajectory.
+//
+//   scale_throughput                         # the full 10^6 x 512 run
+//   scale_throughput --n=100000 --k=128      # quicker smoke (CI uses this)
+//   scale_throughput --credit=2 --policy=rarest --jobs=4
+//
+// The run itself is deterministic for a given (seed, config) at any --jobs.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.h"
+#include "pob/scale/engine.h"
+
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define POB_HAVE_RUSAGE 1
+#endif
+
+namespace pob {
+namespace {
+
+std::uint64_t peak_rss_kb() {
+#ifdef POB_HAVE_RUSAGE
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is KiB on Linux (bytes on macOS; close enough for a trend
+    // line, and this repo's CI is Linux).
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+  }
+#endif
+  return 0;
+}
+
+int main_impl(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 1000000));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 512));
+  const auto degree = static_cast<std::uint32_t>(args.get_int("degree", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const unsigned jobs = jobs_from_flag(args.get_int("jobs", 0));
+
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.max_ticks = static_cast<Tick>(args.get_int("cap", 0));
+
+  scale::ScaleOptions opt;
+  opt.policy = args.get_string("policy", "random") == "random"
+                   ? BlockPolicy::kRandom
+                   : BlockPolicy::kRarestFirst;
+  opt.credit_limit = static_cast<std::uint32_t>(args.get_int("credit", 0));
+  opt.max_probes = static_cast<std::uint32_t>(args.get_int("probes", 16));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng topo_rng = Rng(seed).split(0);
+  auto topo = std::make_shared<scale::Topology>(
+      scale::Topology::from_graph(make_random_regular(n, degree, topo_rng)));
+  const double topo_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  scale::Engine engine(cfg, topo, opt, seed);
+  const std::uint64_t state_bytes = engine.state_bytes();
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const RunResult r = engine.run(jobs);
+  const double run_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
+
+  const std::uint64_t node_ticks =
+      static_cast<std::uint64_t>(n) * r.ticks_executed;
+  const double node_ticks_per_sec =
+      run_seconds > 0.0 ? static_cast<double>(node_ticks) / run_seconds : 0.0;
+  const double transfers_per_sec =
+      run_seconds > 0.0 ? static_cast<double>(r.total_transfers) / run_seconds : 0.0;
+  const std::uint64_t rss_kb = peak_rss_kb();
+
+  bench::emit(args, [&] {
+    Table table({"n", "k", "degree", "jobs", "ticks", "T", "transfers",
+                 "node-ticks/s", "xfers/s", "state-MiB", "rss-MiB"});
+    table.add_row({std::to_string(n), std::to_string(k), std::to_string(degree),
+                   std::to_string(jobs == 0 ? default_jobs() : jobs),
+                   std::to_string(r.ticks_executed),
+                   r.completed ? std::to_string(r.completion_tick)
+                               : (r.stalled ? "stall" : "cap"),
+                   std::to_string(r.total_transfers), fmt(node_ticks_per_sec / 1e6, 1) + "M",
+                   fmt(transfers_per_sec / 1e6, 1) + "M",
+                   std::to_string(state_bytes / (1024 * 1024)),
+                   std::to_string(rss_kb / 1024)});
+    return table;
+  }());
+  std::cout << "# graph build " << fmt(topo_seconds, 2) << " s, run "
+            << fmt(run_seconds, 2) << " s\n";
+
+  bench::JsonReport json;
+  json.str("bench", "scale_throughput")
+      .count("n", n)
+      .count("k", k)
+      .count("degree", degree)
+      .count("jobs", jobs == 0 ? default_jobs() : jobs)
+      .count("credit_limit", opt.credit_limit)
+      .str("policy", opt.policy == BlockPolicy::kRandom ? "random" : "rarest")
+      .flag("completed", r.completed)
+      .count("ticks_executed", r.ticks_executed)
+      .count("completion_tick", r.completion_tick)
+      .count("total_transfers", r.total_transfers)
+      .count("node_ticks", node_ticks)
+      .num("run_seconds", run_seconds)
+      .num("topology_seconds", topo_seconds)
+      .num("node_ticks_per_sec", node_ticks_per_sec)
+      .num("transfers_per_sec", transfers_per_sec)
+      .count("state_bytes", state_bytes)
+      .count("peak_rss_kb", rss_kb);
+  if (!json.write(args, "BENCH_scale.json")) return 1;
+  return r.completed || cfg.max_ticks != 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pob
+
+int main(int argc, char** argv) {
+  try {
+    return pob::main_impl(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "scale_throughput: " << e.what() << "\n";
+    return 2;
+  }
+}

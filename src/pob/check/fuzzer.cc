@@ -21,7 +21,7 @@ std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
 }  // namespace
 
 FuzzReport fuzz_many(std::uint64_t base_seed, std::uint32_t budget, unsigned jobs,
-                     FaultKind fault) {
+                     FaultKind fault, EngineFilter engines) {
   FuzzReport report;
   report.budget = budget;
   if (budget == 0) return report;
@@ -34,6 +34,11 @@ FuzzReport fuzz_many(std::uint64_t base_seed, std::uint32_t budget, unsigned job
   const auto trial = [&](std::uint32_t i) {
     Scenario sc = sample_scenario(base_seed, i);
     sc.fault = fault;
+    if (engines != EngineFilter::kMixed) {
+      sc.engine = engines == EngineFilter::kScaleOnly ? EngineKind::kScale
+                                                      : EngineKind::kCore;
+      sanitize(sc);  // the forced engine has its own legal space
+    }
     scenarios[i] = sc;
     outcomes[i] = run_scenario(sc);
     TrialOutcome out;

@@ -30,11 +30,18 @@ struct FuzzReport {
   std::vector<FuzzFailure> failures;  ///< capped at 32, lowest indices first
 };
 
+/// Which engines the sampled stream exercises: the sampler's natural mix
+/// (roughly 1 in 4 scenarios on the scale engine), or every scenario forced
+/// onto one engine for targeted smoke runs. Forcing re-sanitizes, so a
+/// scenario sampled for one engine lands in the other's legal space.
+enum class EngineFilter : std::uint8_t { kMixed, kCoreOnly, kScaleOnly };
+
 /// Runs `budget` scenarios sampled from `base_seed`. `fault` is injected
 /// into every scenario (kNone for a clean run). `jobs` as in
 /// repeat_trials_parallel: 0 = all cores, results independent of the value.
 FuzzReport fuzz_many(std::uint64_t base_seed, std::uint32_t budget, unsigned jobs,
-                     FaultKind fault = FaultKind::kNone);
+                     FaultKind fault = FaultKind::kNone,
+                     EngineFilter engines = EngineFilter::kMixed);
 
 /// Greedily shrinks a failing scenario: tries halving/decrementing the node
 /// and block counts, dropping churn, heterogeneity, mechanisms, and overlay

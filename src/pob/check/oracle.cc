@@ -218,4 +218,101 @@ OracleReport differential_replay(const LoadedTrace& trace, const MechanismSpec& 
   return differential_check(cfg, scheduler, mech);
 }
 
+std::uint64_t run_result_digest(const RunResult& result) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xffu)) * 0x100000001b3ULL;
+    }
+  };
+  mix(result.completed ? 1 : 0);
+  mix(result.stalled ? 1 : 0);
+  mix(result.completion_tick);
+  mix(result.ticks_executed);
+  mix(result.total_transfers);
+  mix(result.dropped_transfers);
+  mix(result.departed);
+  const auto mix_all = [&mix](const auto& v) {
+    mix(v.size());
+    for (const auto x : v) mix(x);
+  };
+  mix_all(result.client_completion);
+  mix_all(result.uploads_per_node);
+  mix_all(result.uploads_per_tick);
+  mix_all(result.active_slots_per_tick);
+  mix(result.trace.size());
+  for (const auto& tick : result.trace) {
+    mix(tick.size());
+    for (const Transfer& tr : tick) {
+      mix(tr.from);
+      mix(tr.to);
+      mix(tr.block);
+    }
+  }
+  return h;
+}
+
+std::string diff_run_results(const RunResult& a, const RunResult& b) {
+  const auto scalar = [](const char* what, auto x, auto y) {
+    std::ostringstream os;
+    os << what << ": " << x << " vs " << y;
+    return os.str();
+  };
+  if (a.completed != b.completed) return scalar("completed", a.completed, b.completed);
+  if (a.stalled != b.stalled) return scalar("stalled", a.stalled, b.stalled);
+  if (a.completion_tick != b.completion_tick) {
+    return scalar("completion_tick", a.completion_tick, b.completion_tick);
+  }
+  if (a.ticks_executed != b.ticks_executed) {
+    return scalar("ticks_executed", a.ticks_executed, b.ticks_executed);
+  }
+  if (a.total_transfers != b.total_transfers) {
+    return scalar("total_transfers", a.total_transfers, b.total_transfers);
+  }
+  if (a.dropped_transfers != b.dropped_transfers) {
+    return scalar("dropped_transfers", a.dropped_transfers, b.dropped_transfers);
+  }
+  if (a.departed != b.departed) return scalar("departed", a.departed, b.departed);
+  const auto vec = [&](const char* what, const auto& x, const auto& y) -> std::string {
+    if (x.size() != y.size()) {
+      return scalar((std::string(what) + " size").c_str(), x.size(), y.size());
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i] != y[i]) {
+        return scalar((std::string(what) + "[" + std::to_string(i) + "]").c_str(),
+                      x[i], y[i]);
+      }
+    }
+    return std::string();
+  };
+  if (auto d = vec("client_completion", a.client_completion, b.client_completion);
+      !d.empty()) {
+    return d;
+  }
+  if (auto d = vec("uploads_per_node", a.uploads_per_node, b.uploads_per_node);
+      !d.empty()) {
+    return d;
+  }
+  if (auto d = vec("uploads_per_tick", a.uploads_per_tick, b.uploads_per_tick);
+      !d.empty()) {
+    return d;
+  }
+  if (auto d = vec("active_slots_per_tick", a.active_slots_per_tick,
+                   b.active_slots_per_tick);
+      !d.empty()) {
+    return d;
+  }
+  if (a.trace.size() != b.trace.size()) {
+    return scalar("trace size", a.trace.size(), b.trace.size());
+  }
+  for (std::size_t t = 0; t < a.trace.size(); ++t) {
+    if (a.trace[t] != b.trace[t]) {
+      return "trace tick " + std::to_string(t + 1) + ": [" +
+             transfers_to_string(a.trace[t]) + "] vs [" +
+             transfers_to_string(b.trace[t]) + "]";
+    }
+  }
+  return std::string();
+}
+
 }  // namespace pob::check

@@ -41,4 +41,15 @@ OracleReport differential_check(const EngineConfig& config, Scheduler& scheduler
 /// Replays a loaded trace through both engines (the golden-corpus check).
 OracleReport differential_replay(const LoadedTrace& trace, const MechanismSpec& mech);
 
+/// FNV-1a digest over every RunResult field, including the trace when one
+/// was recorded. Two results digest equal iff diff_run_results finds no
+/// difference; determinism tests (scale engine at several --jobs values)
+/// compare digests instead of hauling whole results around.
+std::uint64_t run_result_digest(const RunResult& result);
+
+/// Field-by-field comparison of two RunResults; returns an empty string when
+/// they are identical, else a one-line description of the first divergence.
+/// Traces are compared too (an unrecorded trace is just an empty one).
+std::string diff_run_results(const RunResult& a, const RunResult& b);
+
 }  // namespace pob::check

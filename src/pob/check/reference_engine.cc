@@ -428,8 +428,8 @@ ReferenceResult reference_run(const EngineConfig& config,
       ++res.uploads_per_node[tr.from];
     }
     res.total_transfers += kept.size();
-    res.uploads_per_tick.push_back(static_cast<std::uint32_t>(kept.size()));
-    res.active_slots_per_tick.push_back(static_cast<std::uint32_t>(active_slots));
+    res.uploads_per_tick.push_back(kept.size());
+    res.active_slots_per_tick.push_back(active_slots);
     res.accepted.push_back(std::move(kept));
 
     if (config.stall_window != 0 && tick >= config.stall_window) {

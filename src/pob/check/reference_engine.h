@@ -90,13 +90,13 @@ struct ReferenceResult {
   bool stalled = false;
   Tick completion_tick = 0;
   Tick ticks_executed = 0;
-  std::uint64_t total_transfers = 0;
-  std::uint64_t dropped_transfers = 0;
+  Count total_transfers = 0;
+  Count dropped_transfers = 0;
   std::uint32_t departed = 0;
   std::vector<Tick> client_completion;
-  std::vector<std::uint32_t> uploads_per_node;
-  std::vector<std::uint32_t> uploads_per_tick;
-  std::vector<std::uint32_t> active_slots_per_tick;
+  std::vector<Count> uploads_per_node;
+  std::vector<Count> uploads_per_tick;
+  std::vector<Count> active_slots_per_tick;
 
   /// Transfers the reference accepted, per executed tick (compare to
   /// RunResult::trace).

@@ -17,12 +17,18 @@
 #include "pob/sched/pipeline.h"
 #include "pob/sched/riffle_pipeline.h"
 #include "pob/sched/striped_trees.h"
+#include "pob/scale/engine.h"
+#include "pob/scale/mirror.h"
 
 namespace pob::check {
 namespace {
 
 constexpr std::uint32_t kMaxNodes = 64;
 constexpr std::uint32_t kMaxBlocks = 48;
+/// Scale scenarios get a far larger node budget: the point of the SoA engine
+/// is n beyond what the per-node-object path is sized for, and the reference
+/// oracle still replays these sizes in reasonable time.
+constexpr std::uint32_t kMaxScaleNodes = 4096;
 
 bool is_randomized_family(SchedulerKind kind) {
   return kind == SchedulerKind::kRandomized || kind == SchedulerKind::kCreditRandomized ||
@@ -96,6 +102,14 @@ const char* to_string(OverlayKind kind) {
   return "?";
 }
 
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kCore: return "core";
+    case EngineKind::kScale: return "scale";
+  }
+  return "?";
+}
+
 EngineConfig Scenario::to_config() const {
   EngineConfig cfg;
   cfg.num_nodes = n;
@@ -116,6 +130,7 @@ EngineConfig Scenario::to_config() const {
 
 std::string Scenario::describe() const {
   std::ostringstream os;
+  if (engine == EngineKind::kScale) os << "scale:";
   os << to_string(scheduler) << " n=" << n << " k=" << k << " u=" << upload << " d=";
   if (download == kUnlimited) {
     os << "inf";
@@ -160,6 +175,7 @@ std::string Scenario::to_gtest(const std::string& diagnosis) const {
   os << "  using namespace pob::check;\n";
   os << "  Scenario sc;\n";
   os << "  sc.seed = " << seed << "ull;\n";
+  if (engine == EngineKind::kScale) os << "  sc.engine = EngineKind::kScale;\n";
   os << "  sc.scheduler = SchedulerKind::k";
   switch (scheduler) {
     case SchedulerKind::kPipeline: os << "Pipeline"; break;
@@ -239,7 +255,12 @@ std::string Scenario::to_gtest(const std::string& diagnosis) const {
 }
 
 void sanitize(Scenario& sc) {
-  sc.n = std::clamp(sc.n, 2u, kMaxNodes);
+  // The scale engine implements exactly the randomized cooperative protocol
+  // and its credit-limited variant; pin the scheduler kind so the churn /
+  // heterogeneity rules below (keyed on kRandomized) apply unchanged.
+  if (sc.engine == EngineKind::kScale) sc.scheduler = SchedulerKind::kRandomized;
+  sc.n = std::clamp(sc.n, 2u,
+                    sc.engine == EngineKind::kScale ? kMaxScaleNodes : kMaxNodes);
   sc.k = std::clamp(sc.k, 1u, kMaxBlocks);
   sc.upload = std::clamp(sc.upload, 1u, 2u);
   sc.arity = std::clamp(sc.arity, 2u, 4u);
@@ -291,6 +312,16 @@ void sanitize(Scenario& sc) {
       sc.mechanism.kind = MechanismSpec::Kind::kNone;
       break;
     case SchedulerKind::kRandomized:
+      if (sc.engine == EngineKind::kScale) {
+        // The scale planner prechecks its own §3.2 credit predicate, so it
+        // may run under CreditLimited; the other mechanisms it does not model.
+        if (sc.mechanism.kind != MechanismSpec::Kind::kCreditLimited) {
+          sc.mechanism.kind = MechanismSpec::Kind::kNone;
+        }
+      } else {
+        sc.mechanism.kind = MechanismSpec::Kind::kNone;
+      }
+      break;
     case SchedulerKind::kRotating:
     case SchedulerKind::kTitForTat:
       sc.mechanism.kind = MechanismSpec::Kind::kNone;
@@ -429,6 +460,14 @@ Scenario sample_scenario(std::uint64_t base_seed, std::uint32_t index) {
   if (sc.scheduler == SchedulerKind::kRandomized && rng.below(8) == 0) {
     sc.depart_on_complete = true;
   }
+  // The engine axis, drawn last so the scenario stream for the fields above
+  // is unchanged: ~1 in 4 scenarios run on the scale engine (sanitize then
+  // coerces them into its protocol family), and some of those leave the core
+  // sampler's node range entirely.
+  if (rng.below(4) == 0) {
+    sc.engine = EngineKind::kScale;
+    if (rng.below(8) == 0) sc.n = kMaxNodes + 1 + rng.below(960);
+  }
   sanitize(sc);
   return sc;
 }
@@ -518,7 +557,102 @@ BuiltScenario build_scenario(const Scenario& sc) {
   return built;
 }
 
+namespace {
+
+/// Mirrors build_scenario's overlay switch (same seed-derived rng stream)
+/// but produces the CSR form the scale engine consumes. The complete graph
+/// never materializes — that is the point at mega-swarm sizes.
+std::shared_ptr<const scale::Topology> make_scale_topology(const Scenario& sc) {
+  Rng rng(sc.seed);
+  Rng overlay_rng = rng.split(0);
+  switch (sc.overlay) {
+    case OverlayKind::kComplete:
+      return std::make_shared<scale::Topology>(scale::Topology::complete(sc.n));
+    case OverlayKind::kRegular:
+      return std::make_shared<scale::Topology>(scale::Topology::from_graph(
+          make_random_regular(sc.n, sc.degree, overlay_rng)));
+    case OverlayKind::kHypercube:
+      return std::make_shared<scale::Topology>(
+          scale::Topology::from_graph(make_hypercube_overlay(sc.n)));
+    case OverlayKind::kRing:
+      return std::make_shared<scale::Topology>(
+          scale::Topology::from_graph(make_ring(sc.n)));
+    case OverlayKind::kKaryTree:
+      return std::make_shared<scale::Topology>(
+          scale::Topology::from_graph(make_kary_tree(sc.n, sc.arity)));
+  }
+  return nullptr;  // unreachable
+}
+
+scale::ScaleOptions make_scale_options(const Scenario& sc) {
+  scale::ScaleOptions opt;
+  opt.policy = sc.seed % 2 == 0 ? BlockPolicy::kRandom : BlockPolicy::kRarestFirst;
+  if (sc.mechanism.kind == MechanismSpec::Kind::kCreditLimited) {
+    opt.credit_limit = sc.mechanism.credit_limit;
+  }
+  // Vary the planner's knobs off their defaults: tiny shard sizes put shard
+  // boundaries mid-swarm (the jobs-determinism hazard), and small probe
+  // budgets exercise the give-up path.
+  opt.max_probes = 2 + static_cast<std::uint32_t>((sc.seed >> 8) % 23);
+  opt.shard_nodes = 1 + static_cast<std::uint32_t>((sc.seed >> 16) % 48);
+  return opt;
+}
+
+/// The scale-engine scenario check: the engine must agree with itself across
+/// job counts, and its mirrored transfer stream must be accepted by
+/// core::Engine + mechanism + reference oracle and reproduce the identical
+/// RunResult — bookkeeping divergence is as much a bug as an illegal stream.
+ScenarioOutcome run_scale_scenario(const Scenario& sc) {
+  EngineConfig config = sc.to_config();
+  config.record_trace = true;  // compare full transfer streams, not summaries
+
+  const std::shared_ptr<const scale::Topology> topo = make_scale_topology(sc);
+  const scale::ScaleOptions opt = make_scale_options(sc);
+
+  scale::Engine serial(config, topo, opt, sc.seed);
+  const RunResult r_serial = serial.run(1);
+  scale::Engine threaded(config, topo, opt, sc.seed);
+  const RunResult r_threaded = threaded.run(4);
+  if (const std::string d = diff_run_results(r_serial, r_threaded); !d.empty()) {
+    return {false, "scale engine diverges between jobs=1 and jobs=4: " + d};
+  }
+
+  auto mirrored = std::make_unique<scale::Engine>(config, topo, opt, sc.seed);
+  scale::MirrorScheduler mirror(std::move(mirrored));
+  Scheduler* scheduler = &mirror;
+  FaultyScheduler faulty(mirror, sc.n);
+  if (sc.fault == FaultKind::kSameTickForward) scheduler = &faulty;
+
+  const OracleReport report = differential_check(config, *scheduler, sc.mechanism);
+  if (!report.ok) {
+    return {false, "oracle disagreement (scale mirror): " + report.diagnosis};
+  }
+  if (report.violated) {
+    return {false, "scale stream rejected by both engines: " + report.violation_message};
+  }
+  if (const std::string d = diff_run_results(r_serial, report.fast); !d.empty()) {
+    return {false, "scale engine vs mirrored core run diverge: " + d};
+  }
+
+  // Theorem 1: the scale engine is still a cooperative schedule; with unit
+  // capacities it cannot beat k - 1 + ceil(log2 n).
+  const bool uniform_unit =
+      sc.upload == 1 && sc.server_upload <= 1 && sc.upload_caps.empty();
+  if (r_serial.completed && uniform_unit && sc.departures.empty()) {
+    const Tick bound = cooperative_lower_bound(sc.n, sc.k);
+    if (r_serial.completion_tick < bound) {
+      return {false, "beats Theorem 1: completed at tick " +
+                         std::to_string(r_serial.completion_tick) +
+                         " < lower bound " + std::to_string(bound)};
+    }
+  }
+  return {true, ""};
+}
+
+}  // namespace
+
 ScenarioOutcome run_scenario(const Scenario& sc) {
+  if (sc.engine == EngineKind::kScale) return run_scale_scenario(sc);
   BuiltScenario built = build_scenario(sc);
   Scheduler* scheduler = built.scheduler.get();
   FaultyScheduler faulty(*built.scheduler, sc.n);

@@ -46,11 +46,21 @@ enum class FaultKind : std::uint8_t {
   kSameTickForward,
 };
 
+/// Which engine runs the scenario. kCore is the classic path (scheduler +
+/// core::Engine + reference oracle). kScale runs the mega-swarm engine three
+/// ways — serial, multi-threaded, and mirrored through core::Engine + the
+/// reference oracle via scale::MirrorScheduler — and requires bit-identical
+/// results from all of them. Scale scenarios may use node counts well above
+/// the core sampler's cap (the SoA engine exists for exactly that).
+enum class EngineKind : std::uint8_t { kCore, kScale };
+
 const char* to_string(SchedulerKind kind);
 const char* to_string(OverlayKind kind);
+const char* to_string(EngineKind kind);
 
 struct Scenario {
   std::uint64_t seed = 0;  ///< scheduler / overlay randomness
+  EngineKind engine = EngineKind::kCore;
   SchedulerKind scheduler = SchedulerKind::kRandomized;
   OverlayKind overlay = OverlayKind::kComplete;
   MechanismSpec mechanism;

@@ -7,7 +7,16 @@
 namespace pob {
 
 BlockSet::BlockSet(std::uint32_t universe)
-    : universe_(universe), words_((universe + 63) / 64, 0) {}
+    : universe_(universe), words_((universe + 63) / 64, 0) {
+  // A zero-block universe is always a caller bug (the model requires k >= 1,
+  // and packed possession rows would have zero words, so contains()/insert()
+  // would index out of bounds). Reject it loudly instead of letting the
+  // first bit operation corrupt memory. The *default* constructor still
+  // builds an inert empty set, as members and containers need.
+  if (universe == 0) {
+    throw std::invalid_argument("BlockSet: universe must be >= 1 (k = 0 file)");
+  }
+}
 
 bool BlockSet::insert(BlockId b) {
   assert(b < universe_);

@@ -18,7 +18,7 @@ double RunResult::mean_client_completion() const {
 double RunResult::utilization(Tick t, const EngineConfig& cfg) const {
   if (t == 0 || t > uploads_per_tick.size()) return 0.0;
   if (t <= active_slots_per_tick.size()) {
-    const double active = active_slots_per_tick[t - 1];
+    const double active = static_cast<double>(active_slots_per_tick[t - 1]);
     if (active <= 0.0) return 0.0;  // everyone but the server departed
     return static_cast<double>(uploads_per_tick[t - 1]) / active;
   }
@@ -40,8 +40,11 @@ Tick default_tick_cap(std::uint32_t num_nodes, std::uint32_t num_blocks) {
   // Generous: covers even the slowest deterministic baseline in this repo
   // (binomial tree sending one block at a time, T = k * ceil(log2 n)) with
   // ample headroom, since ceil(log2 n) <= 32 for any 32-bit n and the 66x
-  // block factor doubles that.
-  return 1024 + 2 * num_nodes + 66 * num_blocks;
+  // block factor doubles that. Computed in 64 bits and saturated: near
+  // n = 2^31 the sum itself would wrap Tick and yield a tiny cap.
+  const std::uint64_t cap = 1024ull + 2ull * num_nodes + 66ull * num_blocks;
+  return static_cast<Tick>(
+      std::min<std::uint64_t>(cap, std::numeric_limits<Tick>::max()));
 }
 
 namespace {
@@ -260,8 +263,8 @@ RunResult run_with_state(const EngineConfig& config, Scheduler& scheduler,
       }
     }
     result.total_transfers += tick_transfers.size();
-    result.uploads_per_tick.push_back(static_cast<std::uint32_t>(tick_transfers.size()));
-    result.active_slots_per_tick.push_back(static_cast<std::uint32_t>(active_slots));
+    result.uploads_per_tick.push_back(tick_transfers.size());
+    result.active_slots_per_tick.push_back(active_slots);
     if (config.record_trace) result.trace.push_back(tick_transfers);
 
     if (config.stall_window != 0) {

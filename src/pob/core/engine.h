@@ -98,22 +98,26 @@ struct RunResult {
   bool stalled = false;         ///< cut off by stall detection
   Tick completion_tick = 0;     ///< paper's T (valid when completed)
   Tick ticks_executed = 0;      ///< ticks actually simulated
-  std::uint64_t total_transfers = 0;
+  Count total_transfers = 0;
 
   /// Transfers discarded under drop_transfers_involving_inactive: broken
   /// connections plus their downstream casualties. Always 0 outside lossy
   /// churn mode.
-  std::uint64_t dropped_transfers = 0;
+  Count dropped_transfers = 0;
   std::uint32_t departed = 0;              ///< nodes that left (churn runs)
   std::vector<Tick> client_completion;     ///< per client (index 0 = node 1)
-  std::vector<std::uint32_t> uploads_per_node;  ///< fairness accounting
-  std::vector<std::uint32_t> uploads_per_tick;  ///< utilization trace
+  /// Per-node upload totals (fairness accounting). 64-bit: one node's
+  /// uploads are bounded by ticks * capacity, which overflows 32 bits on
+  /// long runs well before it overflows these.
+  std::vector<Count> uploads_per_node;
+  std::vector<Count> uploads_per_tick;  ///< utilization trace
 
   /// Upload slots actually available in each executed tick (departed nodes'
   /// capacity excluded). Parallel to uploads_per_tick; filled by the engine,
   /// may be empty for hand-built results (utilization then falls back to the
-  /// static config capacity).
-  std::vector<std::uint32_t> active_slots_per_tick;
+  /// static config capacity). 64-bit: the slot sum is n * capacity, which a
+  /// mega-swarm with heterogeneous capacities pushes past 2^32.
+  std::vector<Count> active_slots_per_tick;
   std::vector<std::vector<Transfer>> trace;     ///< per tick, if recorded
 
   /// Mean client completion tick ("average time for nodes to finish",

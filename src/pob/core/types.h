@@ -23,6 +23,24 @@ using BlockId = std::uint32_t;
 /// happen; tick 0 denotes "before the simulation starts".
 using Tick = std::uint32_t;
 
+/// Counter for quantities that scale with n * ticks (total uploads by one
+/// node, transfers in one tick, upload slots offered per tick). At the
+/// mega-swarm scale the pob/scale engine targets (n up to 10^6 and beyond,
+/// long async runs), products of 32-bit ids overflow 32 bits, so every
+/// accumulated count in RunResult uses this type.
+using Count = std::uint64_t;
+
+// Id types are deliberately 32-bit: a possession row for node 2^32 would
+// need a 32 GiB arena per 512-block file, far past any simulation this
+// codebase targets, and halving id width keeps the scale engine's intent
+// buffers and CSR adjacency dense. Counters, in contrast, must be 64-bit:
+// n * ticks and n * k products overflow 32 bits already at n = 2^16 with
+// long runs. These asserts pin the contract the scale engine relies on.
+static_assert(sizeof(NodeId) == 4, "NodeId is 32-bit by design (arena density)");
+static_assert(sizeof(BlockId) == 4, "BlockId is 32-bit by design");
+static_assert(sizeof(Tick) == 4, "Tick is 32-bit; accumulate tick products in Count");
+static_assert(sizeof(Count) == 8, "accumulated counters must not overflow at n*ticks");
+
 /// The server's NodeId.
 inline constexpr NodeId kServer = 0;
 

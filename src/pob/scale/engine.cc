@@ -1,0 +1,418 @@
+#include "pob/scale/engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "pob/exp/parallel.h"
+
+namespace pob::scale {
+
+namespace {
+
+// splitmix64 finalizer; good avalanche for open-addressed probing.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t delivery_key(NodeId to, BlockId block) {
+  return (static_cast<std::uint64_t>(to) << 32) | block;
+}
+
+}  // namespace
+
+// --- PairTable -----------------------------------------------------------
+
+void Engine::PairTable::begin_tick(std::size_t expected) {
+  std::size_t want = 16;
+  while (want < expected * 2) want <<= 1;  // load factor <= 0.5
+  if (keys_.size() < want) {
+    keys_.assign(want, 0);
+    epochs_.assign(want, 0);
+    mask_ = want - 1;
+    epoch_ = 0;
+  }
+  if (++epoch_ == 0) {  // epoch wrapped: stale stamps would alias
+    std::fill(epochs_.begin(), epochs_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+bool Engine::PairTable::insert(std::uint64_t key) {
+  auto i = static_cast<std::size_t>(mix64(key) & mask_);
+  while (epochs_[i] == epoch_) {
+    if (keys_[i] == key) return false;
+    i = (i + 1) & static_cast<std::size_t>(mask_);
+  }
+  epochs_[i] = epoch_;
+  keys_[i] = key;
+  return true;
+}
+
+// --- Engine --------------------------------------------------------------
+
+Engine::Engine(const EngineConfig& config, std::shared_ptr<const Topology> topology,
+               ScaleOptions options, std::uint64_t seed)
+    : cfg_(config), topo_(std::move(topology)), opt_(options), seed_(seed) {
+  // Same validation, same exception types, same order as core's
+  // run_with_state — a config that one engine rejects must not silently run
+  // on the other.
+  if (cfg_.num_nodes < 2) throw std::invalid_argument("scale: num_nodes < 2");
+  if (cfg_.num_blocks < 1) throw std::invalid_argument("scale: num_blocks < 1");
+  if (cfg_.upload_capacity < 1) throw std::invalid_argument("scale: upload_capacity < 1");
+  if (cfg_.download_capacity < 1) throw std::invalid_argument("scale: download_capacity < 1");
+  if (topo_ == nullptr || topo_->num_nodes() != cfg_.num_nodes) {
+    throw std::invalid_argument("scale: topology does not match num_nodes");
+  }
+  if (opt_.max_probes < 1) throw std::invalid_argument("scale: max_probes < 1");
+  if (opt_.shard_nodes < 1) throw std::invalid_argument("scale: shard_nodes < 1");
+
+  const std::uint32_t n = cfg_.num_nodes;
+  if (!cfg_.upload_capacities.empty() && cfg_.upload_capacities.size() != n) {
+    throw EngineViolation("config: upload_capacities has " +
+                          std::to_string(cfg_.upload_capacities.size()) +
+                          " entries for " + std::to_string(n) + " nodes");
+  }
+  if (!cfg_.download_capacities.empty() && cfg_.download_capacities.size() != n) {
+    throw EngineViolation("config: download_capacities has " +
+                          std::to_string(cfg_.download_capacities.size()) +
+                          " entries for " + std::to_string(n) + " nodes");
+  }
+  for (const auto& [dep_tick, dep_node] : cfg_.departures) {
+    (void)dep_tick;
+    if (dep_node == kServer) {
+      throw EngineViolation("config: departure names the server (node 0)");
+    }
+    if (dep_node >= n) {
+      throw EngineViolation("config: departure names out-of-range node " +
+                            std::to_string(dep_node) + " (num_nodes " +
+                            std::to_string(n) + ")");
+    }
+  }
+
+  n_ = n;
+  k_ = cfg_.num_blocks;
+  stride_ = (k_ + 63) / 64;
+
+  const std::uint32_t server_up = cfg_.server_upload_capacity != 0
+                                      ? cfg_.server_upload_capacity
+                                      : cfg_.upload_capacity;
+  up_caps_.resize(n_);
+  down_caps_.resize(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    up_caps_[u] = !cfg_.upload_capacities.empty()
+                      ? cfg_.upload_capacities[u]
+                      : (u == kServer ? server_up : cfg_.upload_capacity);
+    down_caps_[u] = !cfg_.download_capacities.empty() ? cfg_.download_capacities[u]
+                                                      : cfg_.download_capacity;
+  }
+  for (NodeId c = 1; c < n_; ++c) {
+    if (down_caps_[c] < up_caps_[c]) {
+      throw EngineViolation("config: client " + std::to_string(c) +
+                            " has download capacity " + std::to_string(down_caps_[c]) +
+                            " < upload capacity " + std::to_string(up_caps_[c]) +
+                            " (the model requires d >= u)");
+    }
+  }
+
+  bits_.assign(static_cast<std::size_t>(n_) * stride_, 0);
+  count_.assign(n_, 0);
+  completion_.assign(n_, 0);
+  active_.assign(n_, 1);
+  freq_.assign(k_, 1);  // the server's copy of every block
+  uploads_per_node_.assign(n_, 0);
+  down_used_.assign(n_, 0);
+  down_stamp_.assign(n_, 0);
+
+  // Seed the server with the whole file (tail bits of the last word stay 0 —
+  // the planner's word-wise diffs rely on that invariant for every row).
+  std::uint64_t* server = row(kServer);
+  for (std::uint32_t w = 0; w < stride_; ++w) {
+    const bool last_partial = (w + 1 == stride_) && (k_ & 63) != 0;
+    server[w] = last_partial ? (1ULL << (k_ & 63)) - 1 : ~0ULL;
+  }
+  count_[kServer] = k_;
+  num_incomplete_ = n_ - 1;
+
+  for (NodeId u = 0; u < n_; ++u) active_slots_ += up_caps_[u];
+
+  const std::uint32_t shards = (n_ + opt_.shard_nodes - 1) / opt_.shard_nodes;
+  shard_intents_.resize(shards);
+}
+
+BlockId Engine::pick_block(NodeId u, NodeId v, Rng& rng) const {
+  const std::uint64_t* su = row(u);
+  const std::uint64_t* sv = row(v);
+  if (opt_.policy == BlockPolicy::kRandom) {
+    // Two passes, as BlockSet::pick_random_useful: count, then rank-select.
+    std::uint32_t total = 0;
+    for (std::uint32_t w = 0; w < stride_; ++w) {
+      total += static_cast<std::uint32_t>(std::popcount(su[w] & ~sv[w]));
+    }
+    assert(total != 0);  // caller checked usefulness
+    std::uint32_t r = rng.below(total);
+    for (std::uint32_t w = 0; w < stride_; ++w) {
+      std::uint64_t diff = su[w] & ~sv[w];
+      const auto pc = static_cast<std::uint32_t>(std::popcount(diff));
+      if (r < pc) {
+        while (r-- > 0) diff &= diff - 1;
+        return static_cast<BlockId>((w << 6) +
+                                    static_cast<std::uint32_t>(std::countr_zero(diff)));
+      }
+      r -= pc;
+    }
+    return kNoBlock;  // unreachable
+  }
+  // Rarest first over the live replica counts, with the same reservoir
+  // tie-break idiom as BlockSet::pick_rarest_useful.
+  BlockId best = kNoBlock;
+  std::uint32_t best_freq = 0;
+  std::uint32_t ties = 0;
+  for (std::uint32_t w = 0; w < stride_; ++w) {
+    std::uint64_t diff = su[w] & ~sv[w];
+    while (diff != 0) {
+      const auto b = static_cast<BlockId>((w << 6) +
+                                          static_cast<std::uint32_t>(std::countr_zero(diff)));
+      diff &= diff - 1;
+      const std::uint32_t f = freq_[b];
+      if (best == kNoBlock || f < best_freq) {
+        best = b;
+        best_freq = f;
+        ties = 1;
+      } else if (f == best_freq) {
+        ++ties;
+        if (rng.below(ties) == 0) best = b;
+      }
+    }
+  }
+  return best;
+}
+
+void Engine::generate_node(std::uint64_t tick_base, NodeId u, std::vector<Transfer>& out) {
+  if (active_[u] == 0 || count_[u] == 0) return;
+  const std::uint32_t slots = up_caps_[u];
+  if (slots == 0) return;
+  const std::uint32_t deg = topo_->degree(u);
+  if (deg == 0) return;
+
+  // This node's RNG stream is a pure function of (seed, tick, node), so the
+  // intents it emits do not depend on which shard/thread runs it.
+  Rng rng(trial_seed(tick_base, u));
+  const std::size_t first_intent = out.size();
+  const bool credit = opt_.credit_limit != 0 && u != kServer;
+  const std::uint64_t* su = row(u);
+
+  for (std::uint32_t slot = 0; slot < slots; ++slot) {
+    NodeId target = kNoNode;
+    for (std::uint32_t probe = 0; probe < opt_.max_probes; ++probe) {
+      const NodeId v = topo_->neighbor(u, rng.below(deg));
+      if (v == u || v == kServer) continue;  // nothing flows into the server
+      if (active_[v] == 0 || count_[v] >= k_) continue;
+      // At most one upload per (u, v) pair per tick. Together with the
+      // pre-tick ledger check below this keeps every admitted stream inside
+      // CreditLimited::check_tick: the tick's delta on an ordered pair is in
+      // {-1, 0, +1}, and +1 was pre-checked against the limit.
+      bool repeat = false;
+      for (std::size_t i = first_intent; i < out.size(); ++i) {
+        if (out[i].to == v) { repeat = true; break; }
+      }
+      if (repeat) continue;
+      if (credit &&
+          ledger_.net(u, v) + 1 > static_cast<std::int64_t>(opt_.credit_limit)) {
+        continue;
+      }
+      const std::uint64_t* sv = row(v);
+      bool useful = false;
+      for (std::uint32_t w = 0; w < stride_; ++w) {
+        if (su[w] & ~sv[w]) { useful = true; break; }
+      }
+      if (!useful) continue;
+      target = v;
+      break;
+    }
+    if (target == kNoNode) break;  // out of luck: idle for the rest of the tick
+    out.push_back(Transfer{u, target, pick_block(u, target, rng)});
+  }
+}
+
+void Engine::plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool) {
+  const std::uint64_t tick_base = trial_seed(seed_, tick);
+  const std::uint32_t shard = opt_.shard_nodes;
+  const auto num_shards = static_cast<std::uint32_t>(shard_intents_.size());
+
+  // Phase 1: intent generation, sharded by node range. Shards only read the
+  // (frozen) swarm state and write their own vector, so running them on a
+  // pool is observationally identical to the serial loop.
+  const std::function<void(std::uint32_t)> generate = [&](std::uint32_t s) {
+    auto& intents = shard_intents_[s];
+    intents.clear();
+    const auto first = static_cast<NodeId>(static_cast<std::uint64_t>(s) * shard);
+    const auto last = static_cast<NodeId>(
+        std::min<std::uint64_t>(n_, static_cast<std::uint64_t>(first) + shard));
+    for (NodeId u = first; u < last; ++u) generate_node(tick_base, u, intents);
+  };
+  if (pool != nullptr && pool->jobs() > 1 && num_shards > 1) {
+    pool->parallel_for(num_shards, generate);
+  } else {
+    for (std::uint32_t s = 0; s < num_shards; ++s) generate(s);
+  }
+
+  // Phase 2: merge in node order (shards are node-ordered, so concatenation
+  // order is canonical). Receiver download capacity and the one-delivery-per-
+  // (receiver, block) rule are the only cross-node constraints; senders
+  // cannot conflict with themselves (phase 1 already capped their slots).
+  std::size_t total_intents = 0;
+  for (const auto& intents : shard_intents_) total_intents += intents.size();
+  delivered_.begin_tick(total_intents);
+  for (const auto& intents : shard_intents_) {
+    for (const Transfer& tr : intents) {
+      if (down_stamp_[tr.to] != tick) {
+        down_stamp_[tr.to] = tick;
+        down_used_[tr.to] = 0;
+      }
+      const std::uint32_t dcap = down_caps_[tr.to];
+      if (dcap != kUnlimited && down_used_[tr.to] >= dcap) continue;
+      if (!delivered_.insert(delivery_key(tr.to, tr.block))) continue;
+      ++down_used_[tr.to];
+      out.push_back(tr);
+    }
+  }
+}
+
+void Engine::plan(Tick tick, std::vector<Transfer>& out) {
+  consumed_ = true;  // lockstep driving began; run() would not start fresh
+  plan_phases(tick, out, nullptr);
+}
+
+void Engine::apply(Tick tick, std::span<const Transfer> accepted) {
+  for (const Transfer& tr : accepted) {
+    std::uint64_t& word = row(tr.to)[tr.block >> 6];
+    const std::uint64_t bit = 1ULL << (tr.block & 63);
+    assert((word & bit) == 0 && "duplicate delivery slipped through the merge");
+    word |= bit;
+    ++freq_[tr.block];
+    ++uploads_per_node_[tr.from];
+    if (++count_[tr.to] == k_) {
+      completion_[tr.to] = tick;
+      --num_incomplete_;
+      if (cfg_.depart_on_complete) leaving_.push_back(tr.to);
+    }
+    // Mirrors CreditLimited::commit_tick: server-involved transfers never
+    // touch the ledger.
+    if (opt_.credit_limit != 0 && tr.from != kServer) ledger_.record(tr.from, tr.to);
+  }
+}
+
+void Engine::deactivate(NodeId node) {
+  if (node == kServer || node >= n_) {
+    throw std::invalid_argument("scale: cannot deactivate node " + std::to_string(node));
+  }
+  if (active_[node] == 0) return;
+  active_[node] = 0;
+  ++num_departed_;
+  active_slots_ -= up_caps_[node];
+  const std::uint64_t* r = row(node);
+  for (std::uint32_t w = 0; w < stride_; ++w) {
+    std::uint64_t held = r[w];
+    while (held != 0) {
+      const auto b = (w << 6) + static_cast<std::uint32_t>(std::countr_zero(held));
+      held &= held - 1;
+      --freq_[b];
+    }
+  }
+  if (count_[node] < k_) --num_incomplete_;
+}
+
+RunResult Engine::run(unsigned jobs) {
+  if (consumed_) {
+    throw std::logic_error("scale::Engine::run: engine state already consumed");
+  }
+  consumed_ = true;
+  ThreadPool pool(jobs);
+
+  // From here down the control flow replicates core's run_with_state line
+  // for line (departure application, depart_on_complete timing, the stall
+  // window arithmetic, final bookkeeping) so that a mirrored core run
+  // produces a field-for-field identical RunResult.
+  const Tick cap = cfg_.max_ticks != 0 ? cfg_.max_ticks
+                                       : default_tick_cap(cfg_.num_nodes, cfg_.num_blocks);
+  std::vector<std::pair<Tick, NodeId>> departures = cfg_.departures;
+  std::sort(departures.begin(), departures.end());
+  std::size_t next_departure = 0;
+
+  RunResult result;
+  std::uint64_t window_sum = 0;
+  std::uint64_t window_slots_sum = 0;
+
+  Tick tick = 0;
+  while (num_incomplete_ != 0 && tick < cap) {
+    ++tick;
+    while (next_departure < departures.size() && departures[next_departure].first <= tick) {
+      deactivate(departures[next_departure].second);
+      ++next_departure;
+    }
+    if (cfg_.depart_on_complete) {
+      for (const NodeId c : leaving_) deactivate(c);
+      leaving_.clear();
+    }
+    if (num_incomplete_ == 0) break;  // survivors may already all be done
+
+    accepted_.clear();
+    plan_phases(tick, accepted_, &pool);
+    apply(tick, accepted_);
+
+    result.total_transfers += accepted_.size();
+    result.uploads_per_tick.push_back(accepted_.size());
+    result.active_slots_per_tick.push_back(active_slots_);
+    if (cfg_.record_trace) result.trace.push_back(accepted_);
+
+    if (cfg_.stall_window != 0) {
+      window_sum += accepted_.size();
+      window_slots_sum += active_slots_;
+      if (tick > cfg_.stall_window) {
+        window_sum -= result.uploads_per_tick[tick - cfg_.stall_window - 1];
+        window_slots_sum -= result.active_slots_per_tick[tick - cfg_.stall_window - 1];
+      }
+      if (tick >= cfg_.stall_window &&
+          static_cast<double>(window_sum) <
+              cfg_.stall_utilization * static_cast<double>(window_slots_sum)) {
+        result.stalled = true;
+        break;
+      }
+    }
+  }
+
+  result.ticks_executed = tick;
+  result.completed = num_incomplete_ == 0;
+  result.departed = num_departed_;
+  result.client_completion.assign(completion_.begin() + 1, completion_.end());
+  if (result.completed) {
+    result.completion_tick = *std::max_element(result.client_completion.begin(),
+                                               result.client_completion.end());
+  }
+  result.uploads_per_node = std::move(uploads_per_node_);
+  return result;
+}
+
+std::uint64_t Engine::state_bytes() const {
+  std::uint64_t bytes = bits_.size() * sizeof(std::uint64_t);
+  bytes += count_.size() * sizeof(std::uint32_t);
+  bytes += completion_.size() * sizeof(Tick);
+  bytes += active_.size();
+  bytes += freq_.size() * sizeof(std::uint32_t);
+  bytes += up_caps_.size() * sizeof(std::uint32_t);
+  bytes += down_caps_.size() * sizeof(std::uint32_t);
+  bytes += uploads_per_node_.size() * sizeof(Count);
+  bytes += down_used_.size() * sizeof(std::uint32_t);
+  bytes += down_stamp_.size() * sizeof(Tick);
+  bytes += topo_->memory_bytes();
+  return bytes;
+}
+
+}  // namespace pob::scale

@@ -1,0 +1,179 @@
+// The mega-swarm engine: a structure-of-arrays reimplementation of the
+// randomized cooperative protocol (§2.4) and its credit-limited barter
+// variant (§3.2) designed for swarms of 10^6 nodes and beyond.
+//
+// Where core::Engine is general (any Scheduler, any Mechanism, machine-
+// checked validation of every tick), scale::Engine fuses one protocol
+// family into the engine itself and trades generality for density:
+//
+//   * possession is one contiguous arena of packed uint64 bitset rows
+//     (n * ceil(k/64) words), not n separate BlockSet allocations;
+//   * neighbor adjacency is CSR (scale::Topology), not a virtual Overlay;
+//   * each tick runs in three phases — shard-parallel INTENT GENERATION on
+//     the pob/exp ThreadPool, a deterministic seed-ordered MERGE, and a
+//     serial APPLY — so the transfer stream and the final RunResult are
+//     bit-identical at any --jobs value: intents are a pure function of
+//     (seed, tick, node) via trial_seed-derived per-node RNG streams, and
+//     the merge admits them in node order.
+//
+// The engine emits only legal transfers by construction; it is NOT trusted
+// on its own. scale::MirrorScheduler replays the exact same plan/apply
+// semantics through core::Engine and the pob/check reference oracle, and
+// the scenario fuzzer cross-checks all three on overlapping n (see
+// pob/check/scenario.h, EngineKind::kScale).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pob/core/engine.h"
+#include "pob/core/rng.h"
+#include "pob/core/types.h"
+#include "pob/mech/barter.h"
+#include "pob/rand/randomized.h"
+#include "pob/scale/topology.h"
+
+namespace pob {
+class ThreadPool;
+}
+
+namespace pob::scale {
+
+struct ScaleOptions {
+  /// Block selection within u \ v: uniform random or globally rarest first
+  /// (§2.4 / §3.2.4's "perfect statistics").
+  BlockPolicy policy = BlockPolicy::kRandom;
+
+  /// Neighbor probes per upload slot before the node gives up for the tick.
+  /// The practical handshake protocol: no exhaustive fallback scan — at
+  /// n = 10^6 an O(degree) scan per idle node would dominate the tick.
+  std::uint32_t max_probes = 16;
+
+  /// 0 = cooperative (no constraint); >= 1 enables the §3.2 credit-limited
+  /// barter predicate: client u uploads to client v only while the pairwise
+  /// net (pre-tick ledger) stays below the limit. The emitted stream always
+  /// satisfies CreditLimited::check_tick.
+  std::uint32_t credit_limit = 0;
+
+  /// Nodes per intent shard in the parallel generation phase. Shard count
+  /// is a pure function of n (never of the job count), so chunk assignment
+  /// cannot leak into results.
+  std::uint32_t shard_nodes = 4096;
+};
+
+class Engine {
+ public:
+  /// `config` uses the same EngineConfig as core::Engine; record_trace,
+  /// departures, depart_on_complete, heterogeneous capacities, max_ticks
+  /// and stall detection all behave identically. `topology->num_nodes()`
+  /// must equal config.num_nodes. `seed` plays the role a scheduler Rng
+  /// plays for core runs: the full run is a pure function of
+  /// (config, topology, options, seed).
+  Engine(const EngineConfig& config, std::shared_ptr<const Topology> topology,
+         ScaleOptions options, std::uint64_t seed);
+
+  /// Runs to completion / tick cap / stall on `jobs` workers (0 = all
+  /// cores, 1 = serial) and returns a RunResult with the exact same shape
+  /// and semantics as core::Engine's — including dropped_transfers (always
+  /// 0: the planner reads live state and never names a departed node) and
+  /// active_slots_per_tick. Consumes the engine state; call once.
+  RunResult run(unsigned jobs = 1);
+
+  // --- Lockstep API ---------------------------------------------------
+  // MirrorScheduler (and tests) drive the engine one tick at a time so the
+  // identical transfer stream can be validated by core::Engine and the
+  // reference oracle. plan() runs phases 1+2 against the current state;
+  // apply() commits an accepted stream; deactivate() injects departures
+  // (run() handles config.departures itself — lockstep callers own churn).
+
+  /// Appends this tick's merged transfer stream to `out`. Serial; produces
+  /// exactly what run() would commit on this tick at any job count.
+  void plan(Tick tick, std::vector<Transfer>& out);
+
+  /// Commits a planned stream: possession bits, replica counts, completion
+  /// ticks, per-node upload totals, and the credit ledger.
+  void apply(Tick tick, std::span<const Transfer> accepted);
+
+  /// Removes a node (idempotent; the server cannot depart): its capacity
+  /// leaves the active upload slots, its replicas stop counting, and it no
+  /// longer needs to complete.
+  void deactivate(NodeId node);
+
+  bool is_active(NodeId node) const { return active_[node] != 0; }
+  bool is_complete(NodeId node) const { return count_[node] >= k_; }
+  bool all_complete() const { return num_incomplete_ == 0; }
+  bool has(NodeId node, BlockId block) const {
+    return (row(node)[block >> 6] >> (block & 63)) & 1u;
+  }
+
+  const EngineConfig& config() const { return cfg_; }
+  const Topology& topology() const { return *topo_; }
+  const ScaleOptions& options() const { return opt_; }
+
+  /// Arena + index memory actually allocated, for bench reporting.
+  std::uint64_t state_bytes() const;
+
+ private:
+  // A (receiver, block) admission table: open-addressed, epoch-stamped so a
+  // tick reset is O(1) and a million inserts touch no allocator.
+  class PairTable {
+   public:
+    void begin_tick(std::size_t expected);
+    bool insert(std::uint64_t key);  ///< false if already present this tick
+
+   private:
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint32_t> epochs_;
+    std::uint64_t mask_ = 0;
+    std::uint32_t epoch_ = 0;
+  };
+
+  std::uint64_t* row(NodeId node) {
+    return bits_.data() + static_cast<std::size_t>(node) * stride_;
+  }
+  const std::uint64_t* row(NodeId node) const {
+    return bits_.data() + static_cast<std::size_t>(node) * stride_;
+  }
+
+  void generate_node(std::uint64_t tick_base, NodeId u, std::vector<Transfer>& out);
+  void plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool);
+  BlockId pick_block(NodeId u, NodeId v, Rng& rng) const;
+
+  EngineConfig cfg_;
+  std::shared_ptr<const Topology> topo_;
+  ScaleOptions opt_;
+  std::uint64_t seed_ = 0;
+
+  std::uint32_t n_ = 0;
+  std::uint32_t k_ = 0;
+  std::uint32_t stride_ = 0;  // words per possession row
+
+  // Structure-of-arrays swarm state.
+  std::vector<std::uint64_t> bits_;       // n * stride possession arena
+  std::vector<std::uint32_t> count_;      // blocks held per node
+  std::vector<Tick> completion_;          // completion tick per node (0 = not)
+  std::vector<std::uint8_t> active_;      // 0 once departed
+  std::vector<std::uint32_t> freq_;       // per-block replica count (active nodes)
+  std::vector<std::uint32_t> up_caps_;    // resolved per-node capacities
+  std::vector<std::uint32_t> down_caps_;
+  std::vector<Count> uploads_per_node_;
+  std::uint32_t num_incomplete_ = 0;
+  std::uint32_t num_departed_ = 0;
+  std::uint64_t active_slots_ = 0;
+  CreditLedger ledger_;  // §3.2 pairwise net-transfer ledger (credit mode)
+
+  // Tick scratch (reused, never shrunk).
+  std::vector<std::vector<Transfer>> shard_intents_;
+  std::vector<std::uint32_t> down_used_;  // stamped by down_stamp_
+  std::vector<Tick> down_stamp_;
+  PairTable delivered_;
+  std::vector<NodeId> leaving_;  // depart_on_complete queue (run() only)
+  std::vector<Transfer> accepted_;
+
+  bool consumed_ = false;  // run() called or lockstep driving began
+};
+
+}  // namespace pob::scale

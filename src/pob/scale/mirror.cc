@@ -1,0 +1,37 @@
+#include "pob/scale/mirror.h"
+
+#include <stdexcept>
+
+namespace pob::scale {
+
+MirrorScheduler::MirrorScheduler(std::unique_ptr<Engine> engine)
+    : engine_(std::move(engine)) {
+  if (engine_ == nullptr) {
+    throw std::invalid_argument("MirrorScheduler: null engine");
+  }
+}
+
+void MirrorScheduler::plan_tick(Tick tick, const SwarmState& state,
+                                std::vector<Transfer>& out) {
+  // core::Engine owns churn during a mirrored run (config departures and
+  // depart_on_complete are applied to the SwarmState before plan_tick).
+  // Sync them across so the scale planner sees the identical active set.
+  const std::uint32_t n = state.num_nodes();
+  for (NodeId node = 1; node < n; ++node) {
+    if (engine_->is_active(node) && !state.is_active(node)) {
+      engine_->deactivate(node);
+    }
+  }
+
+  planned_.clear();
+  engine_->plan(tick, planned_);
+  out.insert(out.end(), planned_.begin(), planned_.end());
+
+  // Commit our own stream immediately: core applies `out` to the SwarmState
+  // after this returns, and the scale state must match at the next tick.
+  // If core instead throws EngineViolation on the stream, the run is dead
+  // anyway — divergence of the two states no longer matters.
+  engine_->apply(tick, planned_);
+}
+
+}  // namespace pob::scale

@@ -1,0 +1,52 @@
+// MirrorScheduler: replays scale::Engine's planned transfer stream through
+// core::Engine, tick for tick.
+//
+// This is how the mega-swarm engine earns trust. scale::Engine is fast
+// because it validates nothing; core::Engine (and the pob/check reference
+// oracle behind it) validates everything and trusts no scheduler. The mirror
+// welds them together: each plan_tick() first syncs externally-caused
+// departures from the core SwarmState into the scale engine, then runs the
+// scale planner (phases 1 + 2), hands the stream to core for validation, and
+// applies the same stream to the scale state so both sides enter the next
+// tick in lockstep.
+//
+// If, for matching configs, seed and topology,
+//
+//     scale::Engine(cfg, topo, opt, seed).run(jobs)
+//  ==
+//     pob::run(cfg, MirrorScheduler(...), mechanism)   [field for field]
+//
+// then the scale engine's transfers were legal under the machine-checked
+// model (and mechanism) on every tick, and its bookkeeping (completion
+// ticks, upload counts, stall detection, churn accounting) agrees with the
+// reference implementation. The scenario fuzzer asserts exactly this.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pob/core/scheduler.h"
+#include "pob/scale/engine.h"
+
+namespace pob::scale {
+
+class MirrorScheduler final : public Scheduler {
+ public:
+  /// Takes ownership of a freshly constructed scale engine (its lockstep
+  /// API is driven from here; do not also call run() on it).
+  explicit MirrorScheduler(std::unique_ptr<Engine> engine);
+
+  std::string_view name() const override { return "scale-mirror"; }
+
+  void plan_tick(Tick tick, const SwarmState& state,
+                 std::vector<Transfer>& out) override;
+
+  const Engine& engine() const { return *engine_; }
+
+ private:
+  std::unique_ptr<Engine> engine_;
+  std::vector<Transfer> planned_;
+};
+
+}  // namespace pob::scale

@@ -1,0 +1,54 @@
+#include "pob/scale/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pob::scale {
+
+Topology Topology::complete(std::uint32_t num_nodes) {
+  if (num_nodes < 2) throw std::invalid_argument("Topology: need >= 2 nodes");
+  Topology t;
+  t.n_ = num_nodes;
+  t.complete_ = true;
+  return t;
+}
+
+Topology Topology::from_graph(const Graph& graph) {
+  if (!graph.finalized()) throw std::invalid_argument("Topology: graph not finalized");
+  if (graph.num_nodes() < 2) throw std::invalid_argument("Topology: need >= 2 nodes");
+  Topology t;
+  t.n_ = graph.num_nodes();
+  t.offsets_.resize(static_cast<std::size_t>(t.n_) + 1);
+  t.targets_.reserve(graph.num_edges() * 2);
+  std::uint64_t offset = 0;
+  for (NodeId u = 0; u < t.n_; ++u) {
+    t.offsets_[u] = offset;
+    const auto neighbors = graph.neighbors(u);
+    t.targets_.insert(t.targets_.end(), neighbors.begin(), neighbors.end());
+    offset += neighbors.size();
+  }
+  t.offsets_[t.n_] = offset;
+  return t;
+}
+
+Topology Topology::from_overlay(const Overlay& overlay) {
+  const std::uint32_t n = overlay.num_nodes();
+  if (n < 2) throw std::invalid_argument("Topology: need >= 2 nodes");
+  Topology t;
+  t.n_ = n;
+  t.offsets_.resize(static_cast<std::size_t>(n) + 1);
+  std::uint64_t offset = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    t.offsets_[u] = offset;
+    const std::uint32_t deg = overlay.degree(u);
+    for (std::uint32_t i = 0; i < deg; ++i) t.targets_.push_back(overlay.neighbor(u, i));
+    // Overlay promises stable-but-arbitrary ordering; the planner's contract
+    // is ascending ids, so normalize here.
+    std::sort(t.targets_.begin() + static_cast<std::ptrdiff_t>(offset), t.targets_.end());
+    offset += deg;
+  }
+  t.offsets_[n] = offset;
+  return t;
+}
+
+}  // namespace pob::scale

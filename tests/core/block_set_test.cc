@@ -20,6 +20,40 @@ TEST(BlockSet, StartsEmpty) {
   EXPECT_EQ(s.first_missing(), 0u);
 }
 
+TEST(BlockSet, ZeroUniverseRejected) {
+  // A zero-block file is meaningless; every downstream invariant (first
+  // missing block, fullness, rarest-first frequency vectors) assumes k >= 1.
+  EXPECT_THROW(BlockSet(0), std::invalid_argument);
+}
+
+TEST(BlockSet, SingleBlockUniverse) {
+  BlockSet s(1);
+  EXPECT_EQ(s.first_missing(), 0u);
+  EXPECT_TRUE(s.insert(0));
+  EXPECT_TRUE(s.full());
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 0u);
+  EXPECT_EQ(s.first_missing(), kNoBlock);
+}
+
+TEST(BlockSet, WordBoundaryTailBitsStayMasked) {
+  // k = 63/64/65 straddle the uint64 word boundary; operations on the last
+  // block must not leak into (or read from) unused tail bits.
+  for (const std::uint32_t universe : {63u, 64u, 65u}) {
+    BlockSet s(universe);
+    const BlockId last = universe - 1;
+    EXPECT_TRUE(s.insert(last)) << universe;
+    EXPECT_EQ(s.count(), 1u) << universe;
+    EXPECT_EQ(s.max(), last) << universe;
+    EXPECT_EQ(s.first_missing(), 0u) << universe;
+    for (BlockId b = 0; b < last; ++b) s.insert(b);
+    EXPECT_TRUE(s.full()) << universe;
+    EXPECT_TRUE(s.erase(last)) << universe;
+    EXPECT_FALSE(s.full()) << universe;
+    EXPECT_EQ(s.first_missing(), last) << universe;
+  }
+}
+
 TEST(BlockSet, InsertEraseRoundTrip) {
   BlockSet s(130);
   EXPECT_TRUE(s.insert(0));

@@ -1,0 +1,253 @@
+// scale::Engine earns trust by equivalence: every stream it plans must be
+// accepted, tick for tick, by core::Engine and the reference oracle (via
+// MirrorScheduler), and the RunResult it reports on its own must match the
+// one the mirrored core run produces, field for field. These tests pin that
+// contract on fixed scenarios spanning topology, policy, mechanism, churn,
+// and block-count edge cases; the fuzzer explores the space around them.
+
+#include "pob/scale/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "pob/check/oracle.h"
+#include "pob/overlay/builders.h"
+#include "pob/scale/mirror.h"
+
+namespace pob::scale {
+namespace {
+
+using check::diff_run_results;
+using check::differential_check;
+using check::MechanismSpec;
+using check::run_result_digest;
+
+std::shared_ptr<const Topology> complete_topo(std::uint32_t n) {
+  return std::make_shared<Topology>(Topology::complete(n));
+}
+
+std::shared_ptr<const Topology> regular_topo(std::uint32_t n, std::uint32_t degree,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  return std::make_shared<Topology>(
+      Topology::from_graph(make_random_regular(n, degree, rng)));
+}
+
+/// Runs the scale engine standalone, then replays its exact stream through
+/// core::Engine + reference oracle via the mirror, and requires the two
+/// RunResults (traces included) to be identical.
+void expect_matches_mirrored_core(const EngineConfig& cfg,
+                                  std::shared_ptr<const Topology> topo,
+                                  const ScaleOptions& opt, std::uint64_t seed) {
+  MechanismSpec spec;
+  if (opt.credit_limit != 0) {
+    spec.kind = MechanismSpec::Kind::kCreditLimited;
+    spec.credit_limit = opt.credit_limit;
+  }
+  MirrorScheduler mirror(std::make_unique<Engine>(cfg, topo, opt, seed));
+  const check::OracleReport report = differential_check(cfg, mirror, spec);
+  ASSERT_TRUE(report.ok) << report.diagnosis;
+  ASSERT_FALSE(report.violated) << report.violation_message;
+
+  EngineConfig traced = cfg;
+  traced.record_trace = true;  // differential_check records; match it
+  Engine engine(traced, std::move(topo), opt, seed);
+  const RunResult r = engine.run(1);
+  EXPECT_EQ(diff_run_results(r, report.fast), "");
+}
+
+TEST(ScaleEngine, CompleteSwarmMatchesMirroredCore) {
+  EngineConfig cfg;
+  cfg.num_nodes = 48;
+  cfg.num_blocks = 33;  // not a word multiple: tail masking in play
+  expect_matches_mirrored_core(cfg, complete_topo(48), {}, 7);
+}
+
+TEST(ScaleEngine, RegularOverlayRarestFirstMatchesMirroredCore) {
+  EngineConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.num_blocks = 64;
+  cfg.download_capacity = 2;
+  cfg.server_upload_capacity = 3;
+  ScaleOptions opt;
+  opt.policy = BlockPolicy::kRarestFirst;
+  opt.shard_nodes = 17;  // force many shards
+  expect_matches_mirrored_core(cfg, regular_topo(120, 8, 11), opt, 11);
+}
+
+TEST(ScaleEngine, CreditLimitedStreamAcceptedByMechanism) {
+  EngineConfig cfg;
+  cfg.num_nodes = 60;
+  cfg.num_blocks = 40;
+  cfg.download_capacity = 2;
+  ScaleOptions opt;
+  opt.credit_limit = 1;  // tightest barter constraint
+  expect_matches_mirrored_core(cfg, complete_topo(60), opt, 3);
+}
+
+TEST(ScaleEngine, ChurnAndDepartOnCompleteMatchMirroredCore) {
+  EngineConfig cfg;
+  cfg.num_nodes = 80;
+  cfg.num_blocks = 50;
+  cfg.depart_on_complete = true;
+  cfg.departures = {{3, 5}, {3, 6}, {9, 40}};
+  expect_matches_mirrored_core(cfg, complete_topo(80), {}, 19);
+}
+
+TEST(ScaleEngine, HeterogeneousCapacitiesMatchMirroredCore) {
+  EngineConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.num_blocks = 24;
+  cfg.upload_capacities.assign(40, 1);
+  cfg.download_capacities.assign(40, 2);
+  cfg.upload_capacities[0] = 4;    // beefy server
+  cfg.upload_capacities[7] = 3;    // one fast client (model needs d >= u)
+  cfg.download_capacities[7] = 3;
+  cfg.download_capacities[9] = 1;
+  expect_matches_mirrored_core(cfg, complete_topo(40), {}, 23);
+}
+
+TEST(ScaleEngine, BlockCountWordBoundaries) {
+  for (const std::uint32_t k : {1u, 63u, 64u, 65u}) {
+    EngineConfig cfg;
+    cfg.num_nodes = 16;
+    cfg.num_blocks = k;
+    expect_matches_mirrored_core(cfg, complete_topo(16), {}, 100 + k);
+  }
+}
+
+TEST(ScaleEngine, ResultIndependentOfJobCount) {
+  EngineConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_blocks = 96;
+  cfg.record_trace = true;  // digest the full transfer stream too
+  ScaleOptions opt;
+  opt.shard_nodes = 29;
+  const auto run_at = [&](unsigned jobs) {
+    Engine engine(cfg, regular_topo(300, 10, 5), opt, 5);
+    return run_result_digest(engine.run(jobs));
+  };
+  const std::uint64_t serial = run_at(1);
+  EXPECT_EQ(run_at(2), serial);
+  EXPECT_EQ(run_at(5), serial);
+}
+
+TEST(ScaleEngine, CompleteTopologyMatchesExplicitCsr) {
+  // The arithmetic complete() fast path and a materialized complete graph
+  // must be indistinguishable to the planner.
+  const std::uint32_t n = 24;
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  g.finalize();
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = 31;
+  cfg.record_trace = true;
+  const auto digest_with = [&](std::shared_ptr<const Topology> topo) {
+    Engine engine(cfg, std::move(topo), {}, 13);
+    return run_result_digest(engine.run(1));
+  };
+  EXPECT_EQ(digest_with(complete_topo(n)),
+            digest_with(std::make_shared<Topology>(Topology::from_graph(g))));
+}
+
+TEST(ScaleEngine, ValidatesLikeCore) {
+  EngineConfig good;
+  good.num_nodes = 8;
+  good.num_blocks = 4;
+
+  EngineConfig cfg = good;
+  cfg.num_nodes = 1;
+  EXPECT_THROW(Engine(cfg, complete_topo(1), {}, 1), std::invalid_argument);
+
+  cfg = good;
+  cfg.num_blocks = 0;
+  EXPECT_THROW(Engine(cfg, complete_topo(8), {}, 1), std::invalid_argument);
+
+  // Topology size must match the config.
+  EXPECT_THROW(Engine(good, complete_topo(9), {}, 1), std::invalid_argument);
+
+  cfg = good;
+  cfg.upload_capacities.assign(3, 1);  // wrong length
+  EXPECT_THROW(Engine(cfg, complete_topo(8), {}, 1), EngineViolation);
+
+  cfg = good;
+  cfg.departures = {{2, 0}};  // the server cannot depart
+  EXPECT_THROW(Engine(cfg, complete_topo(8), {}, 1), EngineViolation);
+
+  ScaleOptions opt;
+  opt.max_probes = 0;
+  EXPECT_THROW(Engine(good, complete_topo(8), opt, 1), std::invalid_argument);
+}
+
+TEST(ScaleEngine, RunConsumesTheEngine) {
+  EngineConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.num_blocks = 4;
+  Engine engine(cfg, complete_topo(8), {}, 1);
+  (void)engine.run(1);
+  EXPECT_THROW(engine.run(1), std::logic_error);
+}
+
+TEST(ScaleEngine, LockstepPlanApplyRoundTrip) {
+  EngineConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.num_blocks = 8;
+  Engine engine(cfg, complete_topo(6), {}, 2);
+  std::vector<Transfer> planned;
+  engine.plan(1, planned);
+  ASSERT_FALSE(planned.empty());
+  for (const Transfer& t : planned) {
+    EXPECT_EQ(t.from, kServer);  // tick 1: only the server holds blocks
+    EXPECT_FALSE(engine.has(t.to, t.block));
+  }
+  engine.apply(1, planned);
+  for (const Transfer& t : planned) EXPECT_TRUE(engine.has(t.to, t.block));
+
+  engine.deactivate(3);
+  EXPECT_FALSE(engine.is_active(3));
+  engine.deactivate(3);  // idempotent
+  EXPECT_THROW(engine.deactivate(kServer), std::invalid_argument);
+
+  planned.clear();
+  engine.plan(2, planned);
+  for (const Transfer& t : planned) {
+    EXPECT_NE(t.from, 3u);  // departed nodes neither send...
+    EXPECT_NE(t.to, 3u);    // ...nor receive
+  }
+}
+
+TEST(ScaleTopology, CompleteNeighborArithmetic) {
+  const Topology topo = Topology::complete(5);
+  EXPECT_EQ(topo.num_nodes(), 5u);
+  EXPECT_EQ(topo.degree(2), 4u);
+  // Ascending neighbor order with self skipped: 0, 1, 3, 4.
+  EXPECT_EQ(topo.neighbor(2, 0), 0u);
+  EXPECT_EQ(topo.neighbor(2, 1), 1u);
+  EXPECT_EQ(topo.neighbor(2, 2), 3u);
+  EXPECT_EQ(topo.neighbor(2, 3), 4u);
+  EXPECT_EQ(topo.num_directed_edges(), 20u);
+}
+
+TEST(ScaleTopology, FromGraphKeepsSortedOrder) {
+  Graph g(4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(2, 1);
+  g.finalize();
+  const Topology topo = Topology::from_graph(g);
+  EXPECT_EQ(topo.degree(2), 3u);
+  EXPECT_EQ(topo.neighbor(2, 0), 0u);
+  EXPECT_EQ(topo.neighbor(2, 1), 1u);
+  EXPECT_EQ(topo.neighbor(2, 2), 3u);
+  EXPECT_EQ(topo.degree(0), 1u);
+  EXPECT_EQ(topo.neighbor(0, 0), 2u);
+  EXPECT_GT(topo.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace pob::scale

@@ -14,6 +14,11 @@
 //       Inject the off-by-one forwarding fault into every scenario's
 //       scheduler — a self-test that the oracle actually catches bugs.
 //
+//   pobfuzz ... --engine=core|scale|mixed
+//       Restrict which engine the scenarios run on. `scale` forces every
+//       scenario through the mega-swarm engine (serial vs threaded vs
+//       core-mirrored cross-check); default `mixed` is the sampler's blend.
+//
 //   pobfuzz --write-corpus=tests/check/corpus
 //       Regenerate the golden trace corpus in place.
 
@@ -81,9 +86,20 @@ int main(int argc, char** argv) {
                 << " (known: same-tick-forward)\n";
       return 2;
     }
+    EngineFilter engines = EngineFilter::kMixed;
+    const std::string engine = args.get_string("engine", "mixed");
+    if (engine == "core") {
+      engines = EngineFilter::kCoreOnly;
+    } else if (engine == "scale") {
+      engines = EngineFilter::kScaleOnly;
+    } else if (engine != "mixed") {
+      std::cerr << "pobfuzz: unknown --engine=" << engine
+                << " (known: core, scale, mixed)\n";
+      return 2;
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
-    const FuzzReport report = fuzz_many(seed, budget, jobs, fault);
+    const FuzzReport report = fuzz_many(seed, budget, jobs, fault, engines);
     const auto elapsed = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0);
 

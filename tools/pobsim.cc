@@ -9,6 +9,13 @@
 //   pobsim --algo=riffle --mechanism=strict --n=100 --k=99 --download=2
 //
 // Flags:
+//   --engine     core (default) | scale. The scale engine is the SoA
+//                mega-swarm path (src/pob/scale): randomized / credit-
+//                randomized protocol only, sized for n up to 10^6+. --jobs
+//                then parallelizes ticks *within* one run (bit-identical at
+//                any value); --probes tunes its per-slot neighbor probing.
+//                    pobsim --engine=scale --n=1000000 --k=512
+//                           --overlay=regular --degree=16 --jobs=0
 //   --jobs       worker threads for repeated runs (0 = all cores; results
 //                are identical at any value)
 //   --algo       pipeline | tree | binomial-tree | binomial-pipeline |
@@ -49,6 +56,7 @@
 #include "pob/sched/pipeline.h"
 #include "pob/sched/riffle_pipeline.h"
 #include "pob/sched/striped_trees.h"
+#include "pob/scale/engine.h"
 
 namespace pob {
 namespace {
@@ -91,6 +99,98 @@ BlockPolicy parse_policy(const Args& args) {
   if (p == "random") return BlockPolicy::kRandom;
   if (p == "rarest" || p == "rarest-first") return BlockPolicy::kRarestFirst;
   throw std::invalid_argument("unknown policy: " + p);
+}
+
+std::shared_ptr<const scale::Topology> make_scale_topology(const Args& args,
+                                                           std::uint32_t n, Rng& rng) {
+  const std::string kind = args.get_string("overlay", "complete");
+  if (kind == "complete") {
+    return std::make_shared<scale::Topology>(scale::Topology::complete(n));
+  }
+  if (kind == "regular") {
+    const auto d = static_cast<std::uint32_t>(args.get_int("degree", 20));
+    return std::make_shared<scale::Topology>(
+        scale::Topology::from_graph(make_random_regular(n, d, rng)));
+  }
+  if (kind == "hypercube") {
+    return std::make_shared<scale::Topology>(
+        scale::Topology::from_graph(make_hypercube_overlay(n)));
+  }
+  if (kind == "ring") {
+    return std::make_shared<scale::Topology>(scale::Topology::from_graph(make_ring(n)));
+  }
+  if (kind == "karytree") {
+    const auto a = static_cast<std::uint32_t>(args.get_int("arity", 2));
+    return std::make_shared<scale::Topology>(
+        scale::Topology::from_graph(make_kary_tree(n, a)));
+  }
+  throw std::invalid_argument("unknown overlay: " + kind);
+}
+
+/// The --engine=scale path: trials run serially, each tick parallelized
+/// inside the engine, so --jobs speeds up one giant run instead of
+/// oversubscribing cores with concurrent mega-swarms.
+int run_scale(const Args& args, const EngineConfig& cfg, std::uint32_t n,
+              std::uint32_t k, std::uint32_t runs, std::uint64_t seed, unsigned jobs) {
+  scale::ScaleOptions opt;
+  opt.policy = parse_policy(args);
+  opt.max_probes = static_cast<std::uint32_t>(args.get_int("probes", 16));
+  const std::string mech = args.get_string("mechanism", "none");
+  if (mech == "credit") {
+    opt.credit_limit = static_cast<std::uint32_t>(args.get_int("credit", 1));
+  } else if (mech != "none") {
+    throw std::invalid_argument("scale engine supports --mechanism=none|credit, not " +
+                                mech);
+  }
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  std::uint64_t state_bytes = 0;
+  const TrialStats stats = repeat_trials_parallel(runs, 1, [&](std::uint32_t i) {
+    const std::uint64_t run_seed = trial_seed(seed, i);
+    Rng topo_rng = Rng(run_seed).split(0);
+    scale::Engine engine(cfg, make_scale_topology(args, n, topo_rng), opt, run_seed);
+    if (i == 0) state_bytes = engine.state_bytes();
+    const RunResult r = engine.run(jobs);
+    if (args.has("save-trace") && i == 0) {
+      std::ofstream out(args.get_string("save-trace", ""));
+      if (!out) throw std::invalid_argument("cannot open trace output file");
+      write_trace(out, cfg, r);
+    }
+    if (args.has("fairness") && i == 0) {
+      const FairnessSummary f = upload_fairness(r);
+      std::cout << "fairness (clients): mean=" << fmt(f.mean, 1) << " min=" << fmt(f.min, 0)
+                << " max=" << fmt(f.max, 0) << " gini=" << fmt(f.gini, 3) << "\n";
+    }
+    TrialOutcome out;
+    out.completed = r.completed;
+    if (r.completed) {
+      out.completion = static_cast<double>(r.completion_tick);
+      out.mean_completion = r.mean_client_completion();
+    }
+    return out;
+  });
+
+  const std::string algo = std::string("scale:") +
+                           (opt.credit_limit != 0 ? "credit-randomized" : "randomized");
+  Table table({"algo", "n", "k", "runs", "T", "mean-finish", "coop-bound"});
+  const double cap = cfg.max_ticks != 0 ? static_cast<double>(cfg.max_ticks)
+                                        : static_cast<double>(default_tick_cap(n, k));
+  table.add_row({algo, std::to_string(n), std::to_string(k), std::to_string(runs),
+                 completion_cell(stats, cap),
+                 stats.all_censored() ? "-" : fmt(stats.mean_completion.mean),
+                 std::to_string(cooperative_lower_bound(n, k))});
+  if (args.has("csv")) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+  std::cout << "# scale engine: " << runs << " run(s) in " << fmt(sweep_seconds, 2)
+            << " s, state " << state_bytes / (1024 * 1024) << " MiB, jobs="
+            << (jobs == 0 ? default_jobs() : jobs) << "\n";
+  return 0;
 }
 
 int main_impl(int argc, char** argv) {
@@ -146,6 +246,10 @@ int main_impl(int argc, char** argv) {
     cfg.server_upload_capacity =
         static_cast<std::uint32_t>(args.get_int("servers", 2));
   }
+
+  const std::string engine = args.get_string("engine", "core");
+  if (engine == "scale") return run_scale(args, cfg, n, k, runs, seed, jobs);
+  if (engine != "core") throw std::invalid_argument("unknown engine: " + engine);
 
   RandomizedOptions opt;
   opt.policy = parse_policy(args);
