@@ -1,19 +1,27 @@
-// E22: mega-swarm engine throughput — the "production scale" claim, measured.
+// E22/E23: mega-swarm engine throughput — the "production scale" claim,
+// measured, as a multi-core trajectory.
 //
-// Runs one scale::Engine swarm at million-node size (defaults: n = 10^6,
-// k = 512, random 16-regular overlay, all cores) and reports the numbers the
-// roadmap cares about: node-ticks/second, transfers/second, peak RSS, and
-// bytes of engine state. Results land in BENCH_scale.json (override with
-// --json=<path>) so CI can archive the trajectory.
+// Runs scale::Engine swarms at million-node size (defaults: n = 10^6,
+// k = 512, random 16-regular overlay) and reports the numbers the roadmap
+// cares about: node-ticks/second, transfers/second, per-phase wall-clock
+// (generate / merge / apply), peak RSS, and bytes of engine state. With
+// --sweep the identical configuration is re-run once per job count and the
+// speedup column records the scaling curve (every run is bit-identical to
+// every other — only the wall-clock may differ). Results land in
+// BENCH_scale.json (override with --json=<path>) so CI can archive the
+// trajectory.
 //
 //   scale_throughput                         # the full 10^6 x 512 run
+//   scale_throughput --sweep=1,2,4,8,16      # the E23 jobs trajectory
 //   scale_throughput --n=100000 --k=128      # quicker smoke (CI uses this)
 //   scale_throughput --credit=2 --policy=rarest --jobs=4
 //
 // The run itself is deterministic for a given (seed, config) at any --jobs.
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
 #include "pob/scale/engine.h"
@@ -38,13 +46,36 @@ std::uint64_t peak_rss_kb() {
   return 0;
 }
 
+struct SweepPoint {
+  unsigned jobs = 1;
+  RunResult result;
+  double run_seconds = 0.0;
+  double node_ticks_per_sec = 0.0;
+  double transfers_per_sec = 0.0;
+  scale::PhaseTimings phases;
+  std::uint64_t state_bytes = 0;
+};
+
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 1000000));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 512));
   const auto degree = static_cast<std::uint32_t>(args.get_int("degree", 16));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const unsigned jobs = jobs_from_flag(args.get_int("jobs", 0));
+
+  // --sweep=1,2,4,8 runs the same swarm once per job count; without it the
+  // single --jobs run keeps the historical E22 behavior. jobs_from_flag
+  // clamps oversized requests to 4x the core count, so on small hosts
+  // several requested values can collapse to the same effective job count —
+  // dedupe to keep one run (and one JSON field group) per effective value.
+  std::vector<unsigned> sweep;
+  for (const std::int64_t j : args.get_int_list("sweep", {})) {
+    const unsigned jobs = jobs_from_flag(j);
+    if (std::find(sweep.begin(), sweep.end(), jobs) == sweep.end()) {
+      sweep.push_back(jobs);
+    }
+  }
+  if (sweep.empty()) sweep.push_back(jobs_from_flag(args.get_int("jobs", 0)));
 
   EngineConfig cfg;
   cfg.num_nodes = n;
@@ -57,6 +88,7 @@ int main_impl(int argc, char** argv) {
                    : BlockPolicy::kRarestFirst;
   opt.credit_limit = static_cast<std::uint32_t>(args.get_int("credit", 0));
   opt.max_probes = static_cast<std::uint32_t>(args.get_int("probes", 16));
+  opt.collect_phase_timings = true;
 
   const auto t0 = std::chrono::steady_clock::now();
   Rng topo_rng = Rng(seed).split(0);
@@ -65,60 +97,99 @@ int main_impl(int argc, char** argv) {
   const double topo_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
-  scale::Engine engine(cfg, topo, opt, seed);
-  const std::uint64_t state_bytes = engine.state_bytes();
-
-  const auto t1 = std::chrono::steady_clock::now();
-  const RunResult r = engine.run(jobs);
-  const double run_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
-
-  const std::uint64_t node_ticks =
-      static_cast<std::uint64_t>(n) * r.ticks_executed;
-  const double node_ticks_per_sec =
-      run_seconds > 0.0 ? static_cast<double>(node_ticks) / run_seconds : 0.0;
-  const double transfers_per_sec =
-      run_seconds > 0.0 ? static_cast<double>(r.total_transfers) / run_seconds : 0.0;
+  std::vector<SweepPoint> points;
+  for (const unsigned jobs : sweep) {
+    scale::Engine engine(cfg, topo, opt, seed);
+    SweepPoint p;
+    p.jobs = jobs == 0 ? default_jobs() : jobs;
+    p.state_bytes = engine.state_bytes();
+    const auto t1 = std::chrono::steady_clock::now();
+    p.result = engine.run(jobs);
+    p.run_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
+    p.phases = engine.phase_timings();
+    const std::uint64_t node_ticks =
+        static_cast<std::uint64_t>(n) * p.result.ticks_executed;
+    if (p.run_seconds > 0.0) {
+      p.node_ticks_per_sec = static_cast<double>(node_ticks) / p.run_seconds;
+      p.transfers_per_sec =
+          static_cast<double>(p.result.total_transfers) / p.run_seconds;
+    }
+    points.push_back(std::move(p));
+  }
   const std::uint64_t rss_kb = peak_rss_kb();
+  const SweepPoint& head = points.front();
 
   bench::emit(args, [&] {
     Table table({"n", "k", "degree", "jobs", "ticks", "T", "transfers",
-                 "node-ticks/s", "xfers/s", "state-MiB", "rss-MiB"});
-    table.add_row({std::to_string(n), std::to_string(k), std::to_string(degree),
-                   std::to_string(jobs == 0 ? default_jobs() : jobs),
-                   std::to_string(r.ticks_executed),
-                   r.completed ? std::to_string(r.completion_tick)
-                               : (r.stalled ? "stall" : "cap"),
-                   std::to_string(r.total_transfers), fmt(node_ticks_per_sec / 1e6, 1) + "M",
-                   fmt(transfers_per_sec / 1e6, 1) + "M",
-                   std::to_string(state_bytes / (1024 * 1024)),
-                   std::to_string(rss_kb / 1024)});
+                 "node-ticks/s", "xfers/s", "speedup", "gen-s", "merge-s",
+                 "apply-s"});
+    for (const SweepPoint& p : points) {
+      const double speedup = head.run_seconds > 0.0 && p.run_seconds > 0.0
+                                 ? head.run_seconds / p.run_seconds
+                                 : 0.0;
+      table.add_row({std::to_string(n), std::to_string(k), std::to_string(degree),
+                     std::to_string(p.jobs), std::to_string(p.result.ticks_executed),
+                     p.result.completed ? std::to_string(p.result.completion_tick)
+                                        : (p.result.stalled ? "stall" : "cap"),
+                     std::to_string(p.result.total_transfers),
+                     fmt(p.node_ticks_per_sec / 1e6, 1) + "M",
+                     fmt(p.transfers_per_sec / 1e6, 1) + "M", fmt(speedup, 2) + "x",
+                     fmt(p.phases.generate_seconds, 2),
+                     fmt(p.phases.merge_seconds, 2), fmt(p.phases.apply_seconds, 2)});
+    }
     return table;
   }());
-  std::cout << "# graph build " << fmt(topo_seconds, 2) << " s, run "
-            << fmt(run_seconds, 2) << " s\n";
+  std::cout << "# graph build " << fmt(topo_seconds, 2) << " s, state "
+            << head.state_bytes / (1024 * 1024) << " MiB, peak rss "
+            << rss_kb / 1024 << " MiB\n";
 
   bench::JsonReport json;
   json.str("bench", "scale_throughput")
       .count("n", n)
       .count("k", k)
       .count("degree", degree)
-      .count("jobs", jobs == 0 ? default_jobs() : jobs)
+      .count("jobs", head.jobs)
       .count("credit_limit", opt.credit_limit)
       .str("policy", opt.policy == BlockPolicy::kRandom ? "random" : "rarest")
-      .flag("completed", r.completed)
-      .count("ticks_executed", r.ticks_executed)
-      .count("completion_tick", r.completion_tick)
-      .count("total_transfers", r.total_transfers)
-      .count("node_ticks", node_ticks)
-      .num("run_seconds", run_seconds)
+      .flag("completed", head.result.completed)
+      .count("ticks_executed", head.result.ticks_executed)
+      .count("completion_tick", head.result.completion_tick)
+      .count("total_transfers", head.result.total_transfers)
+      .count("node_ticks",
+             static_cast<std::uint64_t>(n) * head.result.ticks_executed)
+      .num("run_seconds", head.run_seconds)
       .num("topology_seconds", topo_seconds)
-      .num("node_ticks_per_sec", node_ticks_per_sec)
-      .num("transfers_per_sec", transfers_per_sec)
-      .count("state_bytes", state_bytes)
+      .num("node_ticks_per_sec", head.node_ticks_per_sec)
+      .num("transfers_per_sec", head.transfers_per_sec)
+      .num("phase_generate_seconds", head.phases.generate_seconds)
+      .num("phase_merge_seconds", head.phases.merge_seconds)
+      .num("phase_apply_seconds", head.phases.apply_seconds)
+      .count("state_bytes", head.state_bytes)
       .count("peak_rss_kb", rss_kb);
+  if (points.size() > 1) {
+    // The scaling trajectory, one flat field group per job count so the
+    // JSON scraper stays trivial: *_j<jobs> suffixes, speedup vs the first
+    // sweep entry.
+    std::string jobs_list;
+    for (const SweepPoint& p : points) {
+      jobs_list += (jobs_list.empty() ? "" : ",") + std::to_string(p.jobs);
+    }
+    json.str("jobs_sweep", jobs_list);
+    for (const SweepPoint& p : points) {
+      const std::string suffix = "_j" + std::to_string(p.jobs);
+      json.num("run_seconds" + suffix, p.run_seconds)
+          .num("node_ticks_per_sec" + suffix, p.node_ticks_per_sec)
+          .num("speedup" + suffix, head.run_seconds > 0.0 && p.run_seconds > 0.0
+                                       ? head.run_seconds / p.run_seconds
+                                       : 0.0)
+          .num("phase_generate_seconds" + suffix, p.phases.generate_seconds)
+          .num("phase_merge_seconds" + suffix, p.phases.merge_seconds)
+          .num("phase_apply_seconds" + suffix, p.phases.apply_seconds);
+    }
+  }
   if (!json.write(args, "BENCH_scale.json")) return 1;
-  return r.completed || cfg.max_ticks != 0 ? 0 : 1;
+  return head.result.completed || cfg.max_ticks != 0 ? 0 : 1;
 }
 
 }  // namespace

@@ -595,6 +595,9 @@ scale::ScaleOptions make_scale_options(const Scenario& sc) {
   // budgets exercise the give-up path.
   opt.max_probes = 2 + static_cast<std::uint32_t>((sc.seed >> 8) % 23);
   opt.shard_nodes = 1 + static_cast<std::uint32_t>((sc.seed >> 16) % 48);
+  // Half the scenarios run with phase timing collection on: the clock reads
+  // must never perturb the stream (jobs=1 vs jobs=4 digests still compare).
+  opt.collect_phase_timings = ((sc.seed >> 40) & 1) != 0;
   return opt;
 }
 

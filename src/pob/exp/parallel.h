@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -89,6 +90,66 @@ class ThreadPool {
   std::atomic<std::uint32_t> next_{0};
   std::atomic<std::uint32_t> done_{0};
   std::exception_ptr error_;  // guarded by mu_
+};
+
+/// Per-shard accumulation scratch for parallel reductions: `shards` rows of
+/// `width` zero-initialized counters. Writers own one row each (disjoint, so
+/// no synchronization), and reduce_into() folds the rows into a target array
+/// in ascending shard order — a fixed order, so the reduction is bit-exact
+/// for any element type, including floating point — then re-zeroes the rows
+/// so the scratch is ready for the next round. The row-major layout keeps
+/// each writer's row contiguous (no false sharing between shards beyond one
+/// cache line at row boundaries).
+template <typename T>
+class ShardScratch {
+ public:
+  /// (Re)shapes to `shards` x `width` and zeroes everything. Keeps capacity.
+  void configure(std::uint32_t shards, std::size_t width) {
+    shards_ = shards;
+    width_ = width;
+    data_.assign(static_cast<std::size_t>(shards) * width, T{});
+  }
+
+  std::uint32_t shards() const { return shards_; }
+  std::size_t width() const { return width_; }
+
+  /// Row `s`, for exclusive use by whichever worker runs shard `s`.
+  T* shard(std::uint32_t s) { return data_.data() + static_cast<std::size_t>(s) * width_; }
+
+  /// out[i] += sum over rows of row[s][i] (ascending s), then zeroes the
+  /// rows. `out` must have at least width() elements. When a pool with more
+  /// than one worker is given and the width is large enough to amortize a
+  /// dispatch, the element range is chunked across the pool; per-element
+  /// summation order is ascending-s either way, so results are identical.
+  void reduce_into(T* out, ThreadPool* pool = nullptr) {
+    const auto fold = [&](std::size_t lo, std::size_t hi) {
+      for (std::uint32_t s = 0; s < shards_; ++s) {
+        T* row = shard(s);
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] += row[i];
+          row[i] = T{};
+        }
+      }
+    };
+    constexpr std::size_t kParallelGrain = 4096;
+    if (pool != nullptr && pool->jobs() > 1 && width_ >= 2 * kParallelGrain) {
+      const auto chunks =
+          static_cast<std::uint32_t>((width_ + kParallelGrain - 1) / kParallelGrain);
+      pool->parallel_for(chunks, [&](std::uint32_t c) {
+        const std::size_t lo = static_cast<std::size_t>(c) * kParallelGrain;
+        fold(lo, std::min(width_, lo + kParallelGrain));
+      });
+    } else {
+      fold(0, width_);
+    }
+  }
+
+  std::uint64_t memory_bytes() const { return data_.capacity() * sizeof(T); }
+
+ private:
+  std::uint32_t shards_ = 0;
+  std::size_t width_ = 0;
+  std::vector<T> data_;
 };
 
 /// As repeat_trials, but runs trials on `jobs` threads (0 = default_jobs(),

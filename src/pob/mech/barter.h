@@ -41,6 +41,16 @@ class CreditLedger {
 
   std::size_t num_pairs() const { return balance_.size(); }
 
+  /// Estimated heap bytes held by the ledger: one hash node (key, value,
+  /// next pointer) per pair plus the bucket array. Close enough for the
+  /// state accounting benches report; the map's exact node layout is
+  /// implementation-defined.
+  std::uint64_t memory_bytes() const {
+    return balance_.size() *
+               (sizeof(std::uint64_t) + sizeof(std::int64_t) + sizeof(void*)) +
+           balance_.bucket_count() * sizeof(void*);
+  }
+
  private:
   static std::uint64_t key(NodeId a, NodeId b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;

@@ -9,12 +9,17 @@
 //   * possession is one contiguous arena of packed uint64 bitset rows
 //     (n * ceil(k/64) words), not n separate BlockSet allocations;
 //   * neighbor adjacency is CSR (scale::Topology), not a virtual Overlay;
-//   * each tick runs in three phases — shard-parallel INTENT GENERATION on
-//     the pob/exp ThreadPool, a deterministic seed-ordered MERGE, and a
-//     serial APPLY — so the transfer stream and the final RunResult are
-//     bit-identical at any --jobs value: intents are a pure function of
-//     (seed, tick, node) via trial_seed-derived per-node RNG streams, and
-//     the merge admits them in node order.
+//   * each tick runs in three phases — INTENT GENERATION sharded by sender
+//     range, a MERGE sharded by receiver range, and an APPLY sharded by
+//     receiver (state commit) and sender (upload accounting) — all three on
+//     the pob/exp ThreadPool. The transfer stream and the final RunResult
+//     are bit-identical at any --jobs value: intents are a pure function of
+//     (seed, tick, node) via trial_seed-derived per-node RNG streams, every
+//     merge constraint is per-receiver (so receiver shards decide
+//     independently, each walking its receivers' intents in canonical node
+//     order), and the accepted stream is reconstructed from per-intent
+//     accept flags in the exact order the old serial merge emitted. Shard
+//     counts are pure functions of n, never of the worker count.
 //
 // The engine emits only legal transfers by construction; it is NOT trusted
 // on its own. scale::MirrorScheduler replays the exact same plan/apply
@@ -32,13 +37,10 @@
 #include "pob/core/engine.h"
 #include "pob/core/rng.h"
 #include "pob/core/types.h"
+#include "pob/exp/parallel.h"
 #include "pob/mech/barter.h"
 #include "pob/rand/randomized.h"
 #include "pob/scale/topology.h"
-
-namespace pob {
-class ThreadPool;
-}
 
 namespace pob::scale {
 
@@ -62,6 +64,19 @@ struct ScaleOptions {
   /// is a pure function of n (never of the job count), so chunk assignment
   /// cannot leak into results.
   std::uint32_t shard_nodes = 4096;
+
+  /// Accumulate per-phase wall-clock (generate / merge / apply) across
+  /// ticks, readable via phase_timings(). Off by default: the two clock
+  /// reads per phase are cheap but pure overhead for fuzzing and tests.
+  bool collect_phase_timings = false;
+};
+
+/// Wall-clock seconds accumulated per tick phase (see
+/// ScaleOptions::collect_phase_timings); all zero when collection is off.
+struct PhaseTimings {
+  double generate_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double apply_seconds = 0.0;
 };
 
 class Engine {
@@ -89,12 +104,15 @@ class Engine {
   // apply() commits an accepted stream; deactivate() injects departures
   // (run() handles config.departures itself — lockstep callers own churn).
 
-  /// Appends this tick's merged transfer stream to `out`. Serial; produces
-  /// exactly what run() would commit on this tick at any job count.
+  /// Appends this tick's merged transfer stream to `out`. Runs the sharded
+  /// phases on the calling thread; produces exactly what run() would commit
+  /// on this tick at any job count.
   void plan(Tick tick, std::vector<Transfer>& out);
 
   /// Commits a planned stream: possession bits, replica counts, completion
-  /// ticks, per-node upload totals, and the credit ledger.
+  /// ticks, per-node upload totals, and the credit ledger. Serial; run()
+  /// uses the receiver/sender-sharded commit instead, which leaves the
+  /// engine in the identical state.
   void apply(Tick tick, std::span<const Transfer> accepted);
 
   /// Removes a node (idempotent; the server cannot depart): its capacity
@@ -113,22 +131,54 @@ class Engine {
   const Topology& topology() const { return *topo_; }
   const ScaleOptions& options() const { return opt_; }
 
-  /// Arena + index memory actually allocated, for bench reporting.
+  /// Per-phase wall-clock accumulated so far; zeros unless
+  /// options().collect_phase_timings.
+  PhaseTimings phase_timings() const { return timings_; }
+
+  /// Arena + index + tick-scratch memory actually allocated, for bench
+  /// reporting: possession arena, per-node arrays, topology CSR, the
+  /// per-shard intent vectors and merge/apply scratch (buckets, accept
+  /// flags, admission tables, frequency scratch), and the credit ledger.
   std::uint64_t state_bytes() const;
 
  private:
   // A (receiver, block) admission table: open-addressed, epoch-stamped so a
-  // tick reset is O(1) and a million inserts touch no allocator.
+  // tick reset is O(1) and a million inserts touch no allocator. One table
+  // per receiver shard; a receiver's deliveries land in exactly one table.
   class PairTable {
    public:
     void begin_tick(std::size_t expected);
     bool insert(std::uint64_t key);  ///< false if already present this tick
+
+    std::uint64_t memory_bytes() const {
+      return keys_.capacity() * sizeof(std::uint64_t) +
+             epochs_.capacity() * sizeof(std::uint32_t);
+    }
 
    private:
     std::vector<std::uint64_t> keys_;
     std::vector<std::uint32_t> epochs_;
     std::uint64_t mask_ = 0;
     std::uint32_t epoch_ = 0;
+  };
+
+  // One intent, tagged with its global position in the canonical
+  // (sender-node-ordered) intent stream so accept flags and the emitted
+  // stream can be reconstructed in that order after receiver-sharded
+  // admission.
+  struct MergeItem {
+    Transfer tr;
+    std::uint32_t idx;
+  };
+
+  // Per-shard scratch for the fused usefulness-scan / block-pick: one pass
+  // over su & ~sv records the diff words and their popcounts, and the
+  // selection (random rank-select or rarest-first walk) reuses them instead
+  // of re-walking the possession rows.
+  struct DiffScan {
+    std::vector<std::uint64_t> words;  // su[w] & ~sv[w]
+    std::vector<std::uint32_t> pc;     // popcount per diff word
+    std::uint32_t total = 0;           // sum of pc
   };
 
   std::uint64_t* row(NodeId node) {
@@ -138,9 +188,26 @@ class Engine {
     return bits_.data() + static_cast<std::size_t>(node) * stride_;
   }
 
-  void generate_node(std::uint64_t tick_base, NodeId u, std::vector<Transfer>& out);
+  std::uint32_t recv_shard_of(NodeId v) const { return v / recv_width_; }
+
+  /// Fills `scan` with the word-wise diff su \ sv; returns scan.total != 0.
+  bool scan_diff(const std::uint64_t* su, const std::uint64_t* sv,
+                 DiffScan& scan) const;
+  /// Picks a block from a non-empty DiffScan; consumes the identical RNG
+  /// draws (one below(total), or the rarest-first reservoir sequence) as
+  /// the historical two-pass pick_block.
+  BlockId pick_from_scan(const DiffScan& scan, Rng& rng) const;
+
+  void generate_node(std::uint64_t tick_base, NodeId u, std::vector<Transfer>& out,
+                     DiffScan& scan);
   void plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool);
-  BlockId pick_block(NodeId u, NodeId v, Rng& rng) const;
+  /// Commits the stream the immediately preceding plan_phases() call
+  /// produced, reusing its receiver buckets and accept flags: possession /
+  /// counts / completion sharded by receiver, upload totals sharded by
+  /// sender (the accepted stream is non-decreasing in `from`), frequency
+  /// deltas reduced from per-shard scratch in fixed shard order, ledger
+  /// commit serial. Leaves the engine in the exact state apply() would.
+  void apply_merged(Tick tick, std::span<const Transfer> accepted, ThreadPool* pool);
 
   EngineConfig cfg_;
   std::shared_ptr<const Topology> topo_;
@@ -165,14 +232,32 @@ class Engine {
   std::uint64_t active_slots_ = 0;
   CreditLedger ledger_;  // §3.2 pairwise net-transfer ledger (credit mode)
 
+  // Receiver shards: contiguous node-id ranges of width recv_width_. Every
+  // merge/apply constraint that crosses sender shards is per-receiver, so
+  // shard r exclusively owns down_used_/down_stamp_/count_/completion_/
+  // possession rows for its range. Both values are pure functions of n.
+  std::uint32_t recv_shards_ = 1;
+  std::uint32_t recv_width_ = 1;
+
   // Tick scratch (reused, never shrunk).
   std::vector<std::vector<Transfer>> shard_intents_;
-  std::vector<std::uint32_t> down_used_;  // stamped by down_stamp_
+  std::vector<DiffScan> gen_scratch_;       // one per intent shard
+  std::vector<std::uint32_t> down_used_;    // stamped by down_stamp_
   std::vector<Tick> down_stamp_;
-  PairTable delivered_;
+  std::vector<PairTable> delivered_;        // one per receiver shard
+  std::vector<std::size_t> intent_offsets_; // canonical stream offsets, S+1
+  std::vector<std::uint32_t> scatter_pos_;  // S x R counts, then cursors
+  std::vector<std::uint32_t> bucket_offsets_;  // R+1 into bucket_
+  std::vector<MergeItem> bucket_;           // intents grouped by recv shard
+  std::vector<std::uint8_t> accept_;        // admission flag per intent idx
+  std::vector<std::uint32_t> emit_offsets_; // accepted-stream offsets, S+1
+  ShardScratch<std::uint32_t> freq_scratch_;   // R x k frequency deltas
+  std::vector<std::vector<NodeId>> leaving_shards_;  // per recv shard
+  std::vector<std::uint32_t> completions_scratch_;   // per recv shard
   std::vector<NodeId> leaving_;  // depart_on_complete queue (run() only)
   std::vector<Transfer> accepted_;
 
+  PhaseTimings timings_;
   bool consumed_ = false;  // run() called or lockstep driving began
 };
 

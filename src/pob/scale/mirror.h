@@ -6,9 +6,11 @@
 // oracle behind it) validates everything and trusts no scheduler. The mirror
 // welds them together: each plan_tick() first syncs externally-caused
 // departures from the core SwarmState into the scale engine, then runs the
-// scale planner (phases 1 + 2), hands the stream to core for validation, and
-// applies the same stream to the scale state so both sides enter the next
-// tick in lockstep.
+// scale planner (phases 1 + 2 — the same receiver-sharded merge run() uses,
+// executed on the calling thread), hands the stream to core for validation,
+// and applies the same stream to the scale state (via the serial commit
+// path, which leaves the engine bit-identical to run()'s sharded commit) so
+// both sides enter the next tick in lockstep.
 //
 // If, for matching configs, seed and topology,
 //

@@ -221,6 +221,61 @@ TEST(ScaleEngine, LockstepPlanApplyRoundTrip) {
   }
 }
 
+TEST(ScaleEngine, StateBytesCountsTickScratchAndLedger) {
+  EngineConfig cfg;
+  cfg.num_nodes = 64;
+  cfg.num_blocks = 40;
+  ScaleOptions opt;
+  opt.credit_limit = 2;
+  opt.shard_nodes = 16;
+  Engine engine(cfg, complete_topo(64), opt, 9);
+
+  // The construction-time figure must cover at least the possession arena,
+  // the per-node arrays (six uint32-sized, one uint64 Count, one byte), and
+  // the per-block frequency table.
+  const std::uint64_t fresh = engine.state_bytes();
+  const std::uint64_t stride = (40 + 63) / 64;
+  const std::uint64_t floor = 64 * stride * sizeof(std::uint64_t) +
+                              64 * (6 * sizeof(std::uint32_t) + sizeof(Count) + 1) +
+                              40 * sizeof(std::uint32_t);
+  EXPECT_GE(fresh, floor);
+
+  std::vector<Transfer> planned;
+  engine.plan(1, planned);
+  engine.apply(1, planned);
+  ASSERT_FALSE(planned.empty());
+
+  // Planning allocates the per-shard intent vectors, the receiver-shard
+  // admission tables and the merge buckets; applying in credit mode
+  // populates the ledger. All of that is engine state the old accounting
+  // omitted — the figure must grow by at least the intents now buffered.
+  const std::uint64_t planned_bytes = engine.state_bytes();
+  EXPECT_GE(planned_bytes, fresh + planned.size() * sizeof(Transfer));
+}
+
+TEST(ScaleEngine, PhaseTimingsAccumulateOnlyWhenEnabled) {
+  EngineConfig cfg;
+  cfg.num_nodes = 600;
+  cfg.num_blocks = 64;
+
+  ScaleOptions timed;
+  timed.collect_phase_timings = true;
+  Engine on(cfg, complete_topo(600), timed, 5);
+  const RunResult r = on.run(2);
+  EXPECT_TRUE(r.completed);
+  const PhaseTimings t = on.phase_timings();
+  EXPECT_GT(t.generate_seconds, 0.0);
+  EXPECT_GT(t.merge_seconds, 0.0);
+  EXPECT_GT(t.apply_seconds, 0.0);
+
+  Engine off(cfg, complete_topo(600), {}, 5);
+  (void)off.run(2);
+  const PhaseTimings z = off.phase_timings();
+  EXPECT_EQ(z.generate_seconds, 0.0);
+  EXPECT_EQ(z.merge_seconds, 0.0);
+  EXPECT_EQ(z.apply_seconds, 0.0);
+}
+
 TEST(ScaleTopology, CompleteNeighborArithmetic) {
   const Topology topo = Topology::complete(5);
   EXPECT_EQ(topo.num_nodes(), 5u);
