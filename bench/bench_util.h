@@ -120,6 +120,19 @@ class JsonReport {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// The index of the sweep point speedups are measured against: the
+/// jobs == 1 entry wherever it sits in the list, falling back to the first
+/// entry when no serial point ran. jobs_from_flag clamps oversized requests
+/// and callers dedupe collapsed values, so a requested "1" can be absent
+/// (or present but not first) in the effective list; speedups must
+/// normalize against the real serial run when there is one.
+inline std::size_t sweep_baseline_index(const std::vector<unsigned>& jobs) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i] == 1) return i;
+  }
+  return 0;
+}
+
 /// A randomized-cooperative trial on a fixed overlay.
 inline TrialOutcome randomized_trial(const EngineConfig& cfg,
                                      std::shared_ptr<const Overlay> overlay,

@@ -89,6 +89,11 @@ int main_impl(int argc, char** argv) {
   opt.credit_limit = static_cast<std::uint32_t>(args.get_int("credit", 0));
   opt.max_probes = static_cast<std::uint32_t>(args.get_int("probes", 16));
   opt.collect_phase_timings = true;
+  // --simd=off forces the scalar reference scan kernel; CI runs the digest
+  // pin both ways to prove the vectorized paths change nothing but seconds.
+  opt.scan_kernel = args.get_string("simd", "auto") == "off"
+                        ? scale::ScanKernel::kScalar
+                        : scale::ScanKernel::kAuto;
 
   const auto t0 = std::chrono::steady_clock::now();
   Rng topo_rng = Rng(seed).split(0);
@@ -119,14 +124,19 @@ int main_impl(int argc, char** argv) {
   }
   const std::uint64_t rss_kb = peak_rss_kb();
   const SweepPoint& head = points.front();
+  // Speedups normalize against the real serial run when the sweep has one;
+  // a clamped/deduped list without jobs=1 falls back to its first point
+  // (and the speedup fields then read "vs jobs=<baseline.jobs>", never a
+  // division against a point that was not run).
+  const SweepPoint& baseline = points[bench::sweep_baseline_index(sweep)];
 
   bench::emit(args, [&] {
     Table table({"n", "k", "degree", "jobs", "ticks", "T", "transfers",
                  "node-ticks/s", "xfers/s", "speedup", "gen-s", "merge-s",
                  "apply-s"});
     for (const SweepPoint& p : points) {
-      const double speedup = head.run_seconds > 0.0 && p.run_seconds > 0.0
-                                 ? head.run_seconds / p.run_seconds
+      const double speedup = baseline.run_seconds > 0.0 && p.run_seconds > 0.0
+                                 ? baseline.run_seconds / p.run_seconds
                                  : 0.0;
       table.add_row({std::to_string(n), std::to_string(k), std::to_string(degree),
                      std::to_string(p.jobs), std::to_string(p.result.ticks_executed),
@@ -152,6 +162,7 @@ int main_impl(int argc, char** argv) {
       .count("jobs", head.jobs)
       .count("credit_limit", opt.credit_limit)
       .str("policy", opt.policy == BlockPolicy::kRandom ? "random" : "rarest")
+      .str("scan_kernel", scale::scan_kernel_name(opt.scan_kernel))
       .flag("completed", head.result.completed)
       .count("ticks_executed", head.result.ticks_executed)
       .count("completion_tick", head.result.completion_tick)
@@ -169,19 +180,21 @@ int main_impl(int argc, char** argv) {
       .count("peak_rss_kb", rss_kb);
   if (points.size() > 1) {
     // The scaling trajectory, one flat field group per job count so the
-    // JSON scraper stays trivial: *_j<jobs> suffixes, speedup vs the first
-    // sweep entry.
+    // JSON scraper stays trivial: *_j<jobs> suffixes, speedup vs the serial
+    // sweep entry (or the first one when jobs=1 was clamped/deduped away —
+    // speedup_baseline_jobs records which).
     std::string jobs_list;
     for (const SweepPoint& p : points) {
       jobs_list += (jobs_list.empty() ? "" : ",") + std::to_string(p.jobs);
     }
     json.str("jobs_sweep", jobs_list);
+    json.count("speedup_baseline_jobs", baseline.jobs);
     for (const SweepPoint& p : points) {
       const std::string suffix = "_j" + std::to_string(p.jobs);
       json.num("run_seconds" + suffix, p.run_seconds)
           .num("node_ticks_per_sec" + suffix, p.node_ticks_per_sec)
-          .num("speedup" + suffix, head.run_seconds > 0.0 && p.run_seconds > 0.0
-                                       ? head.run_seconds / p.run_seconds
+          .num("speedup" + suffix, baseline.run_seconds > 0.0 && p.run_seconds > 0.0
+                                       ? baseline.run_seconds / p.run_seconds
                                        : 0.0)
           .num("phase_generate_seconds" + suffix, p.phases.generate_seconds)
           .num("phase_merge_seconds" + suffix, p.phases.merge_seconds)

@@ -598,6 +598,13 @@ scale::ScaleOptions make_scale_options(const Scenario& sc) {
   // Half the scenarios run with phase timing collection on: the clock reads
   // must never perturb the stream (jobs=1 vs jobs=4 digests still compare).
   opt.collect_phase_timings = ((sc.seed >> 40) & 1) != 0;
+  // Half start from the scalar reference scan kernel; run_scale_scenario
+  // additionally re-runs every scenario under the flipped kernel and
+  // requires the identical stream, so the fuzzer sweeps the SIMD/summary/
+  // cache fast paths against the plain one-word loop on every shape it
+  // visits.
+  opt.scan_kernel = ((sc.seed >> 41) & 1) != 0 ? scale::ScanKernel::kScalar
+                                               : scale::ScanKernel::kAuto;
   return opt;
 }
 
@@ -618,6 +625,20 @@ ScenarioOutcome run_scale_scenario(const Scenario& sc) {
   const RunResult r_threaded = threaded.run(4);
   if (const std::string d = diff_run_results(r_serial, r_threaded); !d.empty()) {
     return {false, "scale engine diverges between jobs=1 and jobs=4: " + d};
+  }
+
+  // The scan-kernel axis: the vectorized/summary-guided scan and the scalar
+  // reference loop must emit the identical stream on every sampled shape.
+  scale::ScaleOptions flipped = opt;
+  flipped.scan_kernel = opt.scan_kernel == scale::ScanKernel::kScalar
+                            ? scale::ScanKernel::kAuto
+                            : scale::ScanKernel::kScalar;
+  scale::Engine other_kernel(config, topo, flipped, sc.seed);
+  const RunResult r_other = other_kernel.run(1);
+  if (const std::string d = diff_run_results(r_serial, r_other); !d.empty()) {
+    return {false, std::string("scale engine diverges between scan kernels (") +
+                       scale::scan_kernel_name(opt.scan_kernel) + " vs " +
+                       scale::scan_kernel_name(flipped.scan_kernel) + "): " + d};
   }
 
   auto mirrored = std::make_unique<scale::Engine>(config, topo, opt, sc.seed);

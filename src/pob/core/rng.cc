@@ -3,54 +3,9 @@
 #include <cassert>
 
 namespace pob {
-namespace {
 
-/// splitmix64: used to expand a 64-bit seed into xoshiro state.
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
-
-Rng::Rng(std::uint64_t seed) {
-  std::uint64_t s = seed;
-  for (auto& word : state_) word = splitmix64(s);
-}
-
-std::uint64_t Rng::next() {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-std::uint32_t Rng::below(std::uint32_t bound) {
-  assert(bound > 0);
-  // Lemire's multiply-shift with rejection for exact uniformity.
-  std::uint64_t x = next() & 0xffffffffULL;
-  std::uint64_t m = x * bound;
-  auto low = static_cast<std::uint32_t>(m);
-  if (low < bound) {
-    const std::uint32_t threshold = (0u - bound) % bound;
-    while (low < threshold) {
-      x = next() & 0xffffffffULL;
-      m = x * bound;
-      low = static_cast<std::uint32_t>(m);
-    }
-  }
-  return static_cast<std::uint32_t>(m >> 32);
-}
+// Hot paths (construction, next, below) live inline in the header; only the
+// colder conveniences stay out of line here.
 
 std::uint32_t Rng::range(std::uint32_t lo, std::uint32_t hi) {
   assert(lo <= hi);
@@ -72,7 +27,7 @@ Rng Rng::split(std::uint64_t stream) const {
   // Mix the parent state with the stream id through splitmix64; the parent
   // is untouched (method is const and copies state words by value).
   std::uint64_t s = state_[0] ^ rotl(state_[3], 13) ^ (stream * 0xd1342543de82ef95ULL);
-  Rng child(splitmix64(s));
+  Rng child(splitmix(s));
   return child;
 }
 

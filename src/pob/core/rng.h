@@ -20,14 +20,46 @@ class Rng {
   /// Seeds the generator. Two generators with different seeds produce
   /// independent-looking streams; the all-zero state is impossible because
   /// splitmix64 never maps a seed to four zero words.
-  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+  ///
+  /// Construction, next() and below() are defined inline: the scale
+  /// engine's generate phase seeds a fresh stream and draws from it for
+  /// every (tick, node) pair — hundreds of millions of times per run — and
+  /// an out-of-line call per draw was measurable there.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix(s);
+  }
 
   /// Next 64 uniformly distributed bits.
-  std::uint64_t next();
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound). `bound` must be nonzero. Uses rejection
   /// sampling (Lemire-style) so results are exactly uniform.
-  std::uint32_t below(std::uint32_t bound);
+  std::uint32_t below(std::uint32_t bound) {
+    // Lemire's multiply-shift with rejection for exact uniformity.
+    std::uint64_t x = next() & 0xffffffffULL;
+    std::uint64_t m = x * bound;
+    auto low = static_cast<std::uint32_t>(m);
+    if (low < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (low < threshold) {
+        x = next() & 0xffffffffULL;
+        m = x * bound;
+        low = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
 
   /// Uniform integer in [lo, hi]. Requires lo <= hi.
   std::uint32_t range(std::uint32_t lo, std::uint32_t hi);
@@ -56,6 +88,19 @@ class Rng {
   }
 
  private:
+  /// splitmix64: used to expand a 64-bit seed into xoshiro state.
+  static std::uint64_t splitmix(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_{};
 };
 

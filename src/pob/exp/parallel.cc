@@ -5,26 +5,8 @@
 #include <string>
 
 namespace pob {
-namespace {
 
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
-
-std::uint64_t trial_seed(std::uint64_t base, std::uint32_t trial) {
-  // Two splitmix64 steps: the first diffuses the base, the second mixes in
-  // the trial index, so seeds for consecutive trials share no structure.
-  std::uint64_t s = base;
-  const std::uint64_t mixed_base = splitmix64(s);
-  s = mixed_base ^ (0xd1342543de82ef95ULL * (static_cast<std::uint64_t>(trial) + 1));
-  return splitmix64(s);
-}
+// trial_seed is inline in the header (hot in the scale engine).
 
 unsigned default_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();

@@ -4,9 +4,16 @@
 #include <bit>
 #include <cassert>
 #include <chrono>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <string>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#include <arm_neon.h>
+#endif
 
 namespace pob::scale {
 
@@ -22,6 +29,10 @@ std::uint64_t mix64(std::uint64_t x) {
 
 std::uint64_t delivery_key(NodeId to, BlockId block) {
   return (static_cast<std::uint64_t>(to) << 32) | block;
+}
+
+std::uint64_t probe_key(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
 }
 
 // Runs body(s) for s in [0, count): on the pool when it has real workers,
@@ -42,34 +53,76 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+#if defined(__AVX2__)
+constexpr const char* kAutoKernelName = "avx2";
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+constexpr const char* kAutoKernelName = "neon";
+#else
+constexpr const char* kAutoKernelName = "unrolled";
+#endif
+
 }  // namespace
+
+const char* scan_kernel_name(ScanKernel kernel) {
+  return kernel == ScanKernel::kScalar ? "scalar" : kAutoKernelName;
+}
 
 // --- PairTable -----------------------------------------------------------
 
 void Engine::PairTable::begin_tick(std::size_t expected) {
   std::size_t want = 16;
   while (want < expected * 2) want <<= 1;  // load factor <= 0.5
-  if (keys_.size() < want) {
-    keys_.assign(want, 0);
-    epochs_.assign(want, 0);
+  if (slots_.size() < want) {
+    slots_.assign(want, Slot{0, 0});
     mask_ = want - 1;
     epoch_ = 0;
   }
   if (++epoch_ == 0) {  // epoch wrapped: stale stamps would alias
-    std::fill(epochs_.begin(), epochs_.end(), 0u);
+    for (Slot& s : slots_) s.epoch = 0;
     epoch_ = 1;
   }
 }
 
 bool Engine::PairTable::insert(std::uint64_t key) {
-  auto i = static_cast<std::size_t>(mix64(key) & mask_);
-  while (epochs_[i] == epoch_) {
-    if (keys_[i] == key) return false;
+  auto i = static_cast<std::size_t>(hash(key) & mask_);
+  while (slots_[i].epoch == epoch_) {
+    if (slots_[i].key == key) return false;
     i = (i + 1) & static_cast<std::size_t>(mask_);
   }
-  epochs_[i] = epoch_;
-  keys_[i] = key;
+  slots_[i] = Slot{key, epoch_};
   return true;
+}
+
+// --- ProbeCache ----------------------------------------------------------
+
+void Engine::ProbeCache::configure(std::uint32_t shard_width) {
+  std::size_t want = 16;
+  const std::size_t target = static_cast<std::size_t>(shard_width) * 2;
+  while (want < target) want <<= 1;
+  keys_.assign(want, ~0ULL);  // real keys have u < kNoNode, never ~0
+  ver_from_.assign(want, 0);
+  ver_to_.assign(want, 0);
+  mask_ = want - 1;
+}
+
+bool Engine::ProbeCache::is_useless(NodeId u, NodeId v, std::uint32_t ver_u,
+                                    std::uint32_t ver_v) const {
+  const std::uint64_t key = probe_key(u, v);
+  const auto i = static_cast<std::size_t>(mix64(key) & mask_);
+  // Exact or nothing: the key AND both possession versions must match, so a
+  // hit replays a verdict computed from these precise rows. A collision or
+  // a stale version is simply a miss and the caller rescans — the cache can
+  // never change which intents are emitted, only how fast failure is found.
+  return keys_[i] == key && ver_from_[i] == ver_u && ver_to_[i] == ver_v;
+}
+
+void Engine::ProbeCache::note_useless(NodeId u, NodeId v, std::uint32_t ver_u,
+                                      std::uint32_t ver_v) {
+  const std::uint64_t key = probe_key(u, v);
+  const auto i = static_cast<std::size_t>(mix64(key) & mask_);
+  keys_[i] = key;  // direct-mapped: collisions overwrite
+  ver_from_[i] = ver_u;
+  ver_to_[i] = ver_v;
 }
 
 // --- Engine --------------------------------------------------------------
@@ -116,6 +169,8 @@ Engine::Engine(const EngineConfig& config, std::shared_ptr<const Topology> topol
   n_ = n;
   k_ = cfg_.num_blocks;
   stride_ = (k_ + 63) / 64;
+  sum_stride_ = (stride_ + 63) / 64;
+  tail_mask_ = (k_ & 63) != 0 ? (1ULL << (k_ & 63)) - 1 : ~0ULL;
 
   const std::uint32_t server_up = cfg_.server_upload_capacity != 0
                                       ? cfg_.server_upload_capacity
@@ -137,11 +192,36 @@ Engine::Engine(const EngineConfig& config, std::shared_ptr<const Topology> topol
                             " (the model requires d >= u)");
     }
   }
+  down_caps_unlimited_ = std::all_of(
+      down_caps_.begin(), down_caps_.end(),
+      [](std::uint32_t c) { return c == kUnlimited; });
 
-  bits_.assign(static_cast<std::size_t>(n_) * stride_, 0);
-  count_.assign(n_, 0);
+  // Every per-probe random access lands in one of the arrays below. The
+  // big uint64 arenas go through huge_alloc (hugemem.h): explicit 2 MiB
+  // hugetlb pages when the kernel pool has room, a THP hint otherwise.
+  // Beyond plain TLB relief this is what makes the generate phase's
+  // batched prefetch real — software prefetches that miss the TLB are
+  // dropped on common cores, so with 4 KiB pages most row prefetches into
+  // a 64 MiB arena would silently do nothing.
+  //
+  // Over-allocate the arena by one cache line and align the row base to 64
+  // bytes: a k = 512 row is then exactly one line instead of straddling
+  // two, which halves the misses of every random row access. (mmap-backed
+  // buffers are page-aligned already; the slack also covers the heap
+  // fallback path.)
+  bits_.reset(static_cast<std::size_t>(n_) * stride_ + 8);
+  {
+    auto addr = reinterpret_cast<std::uintptr_t>(bits_.data());
+    const std::uintptr_t aligned = (addr + 63) & ~std::uintptr_t{63};
+    rows_ = bits_.data() + (aligned - addr) / sizeof(std::uint64_t);
+  }
+  summary_has_.reset(static_cast<std::size_t>(n_) * sum_stride_);
+  summary_missing_.reset(static_cast<std::size_t>(n_) * sum_stride_);
+  sated_ver_.assign(n_, 0);
+  count_.reset(n_);
   completion_.assign(n_, 0);
-  active_.assign(n_, 1);
+  active_.reset(n_);
+  std::memset(active_.data(), 1, n_);
   freq_.assign(k_, 1);  // the server's copy of every block
   uploads_per_node_.assign(n_, 0);
   down_used_.assign(n_, 0);
@@ -150,12 +230,22 @@ Engine::Engine(const EngineConfig& config, std::shared_ptr<const Topology> topol
   // Seed the server with the whole file (tail bits of the last word stay 0 —
   // the planner's word-wise diffs rely on that invariant for every row).
   std::uint64_t* server = row(kServer);
-  for (std::uint32_t w = 0; w < stride_; ++w) {
-    const bool last_partial = (w + 1 == stride_) && (k_ & 63) != 0;
-    server[w] = last_partial ? (1ULL << (k_ & 63)) - 1 : ~0ULL;
-  }
+  for (std::uint32_t w = 0; w < stride_; ++w) server[w] = word_full_mask(w);
   count_[kServer] = k_;
   num_incomplete_ = n_ - 1;
+
+  // Summaries: the server HAS every chunk and MISSES none; clients have
+  // nothing and miss every chunk. The chunk-index pattern (bits [0, stride_)
+  // across sum_stride_ words) is tail-masked the same way possession words
+  // are, so summary bits beyond the last real chunk stay 0 forever.
+  for (std::uint32_t g = 0; g < sum_stride_; ++g) {
+    const bool last_partial = (g + 1 == sum_stride_) && (stride_ & 63) != 0;
+    const std::uint64_t pattern = last_partial ? (1ULL << (stride_ & 63)) - 1 : ~0ULL;
+    summary_has_[static_cast<std::size_t>(kServer) * sum_stride_ + g] = pattern;
+    for (NodeId c = 1; c < n_; ++c) {
+      summary_missing_[static_cast<std::size_t>(c) * sum_stride_ + g] = pattern;
+    }
+  }
 
   for (NodeId u = 0; u < n_; ++u) active_slots_ += up_caps_[u];
 
@@ -163,16 +253,23 @@ Engine::Engine(const EngineConfig& config, std::shared_ptr<const Topology> topol
   shard_intents_.resize(shards);
   gen_scratch_.resize(shards);
   for (DiffScan& scan : gen_scratch_) {
+    scan.widx.resize(stride_);
     scan.words.resize(stride_);
     scan.pc.resize(stride_);
   }
+  gen_cache_.resize(shards);
+  for (ProbeCache& cache : gen_cache_) cache.configure(opt_.shard_nodes);
 
-  // Receiver shards: enough for the pool to balance (the E22 swarm gets 64)
+  // Receiver shards: enough for the pool to balance (the E22 swarm gets ~64)
   // but never so many that tiny fuzz swarms pay bucketing overhead for a
-  // handful of intents. A pure function of n — job counts must not be able
-  // to move shard boundaries.
+  // handful of intents. The width rounds up to a power of two so the merge
+  // buckets by shift — the division was ~3 per intent per tick. A pure
+  // function of n — job counts must not be able to move shard boundaries —
+  // and results cannot depend on it anyway: admission is per-receiver and
+  // every receiver lives wholly inside one shard.
   const std::uint32_t want = std::clamp(n_ / 1024u, 1u, 64u);
-  recv_width_ = (n_ + want - 1) / want;
+  recv_width_ = std::bit_ceil((n_ + want - 1) / want);
+  recv_shift_ = static_cast<std::uint32_t>(std::countr_zero(recv_width_));
   recv_shards_ = (n_ + recv_width_ - 1) / recv_width_;
   delivered_.resize(recv_shards_);
   bucket_offsets_.assign(recv_shards_ + 1, 0);
@@ -182,32 +279,130 @@ Engine::Engine(const EngineConfig& config, std::shared_ptr<const Topology> topol
   freq_scratch_.configure(recv_shards_, k_);
   leaving_shards_.resize(recv_shards_);
   completions_scratch_.assign(recv_shards_, 0);
+
+  departures_ = cfg_.departures;
+  std::sort(departures_.begin(), departures_.end());
 }
 
-bool Engine::scan_diff(const std::uint64_t* su, const std::uint64_t* sv,
-                       DiffScan& scan) const {
-  // Usefulness pre-check with an early exit at the first useful word: most
-  // probes either fail (all words scanned, nothing written) or succeed at
-  // word 0, and only a successful probe pays for the recording below. This
-  // keeps the failed-probe cost identical to a plain usefulness test while
-  // still sparing block selection a second walk over the possession rows.
-  std::uint32_t w0 = 0;
-  while (w0 < stride_ && (su[w0] & ~sv[w0]) == 0) ++w0;
-  if (w0 == stride_) return false;
-  for (std::uint32_t w = 0; w < w0; ++w) {
-    scan.words[w] = 0;
-    scan.pc[w] = 0;
+bool Engine::summary_overlap(NodeId u, NodeId v) const {
+  const std::uint64_t* hu = summary_has_row(u);
+  const std::uint64_t* mv = summary_missing_row(v);
+  for (std::uint32_t g = 0; g < sum_stride_; ++g) {
+    if ((hu[g] & mv[g]) != 0) return true;
   }
+  return false;
+}
+
+bool Engine::scan_pair(NodeId u, NodeId v, DiffScan& scan, bool guided) const {
+  const std::uint64_t* su = row(u);
+  const std::uint64_t* sv = row(v);
+  std::uint32_t entries = 0;
   std::uint32_t total = 0;
-  for (std::uint32_t w = w0; w < stride_; ++w) {
-    const std::uint64_t d = su[w] & ~sv[w];
-    scan.words[w] = d;
+  const auto record = [&](std::uint32_t w, std::uint64_t d) {
+    scan.widx[entries] = w;
+    scan.words[entries] = d;
     const auto c = static_cast<std::uint32_t>(std::popcount(d));
-    scan.pc[w] = c;
+    scan.pc[entries] = c;
+    ++entries;
     total += c;
+  };
+
+  // Dense linear sweep, widest compiled-in vector path. Each quad (or
+  // pair) is tested for any useful bit at once; only quads that hit pay
+  // for per-word recording.
+  const auto linear_sweep = [&] {
+    std::uint32_t w = 0;
+#if defined(__AVX2__)
+    for (; w + 4 <= stride_; w += 4) {
+      const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(su + w));
+      const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sv + w));
+      const __m256i d = _mm256_andnot_si256(b, a);  // a & ~b
+      if (_mm256_testz_si256(d, d) != 0) continue;
+      alignas(32) std::uint64_t lane[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lane), d);
+      for (std::uint32_t j = 0; j < 4; ++j) {
+        if (lane[j] != 0) record(w + j, lane[j]);
+      }
+    }
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+    for (; w + 2 <= stride_; w += 2) {
+      const uint64x2_t a = vld1q_u64(su + w);
+      const uint64x2_t b = vld1q_u64(sv + w);
+      const uint64x2_t d = vbicq_u64(a, b);  // a & ~b
+      if (vmaxvq_u32(vreinterpretq_u32_u64(d)) == 0) continue;
+      const std::uint64_t d0 = vgetq_lane_u64(d, 0);
+      const std::uint64_t d1 = vgetq_lane_u64(d, 1);
+      if (d0 != 0) record(w, d0);
+      if (d1 != 0) record(w + 1, d1);
+    }
+#else
+    for (; w + 4 <= stride_; w += 4) {
+      const std::uint64_t d0 = su[w] & ~sv[w];
+      const std::uint64_t d1 = su[w + 1] & ~sv[w + 1];
+      const std::uint64_t d2 = su[w + 2] & ~sv[w + 2];
+      const std::uint64_t d3 = su[w + 3] & ~sv[w + 3];
+      if ((d0 | d1 | d2 | d3) == 0) continue;
+      if (d0 != 0) record(w, d0);
+      if (d1 != 0) record(w + 1, d1);
+      if (d2 != 0) record(w + 2, d2);
+      if (d3 != 0) record(w + 3, d3);
+    }
+#endif
+    for (; w < stride_; ++w) {
+      const std::uint64_t d = su[w] & ~sv[w];
+      if (d != 0) record(w, d);
+    }
+  };
+
+  if (opt_.scan_kernel == ScanKernel::kScalar) {
+    // Reference kernel: the historical one-word-at-a-time sweep. Every
+    // other path below must record the identical entry sequence.
+    for (std::uint32_t w = 0; w < stride_; ++w) {
+      const std::uint64_t d = su[w] & ~sv[w];
+      if (d != 0) record(w, d);
+    }
+  } else if (guided) {
+    // The caller already paid for the summary rows, so use them: chunk
+    // candidates are words where u holds something AND v still misses
+    // something. (Tail bits of both rows are 0, so a "full" sv word kills
+    // the whole word even though ~sv has garbage above the tail mask.)
+    std::uint32_t cand = 0;
+    const std::uint64_t* hu = summary_has_row(u);
+    const std::uint64_t* mv = summary_missing_row(v);
+    for (std::uint32_t g = 0; g < sum_stride_; ++g) {
+      cand += static_cast<std::uint32_t>(std::popcount(hu[g] & mv[g]));
+    }
+    if (cand == 0) {
+      scan.entries = 0;
+      scan.total = 0;
+      return false;
+    }
+    if (cand * 4 <= stride_) {
+      // Sparse guided walk: visit only candidate words, ascending — the
+      // endgame shape, where one or two chunks are still in play. The
+      // guided/linear choice is a pure function of possession state, and
+      // both record the same entries, so it cannot perturb determinism.
+      for (std::uint32_t g = 0; g < sum_stride_; ++g) {
+        std::uint64_t m = hu[g] & mv[g];
+        while (m != 0) {
+          const std::uint32_t w =
+              (g << 6) + static_cast<std::uint32_t>(std::countr_zero(m));
+          m &= m - 1;
+          const std::uint64_t d = su[w] & ~sv[w];
+          if (d != 0) record(w, d);
+        }
+      }
+    } else {
+      linear_sweep();
+    }
+  } else {
+    // Unguided: the caller's expected-diff heuristic said a rejection is
+    // unlikely, so go straight at the rows without touching the summaries.
+    linear_sweep();
   }
+  scan.entries = entries;
   scan.total = total;
-  return true;
+  return total != 0;
 }
 
 BlockId Engine::pick_from_scan(const DiffScan& scan, Rng& rng) const {
@@ -216,12 +411,12 @@ BlockId Engine::pick_from_scan(const DiffScan& scan, Rng& rng) const {
     // BlockSet::pick_random_useful.
     assert(scan.total != 0);  // caller checked usefulness
     std::uint32_t r = rng.below(scan.total);
-    for (std::uint32_t w = 0; w < stride_; ++w) {
-      const std::uint32_t pc = scan.pc[w];
+    for (std::uint32_t e = 0; e < scan.entries; ++e) {
+      const std::uint32_t pc = scan.pc[e];
       if (r < pc) {
-        std::uint64_t diff = scan.words[w];
+        std::uint64_t diff = scan.words[e];
         while (r-- > 0) diff &= diff - 1;
-        return static_cast<BlockId>((w << 6) +
+        return static_cast<BlockId>((scan.widx[e] << 6) +
                                     static_cast<std::uint32_t>(std::countr_zero(diff)));
       }
       r -= pc;
@@ -230,16 +425,18 @@ BlockId Engine::pick_from_scan(const DiffScan& scan, Rng& rng) const {
   }
   // Rarest first over the live replica counts, with the same reservoir
   // tie-break idiom (and the same rng draw sequence) as
-  // BlockSet::pick_rarest_useful.
+  // BlockSet::pick_rarest_useful. Entries are recorded in ascending word
+  // order by every kernel, so the block visit order — and therefore the
+  // reservoir draws — match the historical dense walk exactly.
   BlockId best = kNoBlock;
   std::uint32_t best_freq = 0;
   std::uint32_t ties = 0;
-  for (std::uint32_t w = 0; w < stride_; ++w) {
-    if (scan.pc[w] == 0) continue;
-    std::uint64_t diff = scan.words[w];
+  for (std::uint32_t e = 0; e < scan.entries; ++e) {
+    const std::uint32_t base = scan.widx[e] << 6;
+    std::uint64_t diff = scan.words[e];
     while (diff != 0) {
-      const auto b = static_cast<BlockId>((w << 6) +
-                                          static_cast<std::uint32_t>(std::countr_zero(diff)));
+      const auto b = static_cast<BlockId>(
+          base + static_cast<std::uint32_t>(std::countr_zero(diff)));
       diff &= diff - 1;
       const std::uint32_t f = freq_[b];
       if (best == kNoBlock || f < best_freq) {
@@ -255,27 +452,65 @@ BlockId Engine::pick_from_scan(const DiffScan& scan, Rng& rng) const {
   return best;
 }
 
-void Engine::generate_node(std::uint64_t tick_base, NodeId u, std::vector<Transfer>& out,
-                           DiffScan& scan) {
-  if (active_[u] == 0 || count_[u] == 0) return;
-  const std::uint32_t slots = up_caps_[u];
-  if (slots == 0) return;
+bool Engine::neighborhood_exhausted(NodeId u, DiffScan& scan, ProbeCache& cache) {
+  // Deterministic full sweep, no RNG: is ANY neighbor a viable target right
+  // now? Every predicate below is monotone-in-failure while u's version is
+  // frozen (see the header), so a true result stays true until u itself
+  // receives a block. Failed scans are fed to the probe cache so the sweep
+  // also warms future ticks.
   const std::uint32_t deg = topo_->degree(u);
-  if (deg == 0) return;
+  const bool credit = opt_.credit_limit != 0 && u != kServer;
+  const std::uint32_t ver_u = count_[u];
+  // The sweep touches every neighbor's metadata, missing-summary and (for
+  // survivors) possession row — all random lines. Issue the whole set up
+  // front so the per-neighbor chains below overlap instead of serializing;
+  // a sweep is only reached after a node's probes all failed, so a little
+  // extra traffic for neighbors the ladder rejects is cheap.
+  for (std::uint32_t i = 0; i < deg; ++i) {
+    const NodeId v = topo_->neighbor(u, i);
+    __builtin_prefetch(&count_[v], 0, 1);
+    __builtin_prefetch(&active_[v], 0, 1);
+    __builtin_prefetch(summary_missing_row(v), 0, 1);
+    __builtin_prefetch(row(v), 0, 1);
+  }
+  for (std::uint32_t i = 0; i < deg; ++i) {
+    const NodeId v = topo_->neighbor(u, i);
+    if (v == u || v == kServer) continue;
+    const std::uint32_t ver_v = count_[v];
+    if (active_[v] == 0 || ver_v >= k_) continue;
+    if (credit &&
+        ledger_.net(u, v) + 1 > static_cast<std::int64_t>(opt_.credit_limit)) {
+      continue;
+    }
+    if (!summary_overlap(u, v)) continue;
+    if (cache.is_useless(u, v, ver_u, ver_v)) continue;
+    if (scan_pair(u, v, scan, /*guided=*/true)) return false;
+    cache.note_useless(u, v, ver_u, ver_v);
+  }
+  return true;
+}
 
-  // This node's RNG stream is a pure function of (seed, tick, node), so the
-  // intents it emits do not depend on which shard/thread runs it.
-  Rng rng(trial_seed(tick_base, u));
+void Engine::generate_node(NodeId u, Rng& rng, NodeId first_probe,
+                           std::vector<Transfer>& out, DiffScan& scan,
+                           ProbeCache& cache) {
+  const std::uint32_t ver_u = count_[u];
+  const std::uint32_t slots = up_caps_[u];
+  const std::uint32_t deg = topo_->degree(u);
   const std::size_t first_intent = out.size();
   const bool credit = opt_.credit_limit != 0 && u != kServer;
-  const std::uint64_t* su = row(u);
 
   for (std::uint32_t slot = 0; slot < slots; ++slot) {
     NodeId target = kNoNode;
     for (std::uint32_t probe = 0; probe < opt_.max_probes; ++probe) {
-      const NodeId v = topo_->neighbor(u, rng.below(deg));
+      // The caller consumed the very first below(deg) draw when it peeked
+      // the target for prefetching; every later draw comes from the same
+      // stream, so the sequence is exactly the historical one.
+      const NodeId v = (slot == 0 && probe == 0)
+                           ? first_probe
+                           : topo_->neighbor(u, rng.below(deg));
       if (v == u || v == kServer) continue;  // nothing flows into the server
-      if (active_[v] == 0 || count_[v] >= k_) continue;
+      const std::uint32_t ver_v = count_[v];
+      if (active_[v] == 0 || ver_v >= k_) continue;
       // At most one upload per (u, v) pair per tick. Together with the
       // pre-tick ledger check below this keeps every admitted stream inside
       // CreditLimited::check_tick: the tick's delta on an ordered pair is in
@@ -289,15 +524,122 @@ void Engine::generate_node(std::uint64_t tick_base, NodeId u, std::vector<Transf
           ledger_.net(u, v) + 1 > static_cast<std::int64_t>(opt_.credit_limit)) {
         continue;
       }
-      // Fused scan: a successful usefulness test records the per-word diffs
-      // and popcounts that block selection rank-selects over, so the pick
-      // below never re-walks the possession rows.
-      if (!scan_diff(su, row(v), scan)) continue;
+      // Rejection ladder, none of it consuming RNG. The summary and cache
+      // checks only pay off when the diff could plausibly be empty, so they
+      // are gated on the expected diff size |su| * (k - |sv|) / k being
+      // small; the saturated midgame — where nearly every probe is useful —
+      // skips straight to the scan and never touches the summary rows or
+      // the cache. Gating cannot change results: both checks are exact
+      // rejections, so consulting them less often only costs scans.
+      const bool maybe_useless =
+          static_cast<std::uint64_t>(ver_u) * (k_ - ver_v) <
+          (static_cast<std::uint64_t>(k_) << 3);
+      if (maybe_useless) {
+        if (!summary_overlap(u, v)) continue;
+        if (cache.is_useless(u, v, ver_u, ver_v)) continue;
+        if (!scan_pair(u, v, scan, /*guided=*/true)) {
+          cache.note_useless(u, v, ver_u, ver_v);
+          continue;
+        }
+      } else if (!scan_pair(u, v, scan, /*guided=*/false)) {
+        continue;  // a rare dense-pair miss: not worth cache bookkeeping
+      }
       target = v;
       break;
     }
-    if (target == kNoNode) break;  // out of luck: idle for the rest of the tick
+    if (target == kNoNode) {
+      // Out of luck: idle for the rest of the tick. If no probe found a
+      // target AND the whole neighborhood is provably non-viable, stamp the
+      // node sated so future ticks skip it outright until it receives a
+      // block (the stamp encodes ver+1 so any delivery invalidates it).
+      if (out.size() == first_intent && neighborhood_exhausted(u, scan, cache)) {
+        sated_ver_[u] = ver_u + 1;
+      }
+      break;
+    }
     out.push_back(Transfer{u, target, pick_from_scan(scan, rng)});
+  }
+}
+
+void Engine::generate_range(std::uint64_t tick_base, NodeId first, NodeId last,
+                            std::vector<Transfer>& out, DiffScan& scan,
+                            ProbeCache& cache) {
+  // Software-pipelined windows. The lead pass does everything that needs
+  // no remote state — eligibility (all sequential arrays), RNG seeding,
+  // the first neighbor draw — and prefetches the probe target's metadata
+  // and possession row. The windows are double-buffered: window W+1's
+  // lead pass runs BEFORE window W's emit pass, so every prefetch gets a
+  // full window of emit work (microseconds) to complete instead of the
+  // few dozen instructions a fused lead+emit would give the window's
+  // first nodes. Nothing here consumes draws beyond what generate_node
+  // historically consumed, and the emit order is still ascending node id.
+  constexpr std::uint32_t kBatch = 16;
+  struct Window {
+    Rng rngs[kBatch];
+    NodeId probe0[kBatch];
+    bool eligible[kBatch];
+    NodeId base = 0;
+    std::uint32_t width = 0;
+  };
+  Window wins[2];
+
+  const auto lead = [&](Window& w, NodeId base) {
+    w.base = base;
+    w.width = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kBatch, static_cast<std::uint64_t>(last) - base));
+    for (std::uint32_t i = 0; i < w.width; ++i) {
+      const NodeId u = base + i;
+      w.eligible[i] = false;
+      if (active_[u] == 0) continue;
+      const std::uint32_t cu = count_[u];
+      // A node proven exhausted at its current possession version emits
+      // nothing and would emit nothing: skip it without touching its RNG
+      // stream (the stream is derived per (tick, node) and consumed nowhere
+      // else, so the emitted intent set — and every digest — is unchanged).
+      if (cu == 0 || sated_ver_[u] == cu + 1) continue;
+      if (up_caps_[u] == 0) continue;
+      const std::uint32_t deg = topo_->degree(u);
+      if (deg == 0) continue;
+      w.eligible[i] = true;
+      // This node's RNG stream is a pure function of (seed, tick, node), so
+      // the intents it emits do not depend on which shard/thread runs it.
+      w.rngs[i] = Rng(trial_seed(tick_base, u));
+      const NodeId v = topo_->neighbor(u, w.rngs[i].below(deg));
+      w.probe0[i] = v;
+      __builtin_prefetch(&active_[v], 0, 1);
+      __builtin_prefetch(&count_[v], 0, 1);
+      const std::uint64_t* rv = row(v);
+      __builtin_prefetch(rv, 0, 1);
+      if (stride_ > 8) __builtin_prefetch(rv + stride_ - 1, 0, 1);
+      // Deliberately NOT peeking probe 1's target here: a speculative
+      // RNG-copy peek plus three more prefetches per slot was measured
+      // ~2% slower end-to-end at n = 10^6 — the extra neighbor lookup and
+      // prefetch traffic outweigh the occasional saved miss, because the
+      // probe cache and sated-skip already resolve most second probes
+      // without touching the arena.
+    }
+  };
+  const auto emit = [&](Window& w) {
+    for (std::uint32_t i = 0; i < w.width; ++i) {
+      if (w.eligible[i]) {
+        generate_node(w.base + i, w.rngs[i], w.probe0[i], out, scan, cache);
+      }
+    }
+  };
+
+  if (first >= last) return;
+  lead(wins[0], first);
+  std::uint32_t cur = 0;
+  for (;;) {
+    const NodeId next = wins[cur].base + wins[cur].width;
+    if (next < last) {
+      lead(wins[cur ^ 1], next);
+      emit(wins[cur]);
+      cur ^= 1;
+    } else {
+      emit(wins[cur]);
+      break;
+    }
   }
 }
 
@@ -312,15 +654,15 @@ void Engine::plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool
   // Phase 1: intent generation, sharded by sender node range. Shards only
   // read the (frozen) swarm state and write their own vector + scratch, so
   // running them on a pool is observationally identical to the serial loop.
+  // The probe cache is shard-owned too: node u always generates in shard
+  // u / shard_nodes, so cache entries never cross threads.
   const std::function<void(std::uint32_t)> generate = [&](std::uint32_t s) {
     auto& intents = shard_intents_[s];
     intents.clear();
     const auto first = static_cast<NodeId>(static_cast<std::uint64_t>(s) * shard);
     const auto last = static_cast<NodeId>(
         std::min<std::uint64_t>(n_, static_cast<std::uint64_t>(first) + shard));
-    for (NodeId u = first; u < last; ++u) {
-      generate_node(tick_base, u, intents, gen_scratch_[s]);
-    }
+    generate_range(tick_base, first, last, intents, gen_scratch_[s], gen_cache_[s]);
   };
   for_shards(pool, num_shards, generate);
 
@@ -374,8 +716,16 @@ void Engine::plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool
   // 2d. Scatter intents into receiver buckets; cursor ranges are disjoint
   // by construction, and walking intent shards in ascending s keeps each
   // bucket in canonical stream order.
-  if (bucket_.size() < total) bucket_.resize(total);
-  if (accept_.size() < total) accept_.resize(total);
+  if (bucket_.size() < total) {
+    bucket_.reserve(total);
+    advise_hugepages(bucket_.data(), static_cast<std::size_t>(total) * sizeof(MergeItem));
+    bucket_.resize(total);
+  }
+  if (accept_.size() < total) {
+    accept_.reserve(total);
+    advise_hugepages(accept_.data(), total);
+    accept_.resize(total);
+  }
   for_shards(pool, num_shards, [&](std::uint32_t s) {
     std::uint32_t* cur = scatter_pos_.data() + static_cast<std::size_t>(s) * R;
     auto g = static_cast<std::uint32_t>(intent_offsets_[s]);
@@ -392,6 +742,28 @@ void Engine::plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool
     const std::uint32_t hi = bucket_offsets_[r + 1];
     PairTable& delivered = delivered_[r];
     delivered.begin_tick(hi - lo);
+    // (No software prefetch here: each receiver shard's working set —
+    // its slice of down_used_/down_stamp_ — is small enough to stay
+    // cached, and measured prefetching made this loop slower.)
+    if (down_caps_unlimited_) {
+      // With no download cap anywhere, the capacity bookkeeping can never
+      // reject, so admission reduces to the (receiver, block) dedup — and
+      // down_used_/down_stamp_ are never read. Same accepts, same order.
+      // The two random lines per intent — the dedup table's home slot and
+      // the accept flag (indexed by canonical stream position, scattered
+      // across the whole tick) — are warmed a few intents ahead.
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        if (i + 8 < hi) {
+          const MergeItem& ahead = bucket_[i + 8];
+          delivered.prefetch(delivery_key(ahead.tr.to, ahead.tr.block));
+          __builtin_prefetch(&accept_[ahead.idx], 1, 1);
+        }
+        const Transfer& tr = bucket_[i].tr;
+        accept_[bucket_[i].idx] =
+            delivered.insert(delivery_key(tr.to, tr.block)) ? 1 : 0;
+      }
+      return;
+    }
     for (std::uint32_t i = lo; i < hi; ++i) {
       const Transfer& tr = bucket_[i].tr;
       if (down_stamp_[tr.to] != tick) {
@@ -431,8 +803,23 @@ void Engine::plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool
 }
 
 void Engine::plan(Tick tick, std::vector<Transfer>& out) {
-  consumed_ = true;  // lockstep driving began; run() would not start fresh
+  lockstep_ = true;  // lockstep driving began; run() may no longer be used
   plan_phases(tick, out, nullptr);
+}
+
+void Engine::note_delivery(NodeId to, BlockId block, std::uint64_t word) {
+  const std::uint32_t w = block >> 6;
+  const std::size_t g = static_cast<std::size_t>(to) * sum_stride_ + (w >> 6);
+  const std::uint64_t chunk_bit = 1ULL << (w & 63);
+  summary_has_[g] |= chunk_bit;
+  // The word just filled up (tail-masked for the last one): v no longer
+  // misses anything in this chunk, so senders whose holdings sit entirely
+  // inside it reject v at the summary level from now on.
+  if (word == word_full_mask(w)) summary_missing_[g] &= ~chunk_bit;
+  // No separate version bump: the caller's ++count_[to] IS the possession
+  // version change, invalidating every cached verdict about `to` — on both
+  // sides: as receiver (su \ sv changed) and as sender (sv \ su changed) —
+  // and un-sating the node if a neighborhood sweep had written it off.
 }
 
 void Engine::apply(Tick tick, std::span<const Transfer> accepted) {
@@ -444,6 +831,7 @@ void Engine::apply(Tick tick, std::span<const Transfer> accepted) {
     const std::uint64_t bit = 1ULL << (tr.block & 63);
     assert((word & bit) == 0 && "duplicate delivery slipped through the merge");
     word |= bit;
+    note_delivery(tr.to, tr.block, word);
     ++freq_[tr.block];
     ++uploads_per_node_[tr.from];
     if (++count_[tr.to] == k_) {
@@ -470,21 +858,34 @@ void Engine::apply_merged(Tick tick, std::span<const Transfer> accepted,
   const std::uint32_t R = recv_shards_;
 
   // 3a. Receiver-side commit from the merge buckets: possession bits,
-  // per-node counts, completion ticks and the depart-on-complete queue.
-  // Shard r owns its receivers' rows and counters exclusively; completions
-  // accumulate per shard and fold into num_incomplete_ afterwards.
+  // summary bitmaps, possession versions, per-node counts, completion ticks
+  // and the depart-on-complete queue. Shard r owns its receivers' rows and
+  // counters exclusively; completions accumulate per shard and fold into
+  // num_incomplete_ afterwards.
   for_shards(pool, R, [&](std::uint32_t r) {
     std::uint32_t* freq_row = freq_scratch_.shard(r);
     auto& leaving = leaving_shards_[r];
     leaving.clear();
     std::uint32_t completions = 0;
-    for (std::uint32_t i = bucket_offsets_[r]; i < bucket_offsets_[r + 1]; ++i) {
+    const std::uint32_t hi = bucket_offsets_[r + 1];
+    for (std::uint32_t i = bucket_offsets_[r]; i < hi; ++i) {
+      if (i + 8 < hi) {
+        const MergeItem& ahead = bucket_[i + 8];
+        __builtin_prefetch(&accept_[ahead.idx], 0, 1);
+        __builtin_prefetch(&row(ahead.tr.to)[ahead.tr.block >> 6], 1, 1);
+        __builtin_prefetch(&count_[ahead.tr.to], 1, 1);
+        __builtin_prefetch(
+            &summary_has_[static_cast<std::size_t>(ahead.tr.to) * sum_stride_], 1, 1);
+        __builtin_prefetch(
+            &summary_missing_[static_cast<std::size_t>(ahead.tr.to) * sum_stride_], 1, 1);
+      }
       if (accept_[bucket_[i].idx] == 0) continue;
       const Transfer& tr = bucket_[i].tr;
       std::uint64_t& word = row(tr.to)[tr.block >> 6];
       const std::uint64_t bit = 1ULL << (tr.block & 63);
       assert((word & bit) == 0 && "duplicate delivery slipped through the merge");
       word |= bit;
+      note_delivery(tr.to, tr.block, word);
       ++freq_row[tr.block];
       if (++count_[tr.to] == k_) {
         completion_[tr.to] = tick;
@@ -551,35 +952,44 @@ void Engine::deactivate(NodeId node) {
     }
   }
   if (count_[node] < k_) --num_incomplete_;
+  // No summary/version/cache bookkeeping: a departure removes viability, it
+  // never creates any, so cached "useless" verdicts and sated stamps about
+  // the survivors stay valid.
 }
 
 RunResult Engine::run(unsigned jobs) {
-  if (consumed_) {
-    throw std::logic_error("scale::Engine::run: engine state already consumed");
+  if (lockstep_) {
+    throw std::logic_error(
+        "scale::Engine::run: engine is being driven in lockstep (plan/apply)");
   }
-  consumed_ = true;
+  // Per-call phase accounting: each run() window reports only its own
+  // ticks. (When collection is off the fields simply stay zero — never
+  // stale values from a previous instrumented call.)
+  timings_ = PhaseTimings{};
   ThreadPool pool(jobs);
 
   // From here down the control flow replicates core's run_with_state line
   // for line (departure application, depart_on_complete timing, the stall
   // window arithmetic, final bookkeeping) so that a mirrored core run
-  // produces a field-for-field identical RunResult.
+  // produces a field-for-field identical RunResult. The tick counter, the
+  // departure cursor and the leaving queue are members, so a capped call
+  // resumes exactly where the previous one stopped — splitting a run into
+  // windows changes no transfer and no completion tick.
   const Tick cap = cfg_.max_ticks != 0 ? cfg_.max_ticks
                                        : default_tick_cap(cfg_.num_nodes, cfg_.num_blocks);
-  std::vector<std::pair<Tick, NodeId>> departures = cfg_.departures;
-  std::sort(departures.begin(), departures.end());
-  std::size_t next_departure = 0;
 
   RunResult result;
   std::uint64_t window_sum = 0;
   std::uint64_t window_slots_sum = 0;
 
-  Tick tick = 0;
-  while (num_incomplete_ != 0 && tick < cap) {
-    ++tick;
-    while (next_departure < departures.size() && departures[next_departure].first <= tick) {
-      deactivate(departures[next_departure].second);
-      ++next_departure;
+  Tick executed = 0;  // this call's ticks; tick_ numbers the global stream
+  while (num_incomplete_ != 0 && executed < cap) {
+    ++tick_;
+    ++executed;
+    while (next_departure_ < departures_.size() &&
+           departures_[next_departure_].first <= tick_) {
+      deactivate(departures_[next_departure_].second);
+      ++next_departure_;
     }
     if (cfg_.depart_on_complete) {
       for (const NodeId c : leaving_) deactivate(c);
@@ -588,8 +998,8 @@ RunResult Engine::run(unsigned jobs) {
     if (num_incomplete_ == 0) break;  // survivors may already all be done
 
     accepted_.clear();
-    plan_phases(tick, accepted_, &pool);
-    apply_merged(tick, accepted_, &pool);
+    plan_phases(tick_, accepted_, &pool);
+    apply_merged(tick_, accepted_, &pool);
 
     result.total_transfers += accepted_.size();
     result.uploads_per_tick.push_back(accepted_.size());
@@ -599,11 +1009,11 @@ RunResult Engine::run(unsigned jobs) {
     if (cfg_.stall_window != 0) {
       window_sum += accepted_.size();
       window_slots_sum += active_slots_;
-      if (tick > cfg_.stall_window) {
-        window_sum -= result.uploads_per_tick[tick - cfg_.stall_window - 1];
-        window_slots_sum -= result.active_slots_per_tick[tick - cfg_.stall_window - 1];
+      if (executed > cfg_.stall_window) {
+        window_sum -= result.uploads_per_tick[executed - cfg_.stall_window - 1];
+        window_slots_sum -= result.active_slots_per_tick[executed - cfg_.stall_window - 1];
       }
-      if (tick >= cfg_.stall_window &&
+      if (executed >= cfg_.stall_window &&
           static_cast<double>(window_sum) <
               cfg_.stall_utilization * static_cast<double>(window_slots_sum)) {
         result.stalled = true;
@@ -612,7 +1022,7 @@ RunResult Engine::run(unsigned jobs) {
     }
   }
 
-  result.ticks_executed = tick;
+  result.ticks_executed = executed;
   result.completed = num_incomplete_ == 0;
   result.departed = num_departed_;
   result.client_completion.assign(completion_.begin() + 1, completion_.end());
@@ -620,12 +1030,14 @@ RunResult Engine::run(unsigned jobs) {
     result.completion_tick = *std::max_element(result.client_completion.begin(),
                                                result.client_completion.end());
   }
-  result.uploads_per_node = std::move(uploads_per_node_);
+  result.uploads_per_node = uploads_per_node_;  // copy: the engine stays resumable
   return result;
 }
 
 std::uint64_t Engine::state_bytes() const {
   std::uint64_t bytes = bits_.size() * sizeof(std::uint64_t);
+  bytes += (summary_has_.size() + summary_missing_.size()) * sizeof(std::uint64_t);
+  bytes += sated_ver_.size() * sizeof(std::uint32_t);
   bytes += count_.size() * sizeof(std::uint32_t);
   bytes += completion_.size() * sizeof(Tick);
   bytes += active_.size();
@@ -635,18 +1047,17 @@ std::uint64_t Engine::state_bytes() const {
   bytes += uploads_per_node_.size() * sizeof(Count);
   bytes += down_used_.size() * sizeof(std::uint32_t);
   bytes += down_stamp_.size() * sizeof(Tick);
-  // Tick scratch: the per-shard intent vectors, the admission tables, the
-  // merge buckets/flags/offsets, apply scratch and the accepted stream all
-  // persist between ticks at high-water capacity — at n = 10^6 they are a
-  // triple-digit-MiB chunk of the real footprint the old accounting
-  // omitted (it reported 161 MiB against a 503 MiB RSS).
+  // Tick scratch: the per-shard intent vectors, diff-scan recordings and
+  // probe caches, the admission tables, the merge buckets/flags/offsets,
+  // apply scratch and the accepted stream all persist between ticks at
+  // high-water capacity — at n = 10^6 they are a triple-digit-MiB chunk of
+  // the real footprint the old accounting omitted (it reported 161 MiB
+  // against a 503 MiB RSS).
   for (const auto& intents : shard_intents_) {
     bytes += intents.capacity() * sizeof(Transfer);
   }
-  for (const DiffScan& scan : gen_scratch_) {
-    bytes += scan.words.capacity() * sizeof(std::uint64_t) +
-             scan.pc.capacity() * sizeof(std::uint32_t);
-  }
+  for (const DiffScan& scan : gen_scratch_) bytes += scan.memory_bytes();
+  for (const ProbeCache& cache : gen_cache_) bytes += cache.memory_bytes();
   for (const PairTable& table : delivered_) bytes += table.memory_bytes();
   bytes += intent_offsets_.capacity() * sizeof(std::size_t);
   bytes += scatter_pos_.capacity() * sizeof(std::uint32_t);
@@ -659,6 +1070,7 @@ std::uint64_t Engine::state_bytes() const {
   bytes += completions_scratch_.capacity() * sizeof(std::uint32_t);
   bytes += leaving_.capacity() * sizeof(NodeId);
   bytes += accepted_.capacity() * sizeof(Transfer);
+  bytes += departures_.capacity() * sizeof(std::pair<Tick, NodeId>);
   bytes += ledger_.memory_bytes();
   bytes += topo_->memory_bytes();
   return bytes;

@@ -21,11 +21,53 @@
 //     accept flags in the exact order the old serial merge emitted. Shard
 //     counts are pure functions of n, never of the worker count.
 //
+// The generate phase — the single-core ceiling at n = 10^6, where endgame
+// ticks make almost every probe useless — is accelerated three ways, none
+// of which may change a single emitted intent:
+//
+//   * a HIERARCHICAL SUMMARY per node (one bit per 64-block possession
+//     word, tail bits masked): `summary_has` marks words holding at least
+//     one block, `summary_missing` marks words still missing at least one.
+//     A probe u -> v can only be useful where summary_has(u) AND
+//     summary_missing(v) is nonzero, so near-complete receivers and empty
+//     chunks reject probes in O(ceil(k/4096)) words without touching the
+//     possession rows. Both summaries are maintained in the apply commit.
+//   * a VECTORIZED word-diff scan (AVX2 / NEON when compiled in, an
+//     unrolled four-word uint64 sweep otherwise; ScanKernel::kScalar forces
+//     the one-word reference loop) that records only the nonzero diff words
+//     and their popcounts, in ascending word order — so block selection
+//     consumes the identical RNG draw sequence as the historical scan.
+//   * PROBE-OUTCOME CACHES, one per sender shard, keyed on (u, v) and both
+//     endpoints' possession versions: a failed probe whose endpoints have
+//     not gained blocks since is rejected O(1) without rescanning. The
+//     version IS the per-node delivered-block count — both bump exactly
+//     once per delivery and nothing else changes possession, so count_
+//     doubles as the version array. On top of that sits a whole-node skip:
+//     when a deterministic sweep of u's neighborhood finds no viable target
+//     at all, u is marked sated until its own possession version changes.
+//     That is sound because every viability predicate is monotone while u's
+//     row is frozen — receivers only gain blocks (su \ sv shrinks),
+//     departures and completions only remove targets, and a §3.2 credit
+//     that blocks u -> v can only clear via a v -> u delivery, which bumps
+//     u's version. A sated node emits nothing and would emit nothing, so
+//     skipping its RNG stream entirely is bit-identical (per-node streams
+//     are derived per tick and unused elsewhere).
+//
+// Because the saturated midgame (every probe useful) is latency-bound, the
+// engine also fights the memory system directly: the summary/cache checks
+// are gated behind a cheap expected-diff-size test so dense pairs skip
+// straight to the scan; each sender shard generates in small batches that
+// software-prefetch the first probe target's metadata and row one batch
+// ahead; and the big arenas are madvise(MADV_HUGEPAGE)d so random row
+// accesses stop paying 4 KiB TLB walks. None of this consumes RNG draws or
+// changes a comparison outcome, so the intent stream is untouched.
+//
 // The engine emits only legal transfers by construction; it is NOT trusted
 // on its own. scale::MirrorScheduler replays the exact same plan/apply
 // semantics through core::Engine and the pob/check reference oracle, and
 // the scenario fuzzer cross-checks all three on overlapping n (see
-// pob/check/scenario.h, EngineKind::kScale).
+// pob/check/scenario.h, EngineKind::kScale) — including scalar vs
+// vectorized scan kernels against each other.
 
 #pragma once
 
@@ -43,6 +85,17 @@
 #include "pob/scale/topology.h"
 
 namespace pob::scale {
+
+/// Which word-diff kernel the generate phase uses. kAuto picks the widest
+/// compiled-in path (AVX2, then NEON, then the unrolled uint64 sweep);
+/// kScalar forces the one-word-at-a-time reference loop. Both orders are
+/// ascending-word and both record identical diffs, so every digest is
+/// bit-identical across kernels — CI pins the 200k run both ways.
+enum class ScanKernel : std::uint8_t { kAuto = 0, kScalar = 1 };
+
+/// The name of the path `kernel` resolves to in this build: "avx2", "neon"
+/// or "unrolled" for kAuto (compile-time dispatch), "scalar" for kScalar.
+const char* scan_kernel_name(ScanKernel kernel);
 
 struct ScaleOptions {
   /// Block selection within u \ v: uniform random or globally rarest first
@@ -65,14 +118,21 @@ struct ScaleOptions {
   /// cannot leak into results.
   std::uint32_t shard_nodes = 4096;
 
-  /// Accumulate per-phase wall-clock (generate / merge / apply) across
-  /// ticks, readable via phase_timings(). Off by default: the two clock
-  /// reads per phase are cheap but pure overhead for fuzzing and tests.
+  /// Accumulate per-phase wall-clock (generate / merge / apply) across the
+  /// ticks of one run() call, readable via phase_timings(). Off by default:
+  /// the two clock reads per phase are cheap but pure overhead for fuzzing
+  /// and tests.
   bool collect_phase_timings = false;
+
+  /// Word-diff kernel selection; see ScanKernel. Results are identical
+  /// either way — kScalar exists so tests and CI can prove exactly that.
+  ScanKernel scan_kernel = ScanKernel::kAuto;
 };
 
 /// Wall-clock seconds accumulated per tick phase (see
 /// ScaleOptions::collect_phase_timings); all zero when collection is off.
+/// run() resets the accumulators on entry, so each call reports only its
+/// own ticks; a lockstep drive accumulates across all its plan/apply calls.
 struct PhaseTimings {
   double generate_seconds = 0.0;
   double merge_seconds = 0.0;
@@ -90,11 +150,21 @@ class Engine {
   Engine(const EngineConfig& config, std::shared_ptr<const Topology> topology,
          ScaleOptions options, std::uint64_t seed);
 
-  /// Runs to completion / tick cap / stall on `jobs` workers (0 = all
-  /// cores, 1 = serial) and returns a RunResult with the exact same shape
-  /// and semantics as core::Engine's — including dropped_transfers (always
-  /// 0: the planner reads live state and never names a departed node) and
-  /// active_slots_per_tick. Consumes the engine state; call once.
+  /// Runs up to the tick cap (config.max_ticks per call, or the default
+  /// cap) on `jobs` workers (0 = all cores, 1 = serial) and returns a
+  /// RunResult with the exact same shape and semantics as core::Engine's —
+  /// including dropped_transfers (always 0: the planner reads live state
+  /// and never names a departed node) and active_slots_per_tick.
+  ///
+  /// run() is RESUMABLE: a second call continues the same swarm from where
+  /// the previous call stopped (tick numbering, departures, the credit
+  /// ledger and the depart-on-complete queue all carry over), so a capped
+  /// run can be driven in windows. Per-call fields (ticks_executed,
+  /// total_transfers, uploads_per_tick, trace, stall detection, phase
+  /// timings) cover only that call's ticks; cumulative state (completion
+  /// ticks, uploads_per_node, departed) reports global totals. Splitting
+  /// one run into windows changes no transfer and no completion tick.
+  /// Cannot be mixed with the lockstep API below.
   RunResult run(unsigned jobs = 1);
 
   // --- Lockstep API ---------------------------------------------------
@@ -109,10 +179,10 @@ class Engine {
   /// on this tick at any job count.
   void plan(Tick tick, std::vector<Transfer>& out);
 
-  /// Commits a planned stream: possession bits, replica counts, completion
-  /// ticks, per-node upload totals, and the credit ledger. Serial; run()
-  /// uses the receiver/sender-sharded commit instead, which leaves the
-  /// engine in the identical state.
+  /// Commits a planned stream: possession bits and summaries, possession
+  /// versions, replica counts, completion ticks, per-node upload totals,
+  /// and the credit ledger. Serial; run() uses the receiver/sender-sharded
+  /// commit instead, which leaves the engine in the identical state.
   void apply(Tick tick, std::span<const Transfer> accepted);
 
   /// Removes a node (idempotent; the server cannot depart): its capacity
@@ -131,14 +201,37 @@ class Engine {
   const Topology& topology() const { return *topo_; }
   const ScaleOptions& options() const { return opt_; }
 
-  /// Per-phase wall-clock accumulated so far; zeros unless
-  /// options().collect_phase_timings.
+  // --- Summary / version introspection (tests, invariant checks) -------
+
+  /// Words per per-node summary row: ceil(ceil(k/64) / 64).
+  std::uint32_t summary_words_per_row() const { return sum_stride_; }
+  /// Summary word `g` of `node`: bit w set iff possession word (g*64 + w)
+  /// holds at least one block.
+  std::uint64_t summary_has_word(NodeId node, std::uint32_t g) const {
+    return summary_has_[static_cast<std::size_t>(node) * sum_stride_ + g];
+  }
+  /// Summary word `g` of `node`: bit w set iff possession word (g*64 + w)
+  /// is still missing at least one of its (tail-masked) blocks.
+  std::uint64_t summary_missing_word(NodeId node, std::uint32_t g) const {
+    return summary_missing_[static_cast<std::size_t>(node) * sum_stride_ + g];
+  }
+  /// Monotone counter bumped once per block `node` receives; probe-cache
+  /// entries and the sated-node skip are keyed on it. It is exactly the
+  /// delivered-block count (the server's stays at k forever): deliveries
+  /// are the only possession changes, so count and version coincide.
+  std::uint32_t possession_version(NodeId node) const { return count_[node]; }
+
+  /// Per-phase wall-clock for the current/most recent run() call (or the
+  /// lockstep drive so far); zeros unless options().collect_phase_timings.
   PhaseTimings phase_timings() const { return timings_; }
 
   /// Arena + index + tick-scratch memory actually allocated, for bench
-  /// reporting: possession arena, per-node arrays, topology CSR, the
-  /// per-shard intent vectors and merge/apply scratch (buckets, accept
-  /// flags, admission tables, frequency scratch), and the credit ledger.
+  /// reporting: possession arena and summaries, per-node arrays (counts —
+  /// which double as possession versions — sated stamps, capacities, upload
+  /// totals), topology CSR, the
+  /// per-shard intent vectors, diff-scan scratch and probe caches, the
+  /// merge/apply scratch (buckets, accept flags, admission tables,
+  /// frequency scratch), and the credit ledger.
   std::uint64_t state_bytes() const;
 
  private:
@@ -150,16 +243,60 @@ class Engine {
     void begin_tick(std::size_t expected);
     bool insert(std::uint64_t key);  ///< false if already present this tick
 
+    /// Warms the home slot of a key about to be inserted (the table is a
+    /// random-indexed miss per insert otherwise; the admission loop runs a
+    /// few keys ahead of itself).
+    void prefetch(std::uint64_t key) const {
+      __builtin_prefetch(slots_.data() + (hash(key) & mask_), 1, 1);
+    }
+
     std::uint64_t memory_bytes() const {
-      return keys_.capacity() * sizeof(std::uint64_t) +
-             epochs_.capacity() * sizeof(std::uint32_t);
+      return slots_.capacity() * sizeof(Slot);
     }
 
    private:
-    std::vector<std::uint64_t> keys_;
-    std::vector<std::uint32_t> epochs_;
+    // splitmix64 finalizer; good avalanche for open-addressed probing.
+    static std::uint64_t hash(std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    }
+
+    // Key and epoch share a slot so a probe touches one cache line, not a
+    // line in each of two parallel arrays.
+    struct Slot {
+      std::uint64_t key;
+      std::uint32_t epoch;
+    };
+    std::vector<Slot> slots_;
     std::uint64_t mask_ = 0;
     std::uint32_t epoch_ = 0;
+  };
+
+  // A direct-mapped cache of failed usefulness scans, one per sender shard
+  // (shard s only ever probes senders it owns, so no cross-thread access).
+  // An entry says "su \ sv was empty when u was at version vu and v at
+  // version vv"; it is consulted only when both versions still match, so a
+  // hit is exact, never heuristic — collisions merely overwrite. Misses
+  // change nothing observable: the cache can only skip rescans.
+  class ProbeCache {
+   public:
+    void configure(std::uint32_t shard_width);
+    bool is_useless(NodeId u, NodeId v, std::uint32_t ver_u,
+                    std::uint32_t ver_v) const;
+    void note_useless(NodeId u, NodeId v, std::uint32_t ver_u, std::uint32_t ver_v);
+
+    std::uint64_t memory_bytes() const {
+      return keys_.capacity() * sizeof(std::uint64_t) +
+             (ver_from_.capacity() + ver_to_.capacity()) * sizeof(std::uint32_t);
+    }
+
+   private:
+    std::vector<std::uint64_t> keys_;  // (u << 32) | v; kNoNode-based empty
+    std::vector<std::uint32_t> ver_from_;
+    std::vector<std::uint32_t> ver_to_;
+    std::uint64_t mask_ = 0;
   };
 
   // One intent, tagged with its global position in the canonical
@@ -172,41 +309,93 @@ class Engine {
   };
 
   // Per-shard scratch for the fused usefulness-scan / block-pick: one pass
-  // over su & ~sv records the diff words and their popcounts, and the
-  // selection (random rank-select or rarest-first walk) reuses them instead
-  // of re-walking the possession rows.
+  // over su & ~sv records the NONZERO diff words (ascending word index),
+  // their popcounts and the total, and the selection (random rank-select or
+  // rarest-first walk) reuses the recording instead of re-walking the
+  // possession rows. Sparse by construction: endgame scans record one or
+  // two entries, not ceil(k/64).
   struct DiffScan {
-    std::vector<std::uint64_t> words;  // su[w] & ~sv[w]
-    std::vector<std::uint32_t> pc;     // popcount per diff word
-    std::uint32_t total = 0;           // sum of pc
+    std::vector<std::uint32_t> widx;   // possession-word index per entry
+    std::vector<std::uint64_t> words;  // su[w] & ~sv[w], nonzero only
+    std::vector<std::uint32_t> pc;     // popcount per entry
+    std::uint32_t entries = 0;
+    std::uint32_t total = 0;  // sum of pc over entries
+
+    std::uint64_t memory_bytes() const {
+      return widx.capacity() * sizeof(std::uint32_t) +
+             words.capacity() * sizeof(std::uint64_t) +
+             pc.capacity() * sizeof(std::uint32_t);
+    }
   };
 
   std::uint64_t* row(NodeId node) {
-    return bits_.data() + static_cast<std::size_t>(node) * stride_;
+    return rows_ + static_cast<std::size_t>(node) * stride_;
   }
   const std::uint64_t* row(NodeId node) const {
-    return bits_.data() + static_cast<std::size_t>(node) * stride_;
+    return rows_ + static_cast<std::size_t>(node) * stride_;
+  }
+  const std::uint64_t* summary_has_row(NodeId node) const {
+    return summary_has_.data() + static_cast<std::size_t>(node) * sum_stride_;
+  }
+  const std::uint64_t* summary_missing_row(NodeId node) const {
+    return summary_missing_.data() + static_cast<std::size_t>(node) * sum_stride_;
   }
 
-  std::uint32_t recv_shard_of(NodeId v) const { return v / recv_width_; }
+  /// The full-word mask of possession word w (tail-masked for the last word
+  /// when k is not a multiple of 64).
+  std::uint64_t word_full_mask(std::uint32_t w) const {
+    return (w + 1 == stride_) ? tail_mask_ : ~0ULL;
+  }
 
-  /// Fills `scan` with the word-wise diff su \ sv; returns scan.total != 0.
-  bool scan_diff(const std::uint64_t* su, const std::uint64_t* sv,
-                 DiffScan& scan) const;
+  std::uint32_t recv_shard_of(NodeId v) const { return v >> recv_shift_; }
+
+  /// O(summary words): true iff some chunk where u holds blocks is still
+  /// incomplete at v — the necessary condition for a useful probe.
+  bool summary_overlap(NodeId u, NodeId v) const;
+
+  /// Fills `scan` with the nonzero words of su \ sv (ascending word index)
+  /// via the configured kernel; returns scan.total != 0. `guided` allows
+  /// the summary-driven sparse walk (the caller has already paid for the
+  /// summary rows); false goes straight to the linear vector sweep. Every
+  /// path records identical entries, so the choice is perf-only.
+  bool scan_pair(NodeId u, NodeId v, DiffScan& scan, bool guided) const;
+
   /// Picks a block from a non-empty DiffScan; consumes the identical RNG
   /// draws (one below(total), or the rarest-first reservoir sequence) as
   /// the historical two-pass pick_block.
   BlockId pick_from_scan(const DiffScan& scan, Rng& rng) const;
 
-  void generate_node(std::uint64_t tick_base, NodeId u, std::vector<Transfer>& out,
-                     DiffScan& scan);
+  /// Deterministic sweep of u's whole neighborhood: true iff no neighbor is
+  /// currently a viable probe target (so u cannot emit an intent this tick
+  /// or any later tick until u's possession version changes — see the
+  /// argument in the header comment). Populates the probe cache as it goes.
+  bool neighborhood_exhausted(NodeId u, DiffScan& scan, ProbeCache& cache);
+
+  /// Commits one delivery's summary bookkeeping for `to` after the
+  /// possession bit of `block` has been set in `word`. (The version bump is
+  /// the caller's count_ increment — count doubles as the version.)
+  void note_delivery(NodeId to, BlockId block, std::uint64_t word);
+
+  /// Emits node u's intents. `rng` is u's per-(tick, node) stream with the
+  /// first below(degree) draw already consumed — `first_probe` is that
+  /// draw's neighbor — and the caller has verified u is eligible (active,
+  /// holds blocks, not sated, has slots and neighbors).
+  void generate_node(NodeId u, Rng& rng, NodeId first_probe,
+                     std::vector<Transfer>& out, DiffScan& scan, ProbeCache& cache);
+  /// Runs generate_node over [first, last) in small batches: a lead pass
+  /// seeds each eligible node's RNG, peeks its first probe target and
+  /// prefetches that target's metadata and possession row, so the emit pass
+  /// finds the lines resident instead of stalling per probe.
+  void generate_range(std::uint64_t tick_base, NodeId first, NodeId last,
+                      std::vector<Transfer>& out, DiffScan& scan, ProbeCache& cache);
   void plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool);
   /// Commits the stream the immediately preceding plan_phases() call
   /// produced, reusing its receiver buckets and accept flags: possession /
-  /// counts / completion sharded by receiver, upload totals sharded by
-  /// sender (the accepted stream is non-decreasing in `from`), frequency
-  /// deltas reduced from per-shard scratch in fixed shard order, ledger
-  /// commit serial. Leaves the engine in the exact state apply() would.
+  /// summaries / counts / completion sharded by receiver, upload totals
+  /// sharded by sender (the accepted stream is non-decreasing in `from`),
+  /// frequency deltas reduced from per-shard scratch in fixed shard order,
+  /// ledger commit serial. Leaves the engine in the exact state apply()
+  /// would.
   void apply_merged(Tick tick, std::span<const Transfer> accepted, ThreadPool* pool);
 
   EngineConfig cfg_;
@@ -216,32 +405,54 @@ class Engine {
 
   std::uint32_t n_ = 0;
   std::uint32_t k_ = 0;
-  std::uint32_t stride_ = 0;  // words per possession row
+  std::uint32_t stride_ = 0;      // words per possession row
+  std::uint32_t sum_stride_ = 0;  // words per summary row
+  std::uint64_t tail_mask_ = ~0ULL;  // full mask of the last possession word
 
-  // Structure-of-arrays swarm state.
-  std::vector<std::uint64_t> bits_;       // n * stride possession arena
-  std::vector<std::uint32_t> count_;      // blocks held per node
+  // Structure-of-arrays swarm state. The possession version of a node is
+  // count_[node] — see possession_version(). The three random-read arenas
+  // live on hugepage-preferring buffers (hugemem.h): TLB relief, and a
+  // prerequisite for the generate phase's software prefetch to fire at all.
+  HugeBuffer<std::uint64_t> bits_;  // possession arena + alignment slack
+  std::uint64_t* rows_ = nullptr;   // 64-byte-aligned base inside bits_
+  HugeBuffer<std::uint64_t> summary_has_;      // n * sum_stride hierarchy
+  HugeBuffer<std::uint64_t> summary_missing_;  // n * sum_stride hierarchy
+  std::vector<std::uint32_t> sated_ver_;  // version+1 stamp when exhausted
+  HugeBuffer<std::uint32_t> count_;       // blocks held per node
   std::vector<Tick> completion_;          // completion tick per node (0 = not)
-  std::vector<std::uint8_t> active_;      // 0 once departed
+  HugeBuffer<std::uint8_t> active_;       // 0 once departed
   std::vector<std::uint32_t> freq_;       // per-block replica count (active nodes)
   std::vector<std::uint32_t> up_caps_;    // resolved per-node capacities
   std::vector<std::uint32_t> down_caps_;
+  bool down_caps_unlimited_ = false;  // merge skips capacity bookkeeping
   std::vector<Count> uploads_per_node_;
   std::uint32_t num_incomplete_ = 0;
   std::uint32_t num_departed_ = 0;
   std::uint64_t active_slots_ = 0;
   CreditLedger ledger_;  // §3.2 pairwise net-transfer ledger (credit mode)
 
-  // Receiver shards: contiguous node-id ranges of width recv_width_. Every
-  // merge/apply constraint that crosses sender shards is per-receiver, so
-  // shard r exclusively owns down_used_/down_stamp_/count_/completion_/
-  // possession rows for its range. Both values are pure functions of n.
+  // Receiver shards: contiguous node-id ranges of width recv_width_ (a
+  // power of two, so the merge's three million-intent passes shard with a
+  // shift instead of an integer division). Every merge/apply constraint
+  // that crosses sender shards is per-receiver, so shard r exclusively owns
+  // down_used_/down_stamp_/count_/completion_/possession+summary rows for
+  // its range. All three values are pure functions of n — and because each
+  // receiver lives wholly inside one shard and shards decide independently
+  // in canonical order, the admitted stream does not depend on the widths.
   std::uint32_t recv_shards_ = 1;
   std::uint32_t recv_width_ = 1;
+  std::uint32_t recv_shift_ = 0;
+
+  // Resumable-run cursor: global tick counter and the next config departure
+  // to apply, both carried across run() calls.
+  Tick tick_ = 0;
+  std::vector<std::pair<Tick, NodeId>> departures_;  // sorted copy
+  std::size_t next_departure_ = 0;
 
   // Tick scratch (reused, never shrunk).
   std::vector<std::vector<Transfer>> shard_intents_;
   std::vector<DiffScan> gen_scratch_;       // one per intent shard
+  std::vector<ProbeCache> gen_cache_;       // one per intent shard
   std::vector<std::uint32_t> down_used_;    // stamped by down_stamp_
   std::vector<Tick> down_stamp_;
   std::vector<PairTable> delivered_;        // one per receiver shard
@@ -258,7 +469,7 @@ class Engine {
   std::vector<Transfer> accepted_;
 
   PhaseTimings timings_;
-  bool consumed_ = false;  // run() called or lockstep driving began
+  bool lockstep_ = false;  // plan() called; run() may no longer be used
 };
 
 }  // namespace pob::scale

@@ -1,6 +1,7 @@
 #include "pob/scale/topology.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 namespace pob::scale {
@@ -18,13 +19,17 @@ Topology Topology::from_graph(const Graph& graph) {
   if (graph.num_nodes() < 2) throw std::invalid_argument("Topology: need >= 2 nodes");
   Topology t;
   t.n_ = graph.num_nodes();
-  t.offsets_.resize(static_cast<std::size_t>(t.n_) + 1);
-  t.targets_.reserve(graph.num_edges() * 2);
+  // Both CSR arrays are sized exactly up front, so they can live on
+  // hugepage-backed memory from the first byte (see hugemem.h) — the
+  // planner random-reads targets_ millions of times per tick, and big
+  // pages keep those lookups off the TLB-walk path.
+  t.offsets_.reset(static_cast<std::size_t>(t.n_) + 1);
+  t.targets_.reset(graph.num_edges() * 2);
   std::uint64_t offset = 0;
   for (NodeId u = 0; u < t.n_; ++u) {
     t.offsets_[u] = offset;
     const auto neighbors = graph.neighbors(u);
-    t.targets_.insert(t.targets_.end(), neighbors.begin(), neighbors.end());
+    std::copy(neighbors.begin(), neighbors.end(), t.targets_.data() + offset);
     offset += neighbors.size();
   }
   t.offsets_[t.n_] = offset;
@@ -36,18 +41,24 @@ Topology Topology::from_overlay(const Overlay& overlay) {
   if (n < 2) throw std::invalid_argument("Topology: need >= 2 nodes");
   Topology t;
   t.n_ = n;
-  t.offsets_.resize(static_cast<std::size_t>(n) + 1);
-  std::uint64_t offset = 0;
+  t.offsets_.reset(static_cast<std::size_t>(n) + 1);
+  std::uint64_t total = 0;
   for (NodeId u = 0; u < n; ++u) {
-    t.offsets_[u] = offset;
+    t.offsets_[u] = total;
+    total += overlay.degree(u);
+  }
+  t.offsets_[n] = total;
+  t.targets_.reset(total);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::uint64_t offset = t.offsets_[u];
     const std::uint32_t deg = overlay.degree(u);
-    for (std::uint32_t i = 0; i < deg; ++i) t.targets_.push_back(overlay.neighbor(u, i));
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      t.targets_[offset + i] = overlay.neighbor(u, i);
+    }
     // Overlay promises stable-but-arbitrary ordering; the planner's contract
     // is ascending ids, so normalize here.
-    std::sort(t.targets_.begin() + static_cast<std::ptrdiff_t>(offset), t.targets_.end());
-    offset += deg;
+    std::sort(t.targets_.data() + offset, t.targets_.data() + offset + deg);
   }
-  t.offsets_[n] = offset;
   return t;
 }
 

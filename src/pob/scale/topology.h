@@ -18,6 +18,7 @@
 #include "pob/core/types.h"
 #include "pob/overlay/graph.h"
 #include "pob/overlay/overlay.h"
+#include "pob/scale/hugemem.h"
 
 namespace pob::scale {
 
@@ -66,8 +67,11 @@ class Topology {
 
   std::uint32_t n_ = 0;
   bool complete_ = false;
-  std::vector<std::uint64_t> offsets_;  // n + 1 entries when !complete_
-  std::vector<NodeId> targets_;
+  // Hugepage-backed where possible: the planner does millions of random
+  // neighbor lookups per tick, and big pages keep those off the TLB-walk
+  // path (see hugemem.h).
+  HugeBuffer<std::uint64_t> offsets_;  // n + 1 entries when !complete_
+  HugeBuffer<NodeId> targets_;
 };
 
 }  // namespace pob::scale

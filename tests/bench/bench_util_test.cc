@@ -1,0 +1,37 @@
+// The bench helpers carry real reporting semantics — most importantly which
+// sweep point a speedup column normalizes against. scale_throughput's
+// speedup_j<jobs> fields claim "vs the serial run"; jobs_from_flag can clamp
+// or dedupe jobs=1 out of the effective list, and the baseline choice must
+// degrade to the first point that actually ran, never to a fabricated one.
+
+#include "bench_util.h"
+
+#include <gtest/gtest.h>
+
+namespace pob::bench {
+namespace {
+
+TEST(BenchUtil, SweepBaselinePrefersTheSerialPoint) {
+  // jobs=1 first: the common --sweep=1,2,4,8 shape.
+  EXPECT_EQ(sweep_baseline_index({1u, 2u, 4u, 8u}), 0u);
+  // jobs=1 present but not first: the baseline must follow it, not assume
+  // points.front() is serial (the historical bug).
+  EXPECT_EQ(sweep_baseline_index({8u, 4u, 1u}), 2u);
+  EXPECT_EQ(sweep_baseline_index({16u, 1u, 2u}), 1u);
+}
+
+TEST(BenchUtil, SweepBaselineFallsBackToTheFirstPoint) {
+  // No serial point ran (1 was clamped or never requested): normalize
+  // against the first effective point rather than emitting garbage ratios.
+  EXPECT_EQ(sweep_baseline_index({4u, 8u, 16u}), 0u);
+  EXPECT_EQ(sweep_baseline_index({2u}), 0u);
+  // jobs=0 means "all cores" — it is not serial and earns no preference.
+  EXPECT_EQ(sweep_baseline_index({0u, 4u}), 0u);
+}
+
+TEST(BenchUtil, SweepBaselineHandlesSingletonSerial) {
+  EXPECT_EQ(sweep_baseline_index({1u}), 0u);
+}
+
+}  // namespace
+}  // namespace pob::bench

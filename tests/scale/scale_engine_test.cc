@@ -110,12 +110,76 @@ TEST(ScaleEngine, HeterogeneousCapacitiesMatchMirroredCore) {
 }
 
 TEST(ScaleEngine, BlockCountWordBoundaries) {
-  for (const std::uint32_t k : {1u, 63u, 64u, 65u}) {
+  for (const std::uint32_t k : {1u, 63u, 64u, 65u, 127u}) {
     EngineConfig cfg;
     cfg.num_nodes = 16;
     cfg.num_blocks = k;
     expect_matches_mirrored_core(cfg, complete_topo(16), {}, 100 + k);
   }
+}
+
+TEST(ScaleEngine, SummaryBitmapsTailMaskedAtWordBoundaries) {
+  // The per-chunk summaries mirror the possession rows at every block-count
+  // edge: the tail bits of both the last possession word and the last
+  // summary word must never leak into "has" or survive in "missing".
+  for (const std::uint32_t k : {1u, 63u, 64u, 65u, 127u}) {
+    SCOPED_TRACE(k);
+    EngineConfig cfg;
+    cfg.num_nodes = 12;
+    cfg.num_blocks = k;
+    Engine engine(cfg, complete_topo(12), {}, 200 + k);
+
+    const std::uint32_t stride = (k + 63) / 64;
+    ASSERT_EQ(engine.summary_words_per_row(), (stride + 63) / 64);
+    const auto pattern = [&](std::uint32_t g) {
+      const bool partial = (g + 1 == engine.summary_words_per_row()) && (stride & 63) != 0;
+      return partial ? (1ULL << (stride & 63)) - 1 : ~0ULL;
+    };
+
+    // Fresh swarm: the server has every chunk and misses none; clients are
+    // the exact complement. No summary bit above chunk stride-1 anywhere.
+    for (std::uint32_t g = 0; g < engine.summary_words_per_row(); ++g) {
+      EXPECT_EQ(engine.summary_has_word(kServer, g), pattern(g));
+      EXPECT_EQ(engine.summary_missing_word(kServer, g), 0u);
+      EXPECT_EQ(engine.summary_has_word(3, g), 0u);
+      EXPECT_EQ(engine.summary_missing_word(3, g), pattern(g));
+    }
+    EXPECT_EQ(engine.possession_version(3), 0u);
+
+    const RunResult r = engine.run(1);
+    ASSERT_TRUE(r.completed);
+    // Every client ended with the full file: has == the tail-masked chunk
+    // pattern (not ~0 — that would mean a tail bit escaped), missing == 0,
+    // and the possession version counted exactly its k deliveries.
+    for (NodeId u = 0; u < 12; ++u) {
+      for (std::uint32_t g = 0; g < engine.summary_words_per_row(); ++g) {
+        EXPECT_EQ(engine.summary_has_word(u, g), pattern(g));
+        EXPECT_EQ(engine.summary_missing_word(u, g), 0u);
+      }
+      // The version is the delivered-block count: k for every client, and
+      // constant k for the server (it was seeded, never delivered to).
+      EXPECT_EQ(engine.possession_version(u), k);
+    }
+  }
+}
+
+TEST(ScaleEngine, ProbeCacheSurvivesChurnAndPossessionChanges) {
+  // Maximum cache pressure: one probe per slot means a single stale
+  // "useless" verdict (after the target gained blocks, after a departure,
+  // or after a depart-on-complete exit) would directly suppress an intent
+  // the mirrored core run emits. Credit mode adds the unblock-via-ledger
+  // path, which must invalidate through the receiver's version bump.
+  EngineConfig cfg;
+  cfg.num_nodes = 72;
+  cfg.num_blocks = 65;  // tail word in play
+  cfg.depart_on_complete = true;
+  cfg.departures = {{2, 9}, {5, 33}, {5, 34}, {12, 60}};
+  ScaleOptions opt;
+  opt.max_probes = 1;
+  opt.credit_limit = 1;
+  opt.policy = BlockPolicy::kRarestFirst;
+  opt.shard_nodes = 13;
+  expect_matches_mirrored_core(cfg, regular_topo(72, 9, 31), opt, 31);
 }
 
 TEST(ScaleEngine, ResultIndependentOfJobCount) {
@@ -184,12 +248,92 @@ TEST(ScaleEngine, ValidatesLikeCore) {
   EXPECT_THROW(Engine(good, complete_topo(8), opt, 1), std::invalid_argument);
 }
 
-TEST(ScaleEngine, RunConsumesTheEngine) {
+TEST(ScaleEngine, RunResumesInWindows) {
+  // run() is windowed: driving the same swarm in max_ticks-sized slices
+  // must reproduce the uncapped run transfer for transfer — tick numbering,
+  // departures, depart-on-complete and the credit ledger all carry across
+  // calls.
+  EngineConfig cfg;
+  cfg.num_nodes = 90;
+  cfg.num_blocks = 50;
+  cfg.depart_on_complete = true;
+  cfg.departures = {{4, 11}, {7, 52}};
+  ScaleOptions opt;
+  opt.credit_limit = 2;
+
+  Engine whole(cfg, complete_topo(90), opt, 41);
+  const RunResult single = whole.run(1);
+  ASSERT_TRUE(single.completed);
+
+  EngineConfig windowed_cfg = cfg;
+  windowed_cfg.max_ticks = 5;  // the per-call cap
+  Engine windowed(windowed_cfg, complete_topo(90), opt, 41);
+  Tick total_ticks = 0;
+  Count total_transfers = 0;
+  std::vector<Count> uploads_per_tick;
+  RunResult last;
+  for (int window = 0; window < 1000; ++window) {
+    last = windowed.run(1);
+    total_ticks += last.ticks_executed;
+    total_transfers += last.total_transfers;
+    uploads_per_tick.insert(uploads_per_tick.end(), last.uploads_per_tick.begin(),
+                            last.uploads_per_tick.end());
+    if (last.completed) break;
+    ASSERT_EQ(last.ticks_executed, 5u);  // a non-final window uses its full cap
+  }
+  ASSERT_TRUE(last.completed);
+  EXPECT_EQ(total_ticks, single.ticks_executed);
+  EXPECT_EQ(total_transfers, single.total_transfers);
+  EXPECT_EQ(uploads_per_tick, single.uploads_per_tick);
+  EXPECT_EQ(last.client_completion, single.client_completion);
+  EXPECT_EQ(last.uploads_per_node, single.uploads_per_node);
+  EXPECT_EQ(last.departed, single.departed);
+
+  // A further call on the completed swarm is a no-op window.
+  const RunResult after = windowed.run(1);
+  EXPECT_EQ(after.ticks_executed, 0u);
+  EXPECT_TRUE(after.completed);
+  EXPECT_EQ(after.total_transfers, 0u);
+}
+
+TEST(ScaleEngine, PhaseTimingsResetEveryRun) {
+  // Regression: timings_ used to accumulate across run() calls, so a second
+  // instrumented window reported the first window's seconds too. Each call
+  // must report only its own ticks — and a zero-tick window exactly zero.
+  EngineConfig cfg;
+  cfg.num_nodes = 400;
+  cfg.num_blocks = 48;
+  cfg.max_ticks = 4;
+  ScaleOptions opt;
+  opt.collect_phase_timings = true;
+  Engine engine(cfg, complete_topo(400), opt, 8);
+
+  (void)engine.run(1);
+  const PhaseTimings first = engine.phase_timings();
+  EXPECT_GT(first.generate_seconds, 0.0);
+
+  RunResult rest;
+  do {
+    rest = engine.run(1);
+  } while (!rest.completed && rest.ticks_executed != 0);
+  ASSERT_TRUE(rest.completed);
+
+  // The swarm is done: a fresh window executes zero ticks, and its timings
+  // must be exactly zero, not the accumulated history.
+  (void)engine.run(1);
+  const PhaseTimings idle = engine.phase_timings();
+  EXPECT_EQ(idle.generate_seconds, 0.0);
+  EXPECT_EQ(idle.merge_seconds, 0.0);
+  EXPECT_EQ(idle.apply_seconds, 0.0);
+}
+
+TEST(ScaleEngine, RunRefusesLockstepEngines) {
   EngineConfig cfg;
   cfg.num_nodes = 8;
   cfg.num_blocks = 4;
   Engine engine(cfg, complete_topo(8), {}, 1);
-  (void)engine.run(1);
+  std::vector<Transfer> planned;
+  engine.plan(1, planned);  // lockstep driving began: run() would desync
   EXPECT_THROW(engine.run(1), std::logic_error);
 }
 
@@ -230,14 +374,29 @@ TEST(ScaleEngine, StateBytesCountsTickScratchAndLedger) {
   opt.shard_nodes = 16;
   Engine engine(cfg, complete_topo(64), opt, 9);
 
-  // The construction-time figure must cover at least the possession arena,
-  // the per-node arrays (six uint32-sized, one uint64 Count, one byte), and
-  // the per-block frequency table.
+  // The construction-time figure must cover at least the possession arena
+  // and its chunk summaries, the per-node arrays (seven uint32-sized —
+  // counts (which double as possession versions), completion ticks,
+  // capacities, download bookkeeping and sated stamps — one uint64 Count,
+  // one byte), the per-block
+  // frequency table, and the generate-phase scratch the constructor sizes
+  // up front: per intent shard, a full-stride diff recording (word index +
+  // word + popcount per entry) and a probe cache of at least 2x shard_nodes
+  // 16-byte entries. Any future scratch must only push the real figure
+  // further above this floor.
   const std::uint64_t fresh = engine.state_bytes();
   const std::uint64_t stride = (40 + 63) / 64;
-  const std::uint64_t floor = 64 * stride * sizeof(std::uint64_t) +
-                              64 * (6 * sizeof(std::uint32_t) + sizeof(Count) + 1) +
-                              40 * sizeof(std::uint32_t);
+  const std::uint64_t sum_stride = (stride + 63) / 64;
+  const std::uint64_t shards = (64 + 16 - 1) / 16;  // n / shard_nodes
+  const std::uint64_t floor =
+      64 * stride * sizeof(std::uint64_t) +
+      2 * 64 * sum_stride * sizeof(std::uint64_t) +  // has + missing summaries
+      64 * (7 * sizeof(std::uint32_t) + sizeof(Count) + 1) +
+      40 * sizeof(std::uint32_t) +
+      shards * stride *
+          (sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t)) +  // diff scans
+      shards * 2 * 16 *
+          (sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t));  // probe caches
   EXPECT_GE(fresh, floor);
 
   std::vector<Transfer> planned;

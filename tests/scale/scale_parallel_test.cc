@@ -57,6 +57,12 @@ TEST(ScaleParallel, TwoHundredThousandNodesEveryPhaseSharded) {
   EXPECT_EQ(digest_at(4), serial);
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   EXPECT_EQ(digest_at(hw), serial);
+
+  // The scan-kernel axis: forcing the one-word reference kernel (no SIMD,
+  // no summary-guided sparse walk) must reproduce the identical stream —
+  // this is the pin that keeps the vectorized paths honest at scale.
+  opt.scan_kernel = ScanKernel::kScalar;
+  EXPECT_EQ(digest_at(1), serial);
 }
 
 TEST(ScaleParallel, TraceDigestStableAcrossJobsWithChurnAndCredit) {
@@ -86,6 +92,12 @@ TEST(ScaleParallel, TraceDigestStableAcrossJobsWithChurnAndCredit) {
   EXPECT_EQ(digest_at(2), serial);
   EXPECT_EQ(digest_at(4), serial);
   EXPECT_EQ(digest_at(16), serial);
+
+  // With record_trace on, the digest covers every transfer of every tick —
+  // the scalar reference kernel must reproduce them all, across jobs too.
+  opt.scan_kernel = ScanKernel::kScalar;
+  EXPECT_EQ(digest_at(1), serial);
+  EXPECT_EQ(digest_at(4), serial);
 }
 
 }  // namespace

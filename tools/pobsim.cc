@@ -13,7 +13,8 @@
 //                mega-swarm path (src/pob/scale): randomized / credit-
 //                randomized protocol only, sized for n up to 10^6+. --jobs
 //                then parallelizes ticks *within* one run (bit-identical at
-//                any value); --probes tunes its per-slot neighbor probing.
+//                any value); --probes tunes its per-slot neighbor probing;
+//                --simd=off forces the scalar scan kernel (same results).
 //                    pobsim --engine=scale --n=1000000 --k=512
 //                           --overlay=regular --degree=16 --jobs=0
 //   --jobs       worker threads for repeated runs (0 = all cores; results
@@ -135,6 +136,11 @@ int run_scale(const Args& args, const EngineConfig& cfg, std::uint32_t n,
   scale::ScaleOptions opt;
   opt.policy = parse_policy(args);
   opt.max_probes = static_cast<std::uint32_t>(args.get_int("probes", 16));
+  // --simd=off forces the scalar reference scan kernel (results identical,
+  // only seconds differ) — the same flag scale_throughput takes.
+  opt.scan_kernel = args.get_string("simd", "auto") == "off"
+                        ? scale::ScanKernel::kScalar
+                        : scale::ScanKernel::kAuto;
   const std::string mech = args.get_string("mechanism", "none");
   if (mech == "credit") {
     opt.credit_limit = static_cast<std::uint32_t>(args.get_int("credit", 1));
