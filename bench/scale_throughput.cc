@@ -15,15 +15,27 @@
 //   scale_throughput --sweep=1,2,4,8,16      # the E23 jobs trajectory
 //   scale_throughput --n=100000 --k=128      # quicker smoke (CI uses this)
 //   scale_throughput --credit=2 --policy=rarest --jobs=4
+//   scale_throughput --scheduler=riffle      # deterministic Theorem 2/3 run
+//
+// --scheduler selects the intent generator: randomized (default; the
+// probing protocol over the random-regular overlay), or the deterministic
+// closed-form schedules — binomial (Theorem 1), riffle (strict barter,
+// Theorems 2/3), triangular (§3.3; binomial schedule with the ledger live).
+// Deterministic runs use the complete topology, unit upload capacity and a
+// power-of-two n (the engine enforces all three), and the JSON gains the
+// price-of-barter fields E24 tabulates: completion time against the
+// Theorem 1 cooperative lower bound.
 //
 // The run itself is deterministic for a given (seed, config) at any --jobs.
 
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <stdexcept>
 #include <vector>
 
 #include "bench_util.h"
+#include "pob/analysis/bounds.h"
 #include "pob/scale/engine.h"
 
 #if __has_include(<sys/resource.h>)
@@ -77,16 +89,37 @@ int main_impl(int argc, char** argv) {
   }
   if (sweep.empty()) sweep.push_back(jobs_from_flag(args.get_int("jobs", 0)));
 
+  const std::string sched_name = args.get_string("scheduler", "randomized");
+  scale::SchedKind sched = scale::SchedKind::kRandomized;
+  if (sched_name == "binomial" || sched_name == "binomial-pipeline") {
+    sched = scale::SchedKind::kBinomialPipeline;
+  } else if (sched_name == "riffle" || sched_name == "riffle-pipeline") {
+    sched = scale::SchedKind::kRifflePipeline;
+  } else if (sched_name == "triangular" || sched_name == "triangular-barter") {
+    sched = scale::SchedKind::kTriangularBarter;
+  } else if (sched_name != "randomized") {
+    throw std::invalid_argument("unknown --scheduler=" + sched_name +
+                                " (randomized | binomial | riffle | triangular)");
+  }
+  const bool deterministic = sched != scale::SchedKind::kRandomized;
+
   EngineConfig cfg;
   cfg.num_nodes = n;
   cfg.num_blocks = k;
   cfg.max_ticks = static_cast<Tick>(args.get_int("cap", 0));
+  if (sched == scale::SchedKind::kRifflePipeline) {
+    cfg.download_capacity = 2;  // Theorem 3's d = 2u regime
+  }
 
   scale::ScaleOptions opt;
+  opt.scheduler = sched;
   opt.policy = args.get_string("policy", "random") == "random"
                    ? BlockPolicy::kRandom
                    : BlockPolicy::kRarestFirst;
   opt.credit_limit = static_cast<std::uint32_t>(args.get_int("credit", 0));
+  if (sched == scale::SchedKind::kTriangularBarter && opt.credit_limit == 0) {
+    opt.credit_limit = 1;  // the §3.3 ledger; the schedule never consults it
+  }
   opt.max_probes = static_cast<std::uint32_t>(args.get_int("probes", 16));
   opt.collect_phase_timings = true;
   // --simd=off forces the scalar reference scan kernel; CI runs the digest
@@ -95,10 +128,18 @@ int main_impl(int argc, char** argv) {
                         ? scale::ScanKernel::kScalar
                         : scale::ScanKernel::kAuto;
 
+  // Deterministic schedules are derived for the complete overlay (the
+  // binomial pipeline only ever uses the hypercube edges inside it); the
+  // arithmetic complete Topology costs nothing to "build".
   const auto t0 = std::chrono::steady_clock::now();
-  Rng topo_rng = Rng(seed).split(0);
-  auto topo = std::make_shared<scale::Topology>(
-      scale::Topology::from_graph(make_random_regular(n, degree, topo_rng)));
+  std::shared_ptr<scale::Topology> topo;
+  if (deterministic) {
+    topo = std::make_shared<scale::Topology>(scale::Topology::complete(n));
+  } else {
+    Rng topo_rng = Rng(seed).split(0);
+    topo = std::make_shared<scale::Topology>(
+        scale::Topology::from_graph(make_random_regular(n, degree, topo_rng)));
+  }
   const double topo_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
@@ -138,7 +179,8 @@ int main_impl(int argc, char** argv) {
       const double speedup = baseline.run_seconds > 0.0 && p.run_seconds > 0.0
                                  ? baseline.run_seconds / p.run_seconds
                                  : 0.0;
-      table.add_row({std::to_string(n), std::to_string(k), std::to_string(degree),
+      table.add_row({std::to_string(n), std::to_string(k),
+                     deterministic ? std::string("-") : std::to_string(degree),
                      std::to_string(p.jobs), std::to_string(p.result.ticks_executed),
                      p.result.completed ? std::to_string(p.result.completion_tick)
                                         : (p.result.stalled ? "stall" : "cap"),
@@ -154,12 +196,29 @@ int main_impl(int argc, char** argv) {
             << head.state_bytes / (1024 * 1024) << " MiB, peak rss "
             << rss_kb / 1024 << " MiB\n";
 
+  // The E24 comparison row: completion against the Theorem 1 cooperative
+  // optimum (price of barter = T / coop bound). Reported for every
+  // scheduler so the randomized/credit rows line up in the same table.
+  const Tick coop_bound = cooperative_lower_bound(n, k);
+  const Tick strict_bound = strict_barter_lower_bound_equal_bw(n, k);
+  const double price = head.result.completed
+                           ? static_cast<double>(head.result.completion_tick) /
+                                 static_cast<double>(coop_bound)
+                           : 0.0;
+  std::cout << "# scheduler " << scale::sched_kind_name(sched) << ", coop bound "
+            << coop_bound << ", strict-barter bound " << strict_bound
+            << ", price of barter " << fmt(price, 3) << "\n";
+
   bench::JsonReport json;
   json.str("bench", "scale_throughput")
       .count("n", n)
       .count("k", k)
       .count("degree", degree)
       .count("jobs", head.jobs)
+      .str("scheduler", scale::sched_kind_name(sched))
+      .count("coop_lower_bound", coop_bound)
+      .count("strict_barter_bound", strict_bound)
+      .num("price_of_barter", price)
       .count("credit_limit", opt.credit_limit)
       .str("policy", opt.policy == BlockPolicy::kRandom ? "random" : "rarest")
       .str("scan_kernel", scale::scan_kernel_name(opt.scan_kernel))

@@ -76,6 +76,27 @@ std::vector<CorpusEntry> make_corpus() {
     sc.departures = {{4, 2}};
     add("churn-randomized.pobtrace", sc);
   }
+  {
+    // The deterministic mechanisms ported to the scale engine, one golden
+    // each: binomial pipeline, the same schedule under the triangular
+    // 3-cycle ledger, and the strict-barter riffle (k = 3(n - 1): full
+    // cycles, so the trace replays clean under StrictBarter).
+    Scenario sc = base(SchedulerKind::kBinomialPipeline, 16, 12);
+    sc.engine = EngineKind::kScale;
+    add("scale-binomial-pipeline.pobtrace", sc);
+  }
+  {
+    Scenario sc = base(SchedulerKind::kBinomialPipeline, 16, 12);
+    sc.engine = EngineKind::kScale;
+    sc.mechanism.kind = MechanismSpec::Kind::kCyclicBarter;
+    add("scale-triangular-barter.pobtrace", sc);
+  }
+  {
+    Scenario sc = base(SchedulerKind::kRiffle, 8, 21);
+    sc.engine = EngineKind::kScale;
+    sc.download = 2;
+    add("scale-riffle.pobtrace", sc);
+  }
   return corpus;
 }
 
@@ -93,14 +114,24 @@ const std::vector<CorpusEntry>& golden_corpus() {
 }
 
 std::string render_corpus_entry(const CorpusEntry& entry) {
-  BuiltScenario built = build_scenario(entry.scenario);
-  EngineConfig cfg = built.config;
-  cfg.record_trace = true;
-  SwarmState state(cfg.num_nodes, cfg.num_blocks);
-  const RunResult result =
-      run_with_state(cfg, *built.scheduler, built.mechanism.get(), state);
+  const Scenario& sc = entry.scenario;
+  EngineConfig cfg;
+  RunResult result;
+  if (sc.engine == EngineKind::kScale) {
+    cfg = sc.to_config();
+    cfg.record_trace = true;
+    scale::Engine engine(cfg, make_scale_topology(sc), make_scale_options(sc),
+                         sc.seed);
+    result = engine.run(1);
+  } else {
+    BuiltScenario built = build_scenario(sc);
+    cfg = built.config;
+    cfg.record_trace = true;
+    SwarmState state(cfg.num_nodes, cfg.num_blocks);
+    result = run_with_state(cfg, *built.scheduler, built.mechanism.get(), state);
+  }
   std::ostringstream os;
-  os << "# golden trace: " << entry.scenario.describe() << "\n";
+  os << "# golden trace: " << sc.describe() << "\n";
   os << "# regenerate with: pobfuzz --write-corpus=tests/check/corpus\n";
   write_trace(os, cfg, result);
   return os.str();

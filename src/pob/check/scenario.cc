@@ -1,6 +1,7 @@
 #include "pob/check/scenario.h"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "pob/analysis/bounds.h"
@@ -123,8 +124,15 @@ EngineConfig Scenario::to_config() const {
   cfg.drop_transfers_involving_inactive = drop_on_churn;
   cfg.depart_on_complete = depart_on_complete;
   // Cut hopeless runs (disconnected overlays, churned-out pipelines) early
-  // instead of spinning to the generous default tick cap.
+  // instead of spinning to the generous default tick cap. The deterministic
+  // scale schedules are exempt: a sparse riffle tick moves O(n) blocks out
+  // of O(n k) outstanding, far below the stall heuristic's utilization
+  // floor, yet the schedule provably finishes at n + k - 2.
   cfg.stall_window = 64;
+  if (engine == EngineKind::kScale && scheduler != SchedulerKind::kRandomized &&
+      scheduler != SchedulerKind::kCreditRandomized) {
+    cfg.stall_window = 0;
+  }
   return cfg;
 }
 
@@ -255,10 +263,18 @@ std::string Scenario::to_gtest(const std::string& diagnosis) const {
 }
 
 void sanitize(Scenario& sc) {
-  // The scale engine implements exactly the randomized cooperative protocol
-  // and its credit-limited variant; pin the scheduler kind so the churn /
+  // The scale engine implements the randomized cooperative protocol, its
+  // credit-limited variant, and the deterministic mechanisms ported from
+  // core: binomial pipeline, riffle pipeline, and triangular barter (the
+  // latter encoded as kBinomialPipeline + CyclicBarter, since the §3.3
+  // result is that the binomial schedule itself satisfies the 3-cycle
+  // ledger). Everything else collapses to randomized so the churn /
   // heterogeneity rules below (keyed on kRandomized) apply unchanged.
-  if (sc.engine == EngineKind::kScale) sc.scheduler = SchedulerKind::kRandomized;
+  if (sc.engine == EngineKind::kScale &&
+      sc.scheduler != SchedulerKind::kBinomialPipeline &&
+      sc.scheduler != SchedulerKind::kRiffle) {
+    sc.scheduler = SchedulerKind::kRandomized;
+  }
   sc.n = std::clamp(sc.n, 2u,
                     sc.engine == EngineKind::kScale ? kMaxScaleNodes : kMaxNodes);
   sc.k = std::clamp(sc.k, 1u, kMaxBlocks);
@@ -308,8 +324,18 @@ void sanitize(Scenario& sc) {
     case SchedulerKind::kPipeline:
     case SchedulerKind::kMulticastTree:
     case SchedulerKind::kBinomialTree:
-    case SchedulerKind::kBinomialPipeline:
       sc.mechanism.kind = MechanismSpec::Kind::kNone;
+      break;
+    case SchedulerKind::kBinomialPipeline:
+      // On the scale engine, CyclicBarter marks the triangular-barter
+      // variant: the identical binomial schedule run under a live 3-cycle
+      // ledger. Everywhere else the schedule is purely cooperative.
+      if (sc.engine == EngineKind::kScale &&
+          sc.mechanism.kind == MechanismSpec::Kind::kCyclicBarter) {
+        sc.mechanism.max_cycle_len = 3;
+      } else {
+        sc.mechanism.kind = MechanismSpec::Kind::kNone;
+      }
       break;
     case SchedulerKind::kRandomized:
       if (sc.engine == EngineKind::kScale) {
@@ -390,6 +416,36 @@ void sanitize(Scenario& sc) {
     sc.depart_on_complete = false;
   }
   sc.drop_on_churn = !sc.departures.empty() || sc.depart_on_complete;
+
+  // Deterministic scale schedules are pure index arithmetic on power-of-two
+  // hypercubes with unit uniform capacities and no churn; snap every axis
+  // into that space (the scale engine hard-rejects anything outside it).
+  // This runs last because the churn section above would otherwise re-admit
+  // departures for kBinomialPipeline.
+  if (sc.engine == EngineKind::kScale && !is_randomized_family(sc.scheduler)) {
+    if (sc.scheduler == SchedulerKind::kRiffle) {
+      // The reference oracle replays all T = n + k - 2 ticks; cap n so the
+      // mirrored run stays affordable.
+      sc.n = std::min(sc.n, 512u);
+    }
+    sc.n = std::bit_floor(sc.n);
+    sc.upload = 1;
+    sc.server_upload = std::min(sc.server_upload, 1u);
+    sc.upload_caps.clear();
+    sc.download_caps.clear();
+    sc.departures.clear();
+    sc.depart_on_complete = false;
+    sc.drop_on_churn = false;
+    if (sc.scheduler == SchedulerKind::kRiffle) {
+      // Strict barter on the complete graph; d = 2 because a server
+      // hand-off may land on a client that is bartering the same tick.
+      sc.overlay = OverlayKind::kComplete;
+      sc.download = 2;
+      sc.mechanism.kind = MechanismSpec::Kind::kStrictBarter;
+    } else if (sc.overlay != OverlayKind::kComplete) {
+      sc.overlay = OverlayKind::kHypercube;
+    }
+  }
 }
 
 Scenario sample_scenario(std::uint64_t base_seed, std::uint32_t index) {
@@ -467,6 +523,23 @@ Scenario sample_scenario(std::uint64_t base_seed, std::uint32_t index) {
   if (rng.below(4) == 0) {
     sc.engine = EngineKind::kScale;
     if (rng.below(8) == 0) sc.n = kMaxNodes + 1 + rng.below(960);
+    // Half the scale draws run a deterministic mechanism ported from core;
+    // sanitize snaps n to a power of two and clears churn for those.
+    switch (rng.below(6)) {
+      case 0:
+        sc.scheduler = SchedulerKind::kBinomialPipeline;
+        sc.mechanism.kind = MechanismSpec::Kind::kNone;
+        break;
+      case 1:  // triangular barter: the binomial schedule + 3-cycle ledger
+        sc.scheduler = SchedulerKind::kBinomialPipeline;
+        sc.mechanism.kind = MechanismSpec::Kind::kCyclicBarter;
+        break;
+      case 2:
+        sc.scheduler = SchedulerKind::kRiffle;
+        break;
+      default:
+        break;  // the randomized family, as sanitize coerces
+    }
   }
   sanitize(sc);
   return sc;
@@ -557,8 +630,6 @@ BuiltScenario build_scenario(const Scenario& sc) {
   return built;
 }
 
-namespace {
-
 /// Mirrors build_scenario's overlay switch (same seed-derived rng stream)
 /// but produces the CSR form the scale engine consumes. The complete graph
 /// never materializes — that is the point at mega-swarm sizes.
@@ -587,8 +658,23 @@ std::shared_ptr<const scale::Topology> make_scale_topology(const Scenario& sc) {
 scale::ScaleOptions make_scale_options(const Scenario& sc) {
   scale::ScaleOptions opt;
   opt.policy = sc.seed % 2 == 0 ? BlockPolicy::kRandom : BlockPolicy::kRarestFirst;
-  if (sc.mechanism.kind == MechanismSpec::Kind::kCreditLimited) {
-    opt.credit_limit = sc.mechanism.credit_limit;
+  switch (sc.scheduler) {
+    case SchedulerKind::kBinomialPipeline:
+      if (sc.mechanism.kind == MechanismSpec::Kind::kCyclicBarter) {
+        opt.scheduler = scale::SchedKind::kTriangularBarter;
+        opt.credit_limit = sc.mechanism.credit_limit;
+      } else {
+        opt.scheduler = scale::SchedKind::kBinomialPipeline;
+      }
+      break;
+    case SchedulerKind::kRiffle:
+      opt.scheduler = scale::SchedKind::kRifflePipeline;
+      break;
+    default:
+      if (sc.mechanism.kind == MechanismSpec::Kind::kCreditLimited) {
+        opt.credit_limit = sc.mechanism.credit_limit;
+      }
+      break;
   }
   // Vary the planner's knobs off their defaults: tiny shard sizes put shard
   // boundaries mid-swarm (the jobs-determinism hazard), and small probe
@@ -607,6 +693,8 @@ scale::ScaleOptions make_scale_options(const Scenario& sc) {
                                                : scale::ScanKernel::kAuto;
   return opt;
 }
+
+namespace {
 
 /// The scale-engine scenario check: the engine must agree with itself across
 /// job counts, and its mirrored transfer stream must be accepted by
@@ -668,6 +756,37 @@ ScenarioOutcome run_scale_scenario(const Scenario& sc) {
       return {false, "beats Theorem 1: completed at tick " +
                          std::to_string(r_serial.completion_tick) +
                          " < lower bound " + std::to_string(bound)};
+    }
+  }
+
+  // Closed forms for the ported deterministic schedules. The binomial
+  // pipeline (and its triangular-barter variant, which runs the identical
+  // schedule under the 3-cycle ledger) achieves Theorem 1's bound exactly
+  // at power-of-two n; the riffle must match the core scheduler's length,
+  // which is Theorem 2's n + k - 2 whenever the last cycle is full.
+  if (sc.scheduler == SchedulerKind::kBinomialPipeline) {
+    const Tick want = cooperative_lower_bound(sc.n, sc.k);
+    if (!r_serial.completed || r_serial.completion_tick != want) {
+      return {false, "scale binomial/triangular missed Theorem 1's k - 1 + "
+                     "ceil(log2 n) = " + std::to_string(want) + " (got " +
+                         (r_serial.completed
+                              ? std::to_string(r_serial.completion_tick)
+                              : "DNF") + ")"};
+    }
+  }
+  if (sc.scheduler == SchedulerKind::kRiffle) {
+    const Tick want = RifflePipelineScheduler(sc.n, sc.k, 1, 2).schedule_length();
+    if (!r_serial.completed || r_serial.completion_tick != want) {
+      return {false, "scale riffle missed the core schedule length " +
+                         std::to_string(want) + " (got " +
+                         (r_serial.completed
+                              ? std::to_string(r_serial.completion_tick)
+                              : "DNF") + ")"};
+    }
+    if (sc.k % (sc.n - 1) == 0 &&
+        want != RifflePipelineScheduler::ideal_completion_time(sc.n, sc.k)) {
+      return {false, "scale riffle with full cycles missed Theorem 2's "
+                     "n + k - 2"};
     }
   }
   return {true, ""};

@@ -17,6 +17,7 @@
 #include "pob/core/engine.h"
 #include "pob/core/scheduler.h"
 #include "pob/overlay/overlay.h"
+#include "pob/scale/engine.h"
 
 namespace pob::check {
 
@@ -107,6 +108,16 @@ struct BuiltScenario {
 };
 
 BuiltScenario build_scenario(const Scenario& sc);
+
+/// Scale-engine builders for a kScale scenario, shared between the fuzzer
+/// runner and the golden-corpus renderer: the CSR topology (mirroring
+/// build_scenario's overlay switch on the same seed-derived rng stream) and
+/// the ScaleOptions — including the SchedKind mapping: kBinomialPipeline →
+/// binomial-pipeline, kBinomialPipeline + CyclicBarter → triangular-barter,
+/// kRiffle → riffle-pipeline, anything else → randomized (credit-limited
+/// when the mechanism is CreditLimited).
+std::shared_ptr<const scale::Topology> make_scale_topology(const Scenario& sc);
+scale::ScaleOptions make_scale_options(const Scenario& sc);
 
 struct ScenarioOutcome {
   bool ok = true;

@@ -9,6 +9,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "pob/scale/sched_binomial.h"
+#include "pob/scale/sched_randomized.h"
+#include "pob/scale/sched_riffle.h"
+
 #if defined(__AVX2__)
 #include <immintrin.h>
 #elif defined(__ARM_NEON) && defined(__aarch64__)
@@ -52,6 +56,13 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
 }
+
+// Ticks with at most this many intents take the serial merge/commit fast
+// path (see Engine::sparse_tick_). The threshold compares against the tick's
+// intent total — a pure function of the intent stream — so the path taken is
+// identical at any job count. 2048 intents is far below where the sharded
+// scaffolding starts paying for itself.
+constexpr std::uint32_t kSparseTickIntents = 2048;
 
 #if defined(__AVX2__)
 constexpr const char* kAutoKernelName = "avx2";
@@ -196,6 +207,90 @@ Engine::Engine(const EngineConfig& config, std::shared_ptr<const Topology> topol
       down_caps_.begin(), down_caps_.end(),
       [](std::uint32_t c) { return c == kUnlimited; });
 
+  // Deterministic schedulers run fixed closed-form schedules; a config the
+  // schedule was not derived for must be rejected loudly (distinct message
+  // per rule), never silently produce garbage intents.
+  if (opt_.scheduler != SchedKind::kRandomized) {
+    const char* sname = sched_kind_name(opt_.scheduler);
+    if (!std::has_single_bit(n)) {
+      throw EngineViolation(std::string("scale: ") + sname +
+                            " requires power-of-two num_nodes (got " +
+                            std::to_string(n) + ")");
+    }
+    if (!cfg_.upload_capacities.empty() || !cfg_.download_capacities.empty()) {
+      throw EngineViolation(std::string("scale: ") + sname +
+                            " requires uniform capacities (per-node capacity "
+                            "vectors are not supported)");
+    }
+    if (cfg_.upload_capacity != 1 || server_up > 1) {
+      throw EngineViolation(std::string("scale: ") + sname +
+                            " requires unit upload capacity (upload_capacity "
+                            "1, server_upload_capacity <= 1)");
+    }
+    if (!cfg_.departures.empty() || cfg_.depart_on_complete) {
+      throw EngineViolation(std::string("scale: ") + sname +
+                            " does not support churn (departures / "
+                            "depart_on_complete)");
+    }
+    if (opt_.scheduler == SchedKind::kRifflePipeline) {
+      if (!topo_->is_complete()) {
+        throw EngineViolation(
+            "scale: riffle-pipeline requires the complete topology");
+      }
+      if (cfg_.download_capacity < 2) {
+        throw EngineViolation(
+            "scale: riffle-pipeline requires download capacity >= 2 (a "
+            "server hand-off may land on a bartering client)");
+      }
+      if (opt_.credit_limit != 0) {
+        throw EngineViolation(
+            "scale: riffle-pipeline is strict barter; credit_limit must be 0");
+      }
+    } else {
+      // Binomial pipeline / triangular barter: every hypercube edge must be
+      // present in the overlay (the complete graph trivially qualifies).
+      if (!topo_->is_complete()) {
+        const std::uint32_t dims = static_cast<std::uint32_t>(std::countr_zero(n));
+        const auto has_edge = [&](NodeId u, NodeId v) {
+          std::uint32_t lo = 0;
+          std::uint32_t hi = topo_->degree(u);
+          while (lo < hi) {  // neighbor lists are ascending (topology.h)
+            const std::uint32_t mid = lo + (hi - lo) / 2;
+            const NodeId w = topo_->neighbor(u, mid);
+            if (w < v) {
+              lo = mid + 1;
+            } else if (w > v) {
+              hi = mid;
+            } else {
+              return true;
+            }
+          }
+          return false;
+        };
+        for (NodeId u = 0; u < n; ++u) {
+          for (std::uint32_t d = 0; d < dims; ++d) {
+            const NodeId v = u ^ (NodeId{1} << d);
+            if (!has_edge(u, v)) {
+              throw EngineViolation(std::string("scale: ") + sname +
+                                    " requires the hypercube overlay: missing "
+                                    "edge " +
+                                    std::to_string(u) + " <-> " +
+                                    std::to_string(v));
+            }
+          }
+        }
+      }
+      if (opt_.scheduler == SchedKind::kBinomialPipeline && opt_.credit_limit != 0) {
+        throw EngineViolation(
+            "scale: binomial-pipeline is cooperative; credit_limit must be 0");
+      }
+      if (opt_.scheduler == SchedKind::kTriangularBarter && opt_.credit_limit < 1) {
+        throw EngineViolation(
+            "scale: triangular-barter requires credit_limit >= 1");
+      }
+    }
+  }
+
   // Every per-probe random access lands in one of the arrays below. The
   // big uint64 arenas go through huge_alloc (hugemem.h): explicit 2 MiB
   // hugetlb pages when the kernel pool has room, a THP hint otherwise.
@@ -251,14 +346,20 @@ Engine::Engine(const EngineConfig& config, std::shared_ptr<const Topology> topol
 
   const std::uint32_t shards = (n_ + opt_.shard_nodes - 1) / opt_.shard_nodes;
   shard_intents_.resize(shards);
-  gen_scratch_.resize(shards);
-  for (DiffScan& scan : gen_scratch_) {
-    scan.widx.resize(stride_);
-    scan.words.resize(stride_);
-    scan.pc.resize(stride_);
+  switch (opt_.scheduler) {
+    case SchedKind::kRandomized:
+      sched_ = std::make_unique<RandomizedScheduler>(*this, shards);
+      break;
+    case SchedKind::kBinomialPipeline:
+      sched_ = std::make_unique<BinomialScheduler>(*this, /*triangular=*/false);
+      break;
+    case SchedKind::kTriangularBarter:
+      sched_ = std::make_unique<BinomialScheduler>(*this, /*triangular=*/true);
+      break;
+    case SchedKind::kRifflePipeline:
+      sched_ = std::make_unique<RiffleScheduler>(*this);
+      break;
   }
-  gen_cache_.resize(shards);
-  for (ProbeCache& cache : gen_cache_) cache.configure(opt_.shard_nodes);
 
   // Receiver shards: enough for the pool to balance (the E22 swarm gets ~64)
   // but never so many that tiny fuzz swarms pay bucketing overhead for a
@@ -282,6 +383,20 @@ Engine::Engine(const EngineConfig& config, std::shared_ptr<const Topology> topol
 
   departures_ = cfg_.departures;
   std::sort(departures_.begin(), departures_.end());
+}
+
+BlockId Engine::top_block(NodeId node) const {
+  const std::uint64_t* hs = summary_has_row(node);
+  for (std::uint32_t g = sum_stride_; g-- > 0;) {
+    const std::uint64_t sword = hs[g];
+    if (sword == 0) continue;
+    const std::uint32_t w =
+        (g << 6) + 63 - static_cast<std::uint32_t>(std::countl_zero(sword));
+    const std::uint64_t pword = row(node)[w];
+    return static_cast<BlockId>(
+        (w << 6) + 63 - static_cast<std::uint32_t>(std::countl_zero(pword)));
+  }
+  return kNoBlock;
 }
 
 bool Engine::summary_overlap(NodeId u, NodeId v) const {
@@ -644,7 +759,6 @@ void Engine::generate_range(std::uint64_t tick_base, NodeId first, NodeId last,
 }
 
 void Engine::plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool) {
-  const std::uint64_t tick_base = trial_seed(seed_, tick);
   const std::uint32_t shard = opt_.shard_nodes;
   const auto num_shards = static_cast<std::uint32_t>(shard_intents_.size());
   const bool timing = opt_.collect_phase_timings;
@@ -652,17 +766,19 @@ void Engine::plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool
   if (timing) stamp = std::chrono::steady_clock::now();
 
   // Phase 1: intent generation, sharded by sender node range. Shards only
-  // read the (frozen) swarm state and write their own vector + scratch, so
-  // running them on a pool is observationally identical to the serial loop.
-  // The probe cache is shard-owned too: node u always generates in shard
-  // u / shard_nodes, so cache entries never cross threads.
+  // read the (frozen) swarm state and write their own vector + scheduler-
+  // owned scratch, so running them on a pool is observationally identical to
+  // the serial loop. begin_tick is the scheduler's serial hook (the riffle
+  // scheduler materializes the tick's meeting buffer in it); generate()
+  // emits each shard's slice of the canonical sender-ordered stream.
+  sched_->begin_tick(tick);
   const std::function<void(std::uint32_t)> generate = [&](std::uint32_t s) {
     auto& intents = shard_intents_[s];
     intents.clear();
     const auto first = static_cast<NodeId>(static_cast<std::uint64_t>(s) * shard);
     const auto last = static_cast<NodeId>(
         std::min<std::uint64_t>(n_, static_cast<std::uint64_t>(first) + shard));
-    generate_range(tick_base, first, last, intents, gen_scratch_[s], gen_cache_[s]);
+    sched_->generate(tick, s, first, last, intents);
   };
   for_shards(pool, num_shards, generate);
 
@@ -688,7 +804,38 @@ void Engine::plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool
   assert(total_wide <= std::numeric_limits<std::uint32_t>::max());
   const auto total = static_cast<std::uint32_t>(total_wide);
   std::fill(bucket_offsets_.begin(), bucket_offsets_.end(), 0u);
+  sparse_tick_ = total <= kSparseTickIntents;
   if (total == 0) {
+    if (timing) timings_.merge_seconds += seconds_since(stamp);
+    return;
+  }
+  if (sparse_tick_) {
+    // Serial admission in canonical order — the same constraints in the
+    // same order as the sharded path (which replicates the historical
+    // serial merge), so the accepted stream is identical; it just skips the
+    // counting/scatter/flag scaffolding, whose fixed O(S * R) cost would
+    // dominate million-tick deterministic runs of a few hundred intents per
+    // tick. apply_merged sees sparse_tick_ and commits serially too.
+    PairTable& delivered = delivered_[0];
+    delivered.begin_tick(total);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      for (const Transfer& tr : shard_intents_[s]) {
+        bool admit;
+        if (down_caps_unlimited_) {
+          admit = delivered.insert(delivery_key(tr.to, tr.block));
+        } else {
+          if (down_stamp_[tr.to] != tick) {
+            down_stamp_[tr.to] = tick;
+            down_used_[tr.to] = 0;
+          }
+          const std::uint32_t dcap = down_caps_[tr.to];
+          admit = dcap == kUnlimited || down_used_[tr.to] < dcap;
+          if (admit) admit = delivered.insert(delivery_key(tr.to, tr.block));
+          if (admit) ++down_used_[tr.to];
+        }
+        if (admit) out.push_back(tr);
+      }
+    }
     if (timing) timings_.merge_seconds += seconds_since(stamp);
     return;
   }
@@ -826,6 +973,11 @@ void Engine::apply(Tick tick, std::span<const Transfer> accepted) {
   const bool timing = opt_.collect_phase_timings;
   auto stamp = std::chrono::steady_clock::time_point{};
   if (timing) stamp = std::chrono::steady_clock::now();
+  commit_serial(tick, accepted);
+  if (timing) timings_.apply_seconds += seconds_since(stamp);
+}
+
+void Engine::commit_serial(Tick tick, std::span<const Transfer> accepted) {
   for (const Transfer& tr : accepted) {
     std::uint64_t& word = row(tr.to)[tr.block >> 6];
     const std::uint64_t bit = 1ULL << (tr.block & 63);
@@ -843,7 +995,6 @@ void Engine::apply(Tick tick, std::span<const Transfer> accepted) {
     // touch the ledger.
     if (opt_.credit_limit != 0 && tr.from != kServer) ledger_.record(tr.from, tr.to);
   }
-  if (timing) timings_.apply_seconds += seconds_since(stamp);
 }
 
 void Engine::apply_merged(Tick tick, std::span<const Transfer> accepted,
@@ -852,6 +1003,16 @@ void Engine::apply_merged(Tick tick, std::span<const Transfer> accepted,
   auto stamp = std::chrono::steady_clock::time_point{};
   if (timing) stamp = std::chrono::steady_clock::now();
   if (accepted.empty()) {
+    if (timing) timings_.apply_seconds += seconds_since(stamp);
+    return;
+  }
+  if (sparse_tick_) {
+    // The sparse merge skipped the buckets and accept flags this commit
+    // path reads, and at these stream sizes the serial loop wins anyway.
+    // (leaving_ may collect completions in stream order rather than
+    // receiver-shard order; deactivation is commutative, so the next tick's
+    // state is identical either way.)
+    commit_serial(tick, accepted);
     if (timing) timings_.apply_seconds += seconds_since(stamp);
     return;
   }
@@ -1056,8 +1217,7 @@ std::uint64_t Engine::state_bytes() const {
   for (const auto& intents : shard_intents_) {
     bytes += intents.capacity() * sizeof(Transfer);
   }
-  for (const DiffScan& scan : gen_scratch_) bytes += scan.memory_bytes();
-  for (const ProbeCache& cache : gen_cache_) bytes += cache.memory_bytes();
+  bytes += sched_->memory_bytes();  // randomized probe scratch, riffle segments
   for (const PairTable& table : delivered_) bytes += table.memory_bytes();
   bytes += intent_offsets_.capacity() * sizeof(std::size_t);
   bytes += scatter_pos_.capacity() * sizeof(std::uint32_t);

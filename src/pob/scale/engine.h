@@ -82,6 +82,7 @@
 #include "pob/exp/parallel.h"
 #include "pob/mech/barter.h"
 #include "pob/rand/randomized.h"
+#include "pob/scale/scheduler.h"
 #include "pob/scale/topology.h"
 
 namespace pob::scale {
@@ -111,7 +112,19 @@ struct ScaleOptions {
   /// barter predicate: client u uploads to client v only while the pairwise
   /// net (pre-tick ledger) stays below the limit. The emitted stream always
   /// satisfies CreditLimited::check_tick.
+  ///
+  /// Under kTriangularBarter the limit must be >= 1: the deterministic
+  /// schedule never consults the ledger (it is CyclicBarter(3, 1)-compliant
+  /// by construction), but the engine keeps it live so mirrors and tests can
+  /// audit the stream under the §3.3 mechanism.
   std::uint32_t credit_limit = 0;
+
+  /// Which ScaleScheduler generates intents; see SchedKind (scheduler.h).
+  /// The deterministic kinds place hard requirements on the config —
+  /// power-of-two n, uniform unit upload capacity, no churn, and per-kind
+  /// topology/capacity/credit rules — each rejected with a distinct
+  /// EngineViolation at construction.
+  SchedKind scheduler = SchedKind::kRandomized;
 
   /// Nodes per intent shard in the parallel generation phase. Shard count
   /// is a pure function of n (never of the job count), so chunk assignment
@@ -196,6 +209,10 @@ class Engine {
   bool has(NodeId node, BlockId block) const {
     return (row(node)[block >> 6] >> (block & 63)) & 1u;
   }
+  /// Highest block id `node` holds, kNoBlock if none — O(summary words) via
+  /// the has-summary, then one possession word. The binomial pipeline's
+  /// transmission rank is top_block + 1 (block ids are rank-ordered).
+  BlockId top_block(NodeId node) const;
 
   const EngineConfig& config() const { return cfg_; }
   const Topology& topology() const { return *topo_; }
@@ -235,6 +252,12 @@ class Engine {
   std::uint64_t state_bytes() const;
 
  private:
+  // The randomized scheduler is the probing logic's historical home — it
+  // keeps calling straight into generate_range and the private scratch
+  // types; the deterministic schedulers use only the public introspection
+  // surface (top_block, has, config).
+  friend class RandomizedScheduler;
+
   // A (receiver, block) admission table: open-addressed, epoch-stamped so a
   // tick reset is O(1) and a million inserts touch no allocator. One table
   // per receiver shard; a receiver's deliveries land in exactly one table.
@@ -389,6 +412,9 @@ class Engine {
   void generate_range(std::uint64_t tick_base, NodeId first, NodeId last,
                       std::vector<Transfer>& out, DiffScan& scan, ProbeCache& cache);
   void plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool);
+  /// The serial commit loop shared by the public apply() and the sparse-tick
+  /// fast path of apply_merged().
+  void commit_serial(Tick tick, std::span<const Transfer> accepted);
   /// Commits the stream the immediately preceding plan_phases() call
   /// produced, reusing its receiver buckets and accept flags: possession /
   /// summaries / counts / completion sharded by receiver, upload totals
@@ -449,10 +475,13 @@ class Engine {
   std::vector<std::pair<Tick, NodeId>> departures_;  // sorted copy
   std::size_t next_departure_ = 0;
 
+  // The intent generator (scheduler.h); constructed from opt_.scheduler,
+  // owns its own per-shard scratch (the randomized probe scans and caches
+  // live here now, not in the engine).
+  std::unique_ptr<ScaleScheduler> sched_;
+
   // Tick scratch (reused, never shrunk).
   std::vector<std::vector<Transfer>> shard_intents_;
-  std::vector<DiffScan> gen_scratch_;       // one per intent shard
-  std::vector<ProbeCache> gen_cache_;       // one per intent shard
   std::vector<std::uint32_t> down_used_;    // stamped by down_stamp_
   std::vector<Tick> down_stamp_;
   std::vector<PairTable> delivered_;        // one per receiver shard
@@ -470,6 +499,15 @@ class Engine {
 
   PhaseTimings timings_;
   bool lockstep_ = false;  // plan() called; run() may no longer be used
+
+  // Set by plan_phases when the tick's intent total is at or below the
+  // sparse threshold: the merge ran serially in canonical order (no buckets,
+  // no accept flags), so apply_merged must commit serially too. A pure
+  // function of the intent stream, hence identical at any job count. This is
+  // what makes million-tick deterministic runs (riffle: T = n + k - 2 ticks
+  // of ~k intents) affordable — the O(shards * recv_shards) merge scaffolding
+  // and the O(R * k) frequency reduce would otherwise dominate every tick.
+  bool sparse_tick_ = false;
 };
 
 }  // namespace pob::scale

@@ -22,6 +22,12 @@
 // model (and mechanism) on every tick, and its bookkeeping (completion
 // ticks, upload counts, stall detection, churn accounting) agrees with the
 // reference implementation. The scenario fuzzer asserts exactly this.
+//
+// The same weld covers the deterministic schedulers: a scale engine built
+// with SchedKind::kRifflePipeline mirrored against core's StrictBarter
+// mechanism (or kTriangularBarter against CyclicBarter(3, credit 1)) proves
+// the closed-form schedules really satisfy the barter constraints they
+// claim, not just their own bookkeeping.
 
 #pragma once
 

@@ -1,0 +1,38 @@
+#include "pob/scale/sched_binomial.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace pob::scale {
+
+BinomialScheduler::BinomialScheduler(const Engine& engine, bool triangular)
+    : engine_(engine),
+      k_(engine.config().num_blocks),
+      dims_(static_cast<std::uint32_t>(
+          std::countr_zero(engine.config().num_nodes))),
+      phase_len_(k_ + dims_ - 1),
+      triangular_(triangular) {}
+
+void BinomialScheduler::generate(Tick tick, std::uint32_t /*shard*/, NodeId first,
+                                 NodeId last, std::vector<Transfer>& out) {
+  if (tick > phase_len_) return;
+  const std::uint32_t dim = (tick - 1) % dims_;
+  const NodeId bit = NodeId{1} << dim;
+  for (NodeId u = first; u < last; ++u) {
+    const NodeId v = u ^ bit;
+    if (v == kServer) continue;  // nothing flows into the server
+    std::uint32_t rank;
+    if (u == kServer) {
+      rank = std::min<std::uint32_t>(tick, k_);
+    } else {
+      const BlockId top = engine_.top_block(u);
+      rank = top == kNoBlock ? 0 : top + 1;
+    }
+    if (rank == 0) continue;
+    const BlockId b = rank - 1;
+    if (engine_.has(v, b)) continue;  // partner already caught up
+    out.push_back(Transfer{u, v, b});
+  }
+}
+
+}  // namespace pob::scale

@@ -6,6 +6,11 @@
 // at jobs = 1, 4 and hardware_concurrency. The smaller companion case keeps
 // record_trace on, so the full per-tick transfer stream (not just the
 // aggregate bookkeeping) is digested too.
+//
+// The digests themselves are pinned to absolute constants (captured before
+// the scheduler-interface refactor for the randomized family, at its
+// introduction for the deterministic mechanisms), so a silent behavioral
+// drift fails even if it drifts identically at every job count.
 
 #include <gtest/gtest.h>
 
@@ -18,6 +23,20 @@
 
 namespace pob::scale {
 namespace {
+
+// Captured from the pre-refactor engine (randomized planner inlined in
+// generate); the ScaleScheduler extraction must not move a single bit.
+constexpr std::uint64_t kCreditRarest200kDigest = 0x5157ee3c583eea14ULL;
+constexpr std::uint64_t kTrace2500Digest = 0xf28c333e5835ab16ULL;
+constexpr std::uint64_t kPureRandomized200kDigest = 0x72fa6ecfba949db6ULL;
+
+// The deterministic mechanisms at 2^18 nodes, k = 64 (the power of two
+// nearest the 200k randomized pins). Binomial and triangular share a digest
+// by design: §3.3's result is that the triangular ledger admits the
+// binomial schedule unchanged.
+constexpr std::uint64_t kBinomial262kDigest = 0xce992a8dbb1d2100ULL;
+constexpr std::uint64_t kTriangular262kDigest = kBinomial262kDigest;
+constexpr std::uint64_t kRiffle262kDigest = 0x4842fc682201766dULL;
 
 TEST(ScaleParallel, TwoHundredThousandNodesEveryPhaseSharded) {
   constexpr std::uint32_t kNodes = 200000;
@@ -54,6 +73,7 @@ TEST(ScaleParallel, TwoHundredThousandNodesEveryPhaseSharded) {
   };
 
   const std::uint64_t serial = digest_at(1);
+  EXPECT_EQ(serial, kCreditRarest200kDigest);
   EXPECT_EQ(digest_at(4), serial);
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   EXPECT_EQ(digest_at(hw), serial);
@@ -63,6 +83,62 @@ TEST(ScaleParallel, TwoHundredThousandNodesEveryPhaseSharded) {
   // this is the pin that keeps the vectorized paths honest at scale.
   opt.scan_kernel = ScanKernel::kScalar;
   EXPECT_EQ(digest_at(1), serial);
+}
+
+TEST(ScaleParallel, PureRandomizedTwoHundredThousandNodesPinned) {
+  constexpr std::uint32_t kNodes = 200000;
+  EngineConfig cfg;
+  cfg.num_nodes = kNodes;
+  cfg.num_blocks = 64;
+  cfg.server_upload_capacity = 4;
+  cfg.max_ticks = 48;
+
+  ScaleOptions opt;  // defaults: cooperative randomized, no credit ledger
+
+  const auto digest_at = [&](unsigned jobs) {
+    Rng rng(11);
+    auto topo = std::make_shared<Topology>(
+        Topology::from_graph(make_random_regular(kNodes, 8, rng)));
+    Engine engine(cfg, std::move(topo), opt, 11);
+    return check::run_result_digest(engine.run(jobs));
+  };
+
+  const std::uint64_t serial = digest_at(1);
+  EXPECT_EQ(serial, kPureRandomized200kDigest);
+  EXPECT_EQ(digest_at(4), serial);
+}
+
+TEST(ScaleParallel, DeterministicSchedulersQuarterMillionNodesPinned) {
+  constexpr std::uint32_t kNodes = 262144;  // 2^18
+  constexpr std::uint32_t kBlocks = 64;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  const auto digest_at = [&](SchedKind kind, unsigned jobs) {
+    EngineConfig cfg;
+    cfg.num_nodes = kNodes;
+    cfg.num_blocks = kBlocks;
+    if (kind == SchedKind::kRifflePipeline) cfg.download_capacity = 2;
+    ScaleOptions opt;
+    opt.scheduler = kind;
+    if (kind == SchedKind::kTriangularBarter) opt.credit_limit = 1;
+    auto topo = std::make_shared<Topology>(Topology::complete(kNodes));
+    Engine engine(cfg, std::move(topo), opt, 7);
+    const RunResult r = engine.run(jobs);
+    EXPECT_TRUE(r.completed);
+    // Every client downloads each block exactly once, whatever the mechanism.
+    EXPECT_EQ(r.total_transfers, static_cast<Count>(kNodes - 1) * kBlocks);
+    return check::run_result_digest(r);
+  };
+
+  for (const auto& [kind, pinned] :
+       {std::pair{SchedKind::kBinomialPipeline, kBinomial262kDigest},
+        {SchedKind::kTriangularBarter, kTriangular262kDigest},
+        {SchedKind::kRifflePipeline, kRiffle262kDigest}}) {
+    const std::uint64_t serial = digest_at(kind, 1);
+    EXPECT_EQ(serial, pinned) << sched_kind_name(kind);
+    EXPECT_EQ(digest_at(kind, 4), serial) << sched_kind_name(kind);
+    EXPECT_EQ(digest_at(kind, hw), serial) << sched_kind_name(kind);
+  }
 }
 
 TEST(ScaleParallel, TraceDigestStableAcrossJobsWithChurnAndCredit) {
@@ -89,6 +165,7 @@ TEST(ScaleParallel, TraceDigestStableAcrossJobsWithChurnAndCredit) {
   };
 
   const std::uint64_t serial = digest_at(1);
+  EXPECT_EQ(serial, kTrace2500Digest);
   EXPECT_EQ(digest_at(2), serial);
   EXPECT_EQ(digest_at(4), serial);
   EXPECT_EQ(digest_at(16), serial);

@@ -11,12 +11,15 @@
 // Flags:
 //   --engine     core (default) | scale. The scale engine is the SoA
 //                mega-swarm path (src/pob/scale): randomized / credit-
-//                randomized protocol only, sized for n up to 10^6+. --jobs
-//                then parallelizes ticks *within* one run (bit-identical at
-//                any value); --probes tunes its per-slot neighbor probing;
-//                --simd=off forces the scalar scan kernel (same results).
+//                randomized protocol plus the deterministic mechanisms
+//                (--algo=binomial-pipeline | riffle | triangular), sized for
+//                n up to 10^6+. --jobs then parallelizes ticks *within* one
+//                run (bit-identical at any value); --probes tunes its
+//                per-slot neighbor probing; --simd=off forces the scalar
+//                scan kernel (same results).
 //                    pobsim --engine=scale --n=1000000 --k=512
 //                           --overlay=regular --degree=16 --jobs=0
+//                    pobsim --engine=scale --algo=riffle --n=1048576 --k=512
 //   --jobs       worker threads for repeated runs (0 = all cores; results
 //                are identical at any value)
 //   --algo       pipeline | tree | binomial-tree | binomial-pipeline |
@@ -141,8 +144,27 @@ int run_scale(const Args& args, const EngineConfig& cfg, std::uint32_t n,
   opt.scan_kernel = args.get_string("simd", "auto") == "off"
                         ? scale::ScanKernel::kScalar
                         : scale::ScanKernel::kAuto;
+  const std::string algo = args.get_string("algo", "randomized");
+  if (algo == "binomial-pipeline" || algo == "binomial") {
+    opt.scheduler = scale::SchedKind::kBinomialPipeline;
+  } else if (algo == "riffle") {
+    opt.scheduler = scale::SchedKind::kRifflePipeline;
+  } else if (algo == "triangular" || algo == "triangular-barter") {
+    opt.scheduler = scale::SchedKind::kTriangularBarter;
+    opt.credit_limit = static_cast<std::uint32_t>(args.get_int("credit", 1));
+  } else if (algo != "randomized" && algo != "credit-randomized") {
+    throw std::invalid_argument(
+        "scale engine supports --algo=randomized|credit-randomized|"
+        "binomial-pipeline|riffle|triangular, not " + algo);
+  }
   const std::string mech = args.get_string("mechanism", "none");
-  if (mech == "credit") {
+  if (opt.scheduler != scale::SchedKind::kRandomized) {
+    if (mech != "none") {
+      throw std::invalid_argument(
+          "deterministic scale schedulers enforce their mechanism natively; "
+          "drop --mechanism");
+    }
+  } else if (mech == "credit" || algo == "credit-randomized") {
     opt.credit_limit = static_cast<std::uint32_t>(args.get_int("credit", 1));
   } else if (mech != "none") {
     throw std::invalid_argument("scale engine supports --mechanism=none|credit, not " +
@@ -176,12 +198,15 @@ int run_scale(const Args& args, const EngineConfig& cfg, std::uint32_t n,
     return out;
   });
 
-  const std::string algo = std::string("scale:") +
-                           (opt.credit_limit != 0 ? "credit-randomized" : "randomized");
+  const std::string algo_label =
+      std::string("scale:") +
+      (opt.scheduler != scale::SchedKind::kRandomized
+           ? sched_kind_name(opt.scheduler)
+           : (opt.credit_limit != 0 ? "credit-randomized" : "randomized"));
   Table table({"algo", "n", "k", "runs", "T", "mean-finish", "coop-bound"});
   const double cap = cfg.max_ticks != 0 ? static_cast<double>(cfg.max_ticks)
                                         : static_cast<double>(default_tick_cap(n, k));
-  table.add_row({algo, std::to_string(n), std::to_string(k), std::to_string(runs),
+  table.add_row({algo_label, std::to_string(n), std::to_string(k), std::to_string(runs),
                  completion_cell(stats, cap),
                  stats.all_censored() ? "-" : fmt(stats.mean_completion.mean),
                  std::to_string(cooperative_lower_bound(n, k))});
