@@ -244,7 +244,8 @@ int main_impl(int argc, char** argv) {
     // speedup_baseline_jobs records which).
     std::string jobs_list;
     for (const SweepPoint& p : points) {
-      jobs_list += (jobs_list.empty() ? "" : ",") + std::to_string(p.jobs);
+      if (!jobs_list.empty()) jobs_list += ',';
+      jobs_list += std::to_string(p.jobs);
     }
     json.str("jobs_sweep", jobs_list);
     json.count("speedup_baseline_jobs", baseline.jobs);

@@ -2,24 +2,12 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
+
+#include "pob/async/event_queue.h"
 
 namespace pob {
 namespace {
-
-struct Event {
-  double time;
-  std::uint64_t seq;  // FIFO tiebreak for simultaneous completions
-  Transfer transfer;  // transfer.to == kNoNode encodes a policy wakeup timer
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
 
 class EngineView final : public AsyncView {
  public:
@@ -71,9 +59,9 @@ AsyncResult run_async(const AsyncConfig& config, AsyncPolicy& policy) {
           : 1024.0 + 2.0 * n + 66.0 * k;  // mirrors the synchronous default cap
 
   EngineView view(n, k);
-  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  // A Transfer with to == kNoNode encodes a policy wakeup timer.
+  EventQueue<Transfer> events;
   std::vector<char> busy(n, 0);
-  std::uint64_t seq = 0;
 
   AsyncResult result;
   result.client_completion.assign(n - 1, std::numeric_limits<double>::quiet_NaN());
@@ -91,7 +79,7 @@ AsyncResult run_async(const AsyncConfig& config, AsyncPolicy& policy) {
       const double delay = policy.retry_after(u, now);
       if (delay > 0.0 && !wakeup_pending[u]) {
         wakeup_pending[u] = 1;
-        events.push({now + delay, seq++, Transfer{u, kNoNode, kNoBlock}});
+        events.push(now + delay, Transfer{u, kNoNode, kNoBlock});
       }
       return;
     }
@@ -109,19 +97,18 @@ AsyncResult run_async(const AsyncConfig& config, AsyncPolicy& policy) {
     busy[u] = 1;
     view.inbound_[tr.to].insert(tr.block);
     ++view.inbound_count_[tr.to];
-    events.push({now + 1.0 / rate[u], seq++, tr});
+    events.push(now + 1.0 / rate[u], tr);
   };
 
   for (NodeId u = 0; u < n; ++u) try_start(u, 0.0);
 
   double now = 0.0;
   while (!events.empty() && incomplete_clients > 0) {
-    const Event ev = events.top();
-    events.pop();
-    if (ev.time > time_cap) break;  // cap abort: `now` stays at the last real event
+    if (events.top().time > time_cap) break;  // cap abort: `now` stays at the last real event
+    const TimedEvent<Transfer> ev = events.pop();
     now = ev.time;
     result.last_event_time = now;
-    const Transfer& tr = ev.transfer;
+    const Transfer& tr = ev.payload;
     if (tr.to == kNoNode) {  // policy wakeup timer
       wakeup_pending[tr.from] = 0;
       try_start(tr.from, now);

@@ -1,0 +1,57 @@
+// Shared event-queue types for the event-driven paths: the continuous-time
+// (time, seq)-ordered min-heap pob/async runs on, factored out so the
+// stream mirror (pob/check/stream_check) and any future event consumers
+// schedule with the identical ordering contract instead of re-deriving it.
+//
+// Determinism contract: events with equal fire times pop in insertion
+// order (the queue stamps a monotone sequence number on push). Every
+// consumer that needs a stronger tiebreak — e.g. the stream layer's
+// "timestamp then node id" — must encode it in the time or sort the
+// simultaneous batch itself; the queue guarantees only (time, seq).
+
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace pob {
+
+/// A payload stamped with its fire time and insertion sequence number.
+template <typename Payload>
+struct TimedEvent {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  Payload payload;
+};
+
+/// Min-heap over (time, seq): earliest time first, FIFO among equal times.
+template <typename Payload>
+class EventQueue {
+ public:
+  void push(double time, Payload payload) {
+    heap_.push(TimedEvent<Payload>{time, seq_++, std::move(payload)});
+  }
+  const TimedEvent<Payload>& top() const { return heap_.top(); }
+  TimedEvent<Payload> pop() {
+    TimedEvent<Payload> ev = heap_.top();
+    heap_.pop();
+    return ev;
+  }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const TimedEvent<Payload>& a, const TimedEvent<Payload>& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<TimedEvent<Payload>, std::vector<TimedEvent<Payload>>, Later>
+      heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace pob

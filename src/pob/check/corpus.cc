@@ -97,6 +97,29 @@ std::vector<CorpusEntry> make_corpus() {
     sc.download = 2;
     add("scale-riffle.pobtrace", sc);
   }
+  {
+    // Stream layer, flash crowd with random demand: exercises the v3
+    // !arrive preamble. Uniform capacities and no rate classes, so the
+    // core-engine replay (which ignores arrivals — every node present from
+    // the start only has more freedom) stays legal.
+    Scenario sc = base(SchedulerKind::kRandomized, 24, 10);
+    sc.stream = true;
+    sc.arrival_pattern = scale::stream::ArrivalPattern::kFlashCrowd;
+    sc.startup_blocks = 2;
+    add("stream-flash-crowd.pobtrace", sc);
+  }
+  {
+    // Stream layer, VoD shape: Poisson trickle arrivals with in-order
+    // sequential demand through a sliding playback window and hard
+    // per-block deadlines (deadlines shape the metrics, not the schedule).
+    Scenario sc = base(SchedulerKind::kRandomized, 20, 12);
+    sc.stream = true;
+    sc.arrival_pattern = scale::stream::ArrivalPattern::kPoisson;
+    sc.playback_window = 4;
+    sc.startup_blocks = 3;
+    sc.hard_deadlines = true;
+    add("stream-vod-window.pobtrace", sc);
+  }
   return corpus;
 }
 
@@ -117,6 +140,28 @@ std::string render_corpus_entry(const CorpusEntry& entry) {
   const Scenario& sc = entry.scenario;
   EngineConfig cfg;
   RunResult result;
+  if (sc.stream) {
+    scale::stream::StreamSpec spec = make_stream_spec(sc);
+    spec.config.record_trace = true;
+    cfg = spec.config;
+    scale::stream::StreamEngine engine(std::move(spec));
+    result = engine.run(1);
+    TraceEvents events;
+    const std::vector<Tick>& arrival = engine.arrivals();
+    for (NodeId c = 0; c < arrival.size(); ++c) {
+      if (arrival[c] >= 1) events.arrivals.emplace_back(arrival[c], c);
+    }
+    for (const scale::stream::StreamEvent& ev : engine.plan().events) {
+      if (ev.kind == scale::stream::EventKind::kRate) {
+        events.rate_changes.push_back({ev.time, ev.node, ev.up, ev.down});
+      }
+    }
+    std::ostringstream os;
+    os << "# golden trace: " << sc.describe() << "\n";
+    os << "# regenerate with: pobfuzz --write-corpus=tests/check/corpus\n";
+    write_trace(os, cfg, result, events);
+    return os.str();
+  }
   if (sc.engine == EngineKind::kScale) {
     cfg = sc.to_config();
     cfg.record_trace = true;

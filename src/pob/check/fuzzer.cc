@@ -35,8 +35,25 @@ FuzzReport fuzz_many(std::uint64_t base_seed, std::uint32_t budget, unsigned job
     Scenario sc = sample_scenario(base_seed, i);
     sc.fault = fault;
     if (engines != EngineFilter::kMixed) {
-      sc.engine = engines == EngineFilter::kScaleOnly ? EngineKind::kScale
-                                                      : EngineKind::kCore;
+      sc.engine = engines == EngineFilter::kCoreOnly ? EngineKind::kCore
+                                                     : EngineKind::kScale;
+      if (engines == EngineFilter::kStreamOnly && !sc.stream) {
+        // The sampler did not take the stream branch for this index, so its
+        // stream fields are still defaults; derive them from the scenario
+        // seed so a forced stream run sweeps the pattern space too.
+        sc.arrival_pattern =
+            static_cast<scale::stream::ArrivalPattern>(sc.seed % 4);
+        sc.rate_class_count =
+            (sc.seed >> 2) % 2 == 0 ? 0 : 2 + static_cast<std::uint32_t>((sc.seed >> 3) % 2);
+        sc.rate_changes = static_cast<std::uint32_t>((sc.seed >> 5) % 9);
+        sc.playback_window =
+            (sc.seed >> 8) % 2 == 0 ? 0 : 1 + static_cast<std::uint32_t>((sc.seed >> 9) % 8);
+        sc.startup_blocks = 1 + static_cast<std::uint32_t>((sc.seed >> 13) % 4);
+        sc.playback_interval = 1 + static_cast<Tick>((sc.seed >> 15) % 2);
+        sc.hard_deadlines = ((sc.seed >> 16) & 1) != 0;
+      }
+      sc.stream = engines == EngineFilter::kStreamOnly;
+      if (sc.stream && sc.n > 512) sc.n = 4 + sc.n % 509;  // mirror-affordable
       sanitize(sc);  // the forced engine has its own legal space
     }
     scenarios[i] = sc;
@@ -108,6 +125,25 @@ MinimizedScenario minimize(const Scenario& failing) {
       c.upload_caps.clear();
       c.download_caps.clear();
       if (still_fails(c)) progress = true;
+    }
+    // Stream axis: strip one feature at a time (deadlines, sequential
+    // window, rate churn, classes, the arrival pattern) before trying to
+    // leave the stream layer entirely.
+    if (m.scenario.stream) {
+      for (const auto mutate : {
+               +[](Scenario& c) { c.hard_deadlines = false; },
+               +[](Scenario& c) { c.playback_window = 0; },
+               +[](Scenario& c) { c.rate_changes = 0; },
+               +[](Scenario& c) { c.rate_class_count = 0; },
+               +[](Scenario& c) {
+                 c.arrival_pattern = scale::stream::ArrivalPattern::kAllAtStart;
+               },
+               +[](Scenario& c) { c.stream = false; },
+           }) {
+        Scenario c = m.scenario;
+        mutate(c);
+        if (still_fails(c)) progress = true;
+      }
     }
     if (m.scenario.overlay != OverlayKind::kComplete) {
       Scenario c = m.scenario;

@@ -31,10 +31,12 @@ struct FuzzReport {
 };
 
 /// Which engines the sampled stream exercises: the sampler's natural mix
-/// (roughly 1 in 4 scenarios on the scale engine), or every scenario forced
-/// onto one engine for targeted smoke runs. Forcing re-sanitizes, so a
-/// scenario sampled for one engine lands in the other's legal space.
-enum class EngineFilter : std::uint8_t { kMixed, kCoreOnly, kScaleOnly };
+/// (roughly 1 in 4 scenarios on the scale engine, a third of those on the
+/// stream layer), or every scenario forced onto one engine for targeted
+/// smoke runs. Forcing re-sanitizes, so a scenario sampled for one engine
+/// lands in the other's legal space. kStreamOnly forces the hybrid
+/// tick+event layer (arrivals, rate churn, playback demand) on every draw.
+enum class EngineFilter : std::uint8_t { kMixed, kCoreOnly, kScaleOnly, kStreamOnly };
 
 /// Runs `budget` scenarios sampled from `base_seed`. `fault` is injected
 /// into every scenario (kNone for a clean run). `jobs` as in

@@ -1,5 +1,6 @@
 #include "pob/check/oracle.h"
 
+#include <bit>
 #include <sstream>
 
 namespace pob::check {
@@ -249,6 +250,23 @@ std::uint64_t run_result_digest(const RunResult& result) {
       mix(tr.block);
     }
   }
+  // Streaming-demand fields (pob/scale/stream), mixed only when a streaming
+  // drive filled them: every pinned digest of a plain run — CI, EXPERIMENTS,
+  // the corpus — is byte-identical to what it was before these fields
+  // existed. Doubles are mixed by bit pattern, so the censored NaN is a
+  // stable, distinct value.
+  if (!result.startup_latency.empty() || !result.rebuffer_ticks.empty() ||
+      result.deadline_checks != 0) {
+    mix(result.startup_latency.size());
+    for (const double x : result.startup_latency) {
+      mix(std::bit_cast<std::uint64_t>(x));
+    }
+    mix_all(result.rebuffer_ticks);
+    mix(result.deadline_misses);
+    mix(result.deadline_checks);
+    mix(result.never_started);
+    mix(result.rebuffered_clients);
+  }
   return h;
 }
 
@@ -311,6 +329,35 @@ std::string diff_run_results(const RunResult& a, const RunResult& b) {
              transfers_to_string(a.trace[t]) + "] vs [" +
              transfers_to_string(b.trace[t]) + "]";
     }
+  }
+  // Streaming metrics: startup latencies compare by bit pattern so the
+  // censored NaN equals itself (NaN-for-NaN, the convention every consumer
+  // of client_completion already uses).
+  if (a.startup_latency.size() != b.startup_latency.size()) {
+    return scalar("startup_latency size", a.startup_latency.size(),
+                  b.startup_latency.size());
+  }
+  for (std::size_t i = 0; i < a.startup_latency.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a.startup_latency[i]) !=
+        std::bit_cast<std::uint64_t>(b.startup_latency[i])) {
+      return scalar(("startup_latency[" + std::to_string(i) + "]").c_str(),
+                    a.startup_latency[i], b.startup_latency[i]);
+    }
+  }
+  if (auto d = vec("rebuffer_ticks", a.rebuffer_ticks, b.rebuffer_ticks); !d.empty()) {
+    return d;
+  }
+  if (a.deadline_misses != b.deadline_misses) {
+    return scalar("deadline_misses", a.deadline_misses, b.deadline_misses);
+  }
+  if (a.deadline_checks != b.deadline_checks) {
+    return scalar("deadline_checks", a.deadline_checks, b.deadline_checks);
+  }
+  if (a.never_started != b.never_started) {
+    return scalar("never_started", a.never_started, b.never_started);
+  }
+  if (a.rebuffered_clients != b.rebuffered_clients) {
+    return scalar("rebuffered_clients", a.rebuffered_clients, b.rebuffered_clients);
   }
   return std::string();
 }

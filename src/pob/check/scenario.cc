@@ -18,6 +18,7 @@
 #include "pob/sched/pipeline.h"
 #include "pob/sched/riffle_pipeline.h"
 #include "pob/sched/striped_trees.h"
+#include "pob/check/stream_check.h"
 #include "pob/scale/engine.h"
 #include "pob/scale/mirror.h"
 
@@ -170,6 +171,14 @@ std::string Scenario::describe() const {
   }
   if (drop_on_churn) os << " drop";
   if (depart_on_complete) os << " depart-on-complete";
+  if (stream) {
+    os << " stream=" << scale::stream::arrival_pattern_name(arrival_pattern);
+    if (playback_window != 0) os << " window=" << playback_window;
+    os << " startup=" << startup_blocks << " ivl=" << playback_interval;
+    if (hard_deadlines) os << " deadlines";
+    if (rate_class_count != 0) os << " classes=" << rate_class_count;
+    if (rate_changes != 0) os << " rate-churn=" << rate_changes;
+  }
   if (fault == FaultKind::kSameTickForward) os << " FAULT=same-tick-forward";
   os << " seed=" << seed;
   return os.str();
@@ -253,6 +262,23 @@ std::string Scenario::to_gtest(const std::string& diagnosis) const {
   }
   os << "  sc.drop_on_churn = " << (drop_on_churn ? "true" : "false") << ";\n";
   os << "  sc.depart_on_complete = " << (depart_on_complete ? "true" : "false") << ";\n";
+  if (stream) {
+    os << "  sc.stream = true;\n";
+    os << "  sc.arrival_pattern = pob::scale::stream::ArrivalPattern::k";
+    switch (arrival_pattern) {
+      case scale::stream::ArrivalPattern::kAllAtStart: os << "AllAtStart"; break;
+      case scale::stream::ArrivalPattern::kPoisson: os << "Poisson"; break;
+      case scale::stream::ArrivalPattern::kFlashCrowd: os << "FlashCrowd"; break;
+      case scale::stream::ArrivalPattern::kBurst: os << "Burst"; break;
+    }
+    os << ";\n";
+    os << "  sc.rate_class_count = " << rate_class_count << ";\n";
+    os << "  sc.rate_changes = " << rate_changes << ";\n";
+    os << "  sc.playback_window = " << playback_window << ";\n";
+    os << "  sc.startup_blocks = " << startup_blocks << ";\n";
+    os << "  sc.playback_interval = " << playback_interval << ";\n";
+    os << "  sc.hard_deadlines = " << (hard_deadlines ? "true" : "false") << ";\n";
+  }
   if (fault == FaultKind::kSameTickForward) {
     os << "  sc.fault = FaultKind::kSameTickForward;\n";
   }
@@ -263,6 +289,15 @@ std::string Scenario::to_gtest(const std::string& diagnosis) const {
 }
 
 void sanitize(Scenario& sc) {
+  // The stream axis rides the scale engine's randomized protocol only, and
+  // fault injection targets the core oracle path — a faulted scenario stays
+  // a core scenario. This runs first so every rule below sees the final
+  // (engine, scheduler) pair.
+  if (sc.fault != FaultKind::kNone) sc.stream = false;
+  if (sc.stream) {
+    sc.engine = EngineKind::kScale;
+    sc.scheduler = SchedulerKind::kRandomized;
+  }
   // The scale engine implements the randomized cooperative protocol, its
   // credit-limited variant, and the deterministic mechanisms ported from
   // core: binomial pipeline, riffle pipeline, and triangular barter (the
@@ -446,6 +481,32 @@ void sanitize(Scenario& sc) {
       sc.overlay = OverlayKind::kHypercube;
     }
   }
+
+  // Stream clamps (sc.engine/scheduler were already coerced above). The
+  // async mirror replays every recorded transfer through pob/async, so keep
+  // the file small; arrivals replace config departures outright, and rate
+  // classes replace the static heterogeneous cap vectors.
+  if (sc.stream) {
+    sc.k = std::min(sc.k, 24u);
+    sc.departures.clear();
+    sc.depart_on_complete = false;
+    sc.drop_on_churn = false;
+    if (sc.rate_class_count != 0) {
+      sc.rate_class_count = std::clamp(sc.rate_class_count, 2u, 3u);
+      sc.upload_caps.clear();
+      sc.download_caps.clear();
+    }
+    if (sc.rate_class_count == 0) {
+      sc.rate_changes = 0;  // kRate events need classes to draw from
+    } else {
+      sc.rate_changes = std::min(sc.rate_changes, 8u);
+    }
+    sc.startup_blocks = std::clamp(sc.startup_blocks, 1u, sc.k);
+    sc.playback_interval = std::clamp<Tick>(sc.playback_interval, 1, 4);
+    if (sc.playback_window != 0) {
+      sc.playback_window = std::clamp(sc.playback_window, 1u, sc.k);
+    }
+  }
 }
 
 Scenario sample_scenario(std::uint64_t base_seed, std::uint32_t index) {
@@ -539,6 +600,29 @@ Scenario sample_scenario(std::uint64_t base_seed, std::uint32_t index) {
         break;
       default:
         break;  // the randomized family, as sanitize coerces
+    }
+    // A third of the randomized scale draws become stream scenarios: the
+    // hybrid tick+event driver, mirrored through pob/async at these sizes.
+    // The mirror's replay is O(transfers), so the stream sampler stays well
+    // under the scale cap (sanitize admits up to kMaxScaleNodes for
+    // hand-written repros).
+    if (sc.scheduler == SchedulerKind::kRandomized && rng.below(3) == 0) {
+      sc.stream = true;
+      sc.n = 4 + rng.below(509);
+      constexpr scale::stream::ArrivalPattern kPatterns[] = {
+          scale::stream::ArrivalPattern::kAllAtStart,
+          scale::stream::ArrivalPattern::kPoisson,
+          scale::stream::ArrivalPattern::kFlashCrowd,
+          scale::stream::ArrivalPattern::kBurst,
+      };
+      sc.arrival_pattern =
+          kPatterns[rng.below(static_cast<std::uint32_t>(std::size(kPatterns)))];
+      sc.rate_class_count = rng.below(2) == 0 ? 0 : 2 + rng.below(2);
+      sc.rate_changes = sc.rate_class_count == 0 ? 0 : rng.below(9);
+      sc.playback_window = rng.below(2) == 0 ? 0 : 1 + rng.below(8);
+      sc.startup_blocks = 1 + rng.below(4);
+      sc.playback_interval = 1 + rng.below(2);
+      sc.hard_deadlines = rng.below(2) == 0;
     }
   }
   sanitize(sc);
@@ -694,6 +778,45 @@ scale::ScaleOptions make_scale_options(const Scenario& sc) {
   return opt;
 }
 
+scale::stream::StreamSpec make_stream_spec(const Scenario& sc) {
+  scale::stream::StreamSpec spec;
+  spec.config = sc.to_config();
+  spec.topology = make_scale_topology(sc);
+  spec.options = make_scale_options(sc);
+  spec.seed = sc.seed;
+
+  scale::stream::StreamWorkload& wl = spec.workload;
+  wl.arrivals = sc.arrival_pattern;
+  // Pattern parameters are seed-derived (pure, like the planner knobs in
+  // make_scale_options) and kept tight so sampled runs resolve in tens of
+  // ticks: sub-tick to multi-tick Poisson gaps, a spike inside the first
+  // dozen ticks, cohorts of a handful to ~100 clients.
+  wl.mean_gap16 = 4 + static_cast<std::uint32_t>((sc.seed >> 4) % 29);
+  wl.flash_start = 2 + static_cast<Tick>((sc.seed >> 9) % 7);
+  wl.flash_width = 1 + static_cast<std::uint32_t>((sc.seed >> 12) % 6);
+  wl.flash_pct = 50 + static_cast<std::uint32_t>((sc.seed >> 15) % 51);
+  wl.burst_period = 1 + static_cast<std::uint32_t>((sc.seed >> 21) % 6);
+  wl.burst_size = 4 + static_cast<std::uint32_t>((sc.seed >> 24) % 97);
+  for (std::uint32_t i = 0; i < sc.rate_class_count; ++i) {
+    scale::stream::RateClass cls;
+    cls.weight = 1 + i;
+    cls.up = 1 + i;
+    // down >= up always holds (the model rule build_workload enforces);
+    // the first class keeps unlimited download like the scalar default.
+    cls.down = i == 0 ? kUnlimited : 2 * (1 + i);
+    wl.rate_classes.push_back(cls);
+  }
+  wl.rate_changes = sc.rate_changes;
+  wl.rate_change_horizon = 32;
+
+  spec.demand.window = sc.playback_window;
+  spec.demand.startup_blocks = sc.startup_blocks;
+  spec.demand.interval = sc.playback_interval;
+  spec.demand.deadlines = sc.hard_deadlines;
+  spec.demand.deadline_slack = 2;
+  return spec;
+}
+
 namespace {
 
 /// The scale-engine scenario check: the engine must agree with itself across
@@ -792,9 +915,60 @@ ScenarioOutcome run_scale_scenario(const Scenario& sc) {
   return {true, ""};
 }
 
+/// The stream-scenario check: the hybrid tick+event driver must (a) be
+/// accepted by pob/async replaying its exact transfer stream in continuous
+/// time and reproduce every field — including the streaming metrics,
+/// recomputed independently from the log — (b) agree with itself across job
+/// counts, and (c) agree with itself across scan kernels.
+ScenarioOutcome run_stream_scenario(const Scenario& sc) {
+  const StreamMirrorReport mirror = stream_mirror_check(make_stream_spec(sc), 1);
+  if (!mirror.ok) {
+    return {false, "stream mirror (pob/async) disagrees: " + mirror.diagnosis};
+  }
+  const RunResult& r_serial = mirror.scale;  // recorded with record_trace on
+
+  {
+    scale::stream::StreamSpec spec = make_stream_spec(sc);
+    spec.config.record_trace = true;
+    scale::stream::StreamEngine threaded(std::move(spec));
+    const RunResult r4 = threaded.run(4);
+    if (const std::string d = diff_run_results(r_serial, r4); !d.empty()) {
+      return {false, "stream engine diverges between jobs=1 and jobs=4: " + d};
+    }
+  }
+
+  {
+    scale::stream::StreamSpec spec = make_stream_spec(sc);
+    spec.config.record_trace = true;
+    spec.options.scan_kernel =
+        spec.options.scan_kernel == scale::ScanKernel::kScalar
+            ? scale::ScanKernel::kAuto
+            : scale::ScanKernel::kScalar;
+    scale::stream::StreamEngine other(std::move(spec));
+    const RunResult r = other.run(1);
+    if (const std::string d = diff_run_results(r_serial, r); !d.empty()) {
+      return {false, "stream engine diverges between scan kernels: " + d};
+    }
+  }
+
+  // Metric sanity on top of the mirror's field-for-field agreement: a
+  // completed run has no censored startup latencies, and the deadline
+  // counters are consistent.
+  if (r_serial.completed && r_serial.never_started != 0) {
+    return {false, "completed stream run reports " +
+                       std::to_string(r_serial.never_started) +
+                       " never-started clients"};
+  }
+  if (r_serial.deadline_misses > r_serial.deadline_checks) {
+    return {false, "deadline_misses exceeds deadline_checks"};
+  }
+  return {true, ""};
+}
+
 }  // namespace
 
 ScenarioOutcome run_scenario(const Scenario& sc) {
+  if (sc.stream) return run_stream_scenario(sc);
   if (sc.engine == EngineKind::kScale) return run_scale_scenario(sc);
   BuiltScenario built = build_scenario(sc);
   Scheduler* scheduler = built.scheduler.get();

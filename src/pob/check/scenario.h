@@ -18,6 +18,7 @@
 #include "pob/core/scheduler.h"
 #include "pob/overlay/overlay.h"
 #include "pob/scale/engine.h"
+#include "pob/scale/stream/stream_engine.h"
 
 namespace pob::check {
 
@@ -82,6 +83,20 @@ struct Scenario {
   bool depart_on_complete = false;
   FaultKind fault = FaultKind::kNone;
 
+  // --- Stream axis (pob/scale/stream; kScale + kRandomized only) -------
+  // A stream scenario runs the hybrid tick+event driver three ways (serial,
+  // jobs=4, flipped scan kernel) and mirrors it through pob/async; arrivals
+  // replace config departures, rate classes replace the static hetero caps.
+  bool stream = false;
+  scale::stream::ArrivalPattern arrival_pattern =
+      scale::stream::ArrivalPattern::kFlashCrowd;
+  std::uint32_t rate_class_count = 0;  ///< 0 = uniform capacities
+  std::uint32_t rate_changes = 0;      ///< mid-run kRate events (needs classes)
+  std::uint32_t playback_window = 0;   ///< 0 = random demand, else window W
+  std::uint32_t startup_blocks = 2;
+  Tick playback_interval = 1;
+  bool hard_deadlines = false;
+
   EngineConfig to_config() const;
   std::string describe() const;
   /// Ready-to-paste gtest case reproducing this scenario.
@@ -118,6 +133,12 @@ BuiltScenario build_scenario(const Scenario& sc);
 /// when the mechanism is CreditLimited).
 std::shared_ptr<const scale::Topology> make_scale_topology(const Scenario& sc);
 scale::ScaleOptions make_scale_options(const Scenario& sc);
+
+/// The StreamSpec a stream scenario (sc.stream) runs: config + topology +
+/// options as above, workload pattern parameters derived from the scenario
+/// seed, and the demand model from the playback fields. Shared between the
+/// fuzzer runner, the golden-corpus renderer and the repro tests.
+scale::stream::StreamSpec make_stream_spec(const Scenario& sc);
 
 struct ScenarioOutcome {
   bool ok = true;

@@ -1,0 +1,222 @@
+#include "pob/check/stream_check.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <vector>
+
+#include "pob/async/event_engine.h"
+#include "pob/scale/stream/demand.h"
+
+namespace pob::check {
+namespace {
+
+using scale::stream::DemandTracker;
+using scale::stream::StreamEngine;
+using scale::stream::StreamSpec;
+
+// Timing tolerance for "has this queued transfer's start time arrived":
+// wakeup timers are scheduled as now + (start - now), which need not round
+// back to exactly `start`. Distinct legitimate event times differ by at
+// least 1/rate, orders of magnitude above this.
+constexpr double kTimeEps = 1e-9;
+
+struct QueuedSend {
+  Transfer tr;
+  double start = 0.0;  // tick t transfer => t - 1
+};
+
+// Replays the recorded tick trace through the continuous-time engine. Each
+// sender serves its queue in trace order; its rate is one more than its
+// busiest tick's send count, so tick t's sends chain strictly inside
+// (t-1, t) — every finish lands in the open interval, which (a) guarantees
+// the sender of a tick-(t+1) transfer holds the block strictly before the
+// transfer starts, and (b) makes ceil(finish) the original tick number with
+// a full 1/rate margin on both sides.
+class ReplayPolicy final : public AsyncPolicy {
+ public:
+  ReplayPolicy(std::uint32_t n, const std::vector<std::vector<Transfer>>& trace) {
+    queues_.resize(n);
+    next_.assign(n, 0);
+    for (std::size_t t = 0; t < trace.size(); ++t) {
+      for (const Transfer& tr : trace[t]) {
+        queues_[tr.from].push_back({tr, static_cast<double>(t)});
+      }
+    }
+  }
+
+  Transfer next_upload(NodeId node, double now, const AsyncView&) override {
+    if (next_[node] >= queues_[node].size()) return {};
+    const QueuedSend& q = queues_[node][next_[node]];
+    if (now + kTimeEps < q.start) return {};
+    ++next_[node];
+    return q.tr;
+  }
+
+  double retry_after(NodeId node, double now) override {
+    if (next_[node] >= queues_[node].size()) return 0.0;
+    return std::max(queues_[node][next_[node]].start - now, kTimeEps);
+  }
+
+ private:
+  std::vector<std::vector<QueuedSend>> queues_;
+  std::vector<std::size_t> next_;
+};
+
+Tick tick_of(double finish) { return static_cast<Tick>(std::ceil(finish - kTimeEps)); }
+
+std::string fail(const char* what, double scale_v, double async_v) {
+  std::ostringstream os;
+  os << what << ": scale=" << scale_v << " async=" << async_v;
+  return os.str();
+}
+
+bool transfer_less(const Transfer& a, const Transfer& b) {
+  if (a.from != b.from) return a.from < b.from;
+  if (a.to != b.to) return a.to < b.to;
+  return a.block < b.block;
+}
+
+}  // namespace
+
+StreamMirrorReport stream_mirror_check(const StreamSpec& spec, unsigned jobs) {
+  StreamMirrorReport report;
+
+  StreamSpec traced = spec;
+  traced.config.record_trace = true;
+  StreamEngine stream(traced);
+  const std::vector<Tick> arrivals = stream.arrivals();
+  report.scale = stream.run(jobs);
+  const RunResult& sr = report.scale;
+  const std::uint32_t n = spec.config.num_nodes;
+  const Tick last_tick = sr.ticks_executed;
+
+  // --- Replay through the event engine --------------------------------
+  ReplayPolicy policy(n, sr.trace);
+  AsyncConfig acfg;
+  acfg.num_nodes = n;
+  acfg.num_blocks = spec.config.num_blocks;
+  acfg.upload_rate.assign(n, 1.0);
+  for (const auto& tick : sr.trace) {
+    std::vector<std::uint32_t> sends(n, 0);
+    for (const Transfer& tr : tick) ++sends[tr.from];
+    for (NodeId u = 0; u < n; ++u) {
+      acfg.upload_rate[u] =
+          std::max(acfg.upload_rate[u], static_cast<double>(sends[u] + 1));
+    }
+  }
+  acfg.download_ports = kUnlimited;
+  acfg.max_time = static_cast<double>(last_tick) + 2.0;
+  acfg.record_log = true;
+  AsyncResult ar = run_async(acfg, policy);
+
+  const auto reject = [&report](std::string why) {
+    report.ok = false;
+    report.diagnosis = std::move(why);
+    return report;
+  };
+
+  // --- Structural agreement -------------------------------------------
+  if (sr.completed != ar.completed) {
+    return reject(fail("completed", sr.completed ? 1 : 0, ar.completed ? 1 : 0));
+  }
+  if (sr.total_transfers != ar.total_transfers) {
+    return reject(fail("total_transfers", static_cast<double>(sr.total_transfers),
+                       static_cast<double>(ar.total_transfers)));
+  }
+  for (NodeId c = 1; c < n; ++c) {
+    const Tick st = sr.client_completion[c - 1];
+    const double at = ar.client_completion[c - 1];
+    if (st == 0) {
+      if (!std::isnan(at)) {
+        return reject(fail(("client " + std::to_string(c) +
+                            " completion (scale incomplete)").c_str(),
+                           0.0, at));
+      }
+    } else if (std::isnan(at) || tick_of(at) != st) {
+      return reject(fail(("client " + std::to_string(c) + " completion tick").c_str(),
+                         static_cast<double>(st), at));
+    }
+  }
+
+  // Per-tick delivery sets: bucket the async log by ceil(finish) and compare
+  // each tick's multiset against the recorded trace tick.
+  std::vector<std::vector<Transfer>> async_ticks(last_tick);
+  for (const AsyncTransfer& at : ar.log) {
+    const Tick t = tick_of(at.finish);
+    if (t < 1 || t > last_tick) {
+      return reject("async finish time " + std::to_string(at.finish) +
+                    " maps outside the tick range");
+    }
+    async_ticks[t - 1].push_back(at.transfer);
+  }
+  for (Tick t = 1; t <= last_tick; ++t) {
+    std::vector<Transfer> want = sr.trace[t - 1];
+    std::vector<Transfer>& got = async_ticks[t - 1];
+    std::sort(want.begin(), want.end(), transfer_less);
+    std::sort(got.begin(), got.end(), transfer_less);
+    if (want != got) {
+      return reject("tick " + std::to_string(t) + " delivery sets differ (" +
+                    std::to_string(want.size()) + " vs " + std::to_string(got.size()) +
+                    " transfers)");
+    }
+  }
+
+  // --- Independent streaming-metric recompute --------------------------
+  // The same DemandTracker fold, fed from the async event log instead of
+  // the engine's accepted stream; every metric must match bit-for-bit.
+  DemandTracker tracker(spec.demand, n, spec.config.num_blocks, arrivals);
+  {
+    std::size_t next = 0;
+    std::vector<const AsyncTransfer*> by_tick(ar.log.size());
+    for (std::size_t i = 0; i < ar.log.size(); ++i) by_tick[i] = &ar.log[i];
+    std::sort(by_tick.begin(), by_tick.end(),
+              [](const AsyncTransfer* a, const AsyncTransfer* b) {
+                return tick_of(a->finish) < tick_of(b->finish);
+              });
+    for (Tick t = 1; t <= last_tick; ++t) {
+      while (next < by_tick.size() && tick_of(by_tick[next]->finish) == t) {
+        tracker.on_delivery(by_tick[next]->transfer.to, by_tick[next]->transfer.block, t);
+        ++next;
+      }
+      tracker.end_tick(t);
+    }
+  }
+  RunResult mirror;
+  tracker.finalize(last_tick, mirror);
+
+  for (std::size_t i = 0; i < sr.startup_latency.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(sr.startup_latency[i]) !=
+        std::bit_cast<std::uint64_t>(mirror.startup_latency[i])) {
+      return reject(fail(("startup_latency[" + std::to_string(i) + "]").c_str(),
+                         sr.startup_latency[i], mirror.startup_latency[i]));
+    }
+  }
+  for (std::size_t i = 0; i < sr.rebuffer_ticks.size(); ++i) {
+    if (sr.rebuffer_ticks[i] != mirror.rebuffer_ticks[i]) {
+      return reject(fail(("rebuffer_ticks[" + std::to_string(i) + "]").c_str(),
+                         static_cast<double>(sr.rebuffer_ticks[i]),
+                         static_cast<double>(mirror.rebuffer_ticks[i])));
+    }
+  }
+  if (sr.deadline_misses != mirror.deadline_misses) {
+    return reject(fail("deadline_misses", static_cast<double>(sr.deadline_misses),
+                       static_cast<double>(mirror.deadline_misses)));
+  }
+  if (sr.deadline_checks != mirror.deadline_checks) {
+    return reject(fail("deadline_checks", static_cast<double>(sr.deadline_checks),
+                       static_cast<double>(mirror.deadline_checks)));
+  }
+  if (sr.never_started != mirror.never_started) {
+    return reject(fail("never_started", sr.never_started, mirror.never_started));
+  }
+  if (sr.rebuffered_clients != mirror.rebuffered_clients) {
+    return reject(fail("rebuffered_clients", sr.rebuffered_clients,
+                       mirror.rebuffered_clients));
+  }
+  return report;
+}
+
+}  // namespace pob::check

@@ -1,0 +1,34 @@
+// Small-n validation of the stream layer against pob/async: run the hybrid
+// tick+event StreamEngine with trace recording on, replay the recorded
+// transfer stream through the continuous-time event engine (each tick-t
+// transfer occupies its sender's upload port inside real time (t-1, t)),
+// and require agreement on completion, per-client completion ticks, the
+// per-tick delivery sets, and — recomputed independently from the async
+// event log by the same DemandTracker fold — every streaming metric,
+// bit-for-bit including the censored NaNs.
+
+#pragma once
+
+#include <string>
+
+#include "pob/core/engine.h"
+#include "pob/scale/stream/stream_engine.h"
+
+namespace pob::check {
+
+struct StreamMirrorReport {
+  bool ok = true;
+  /// First disagreement found (empty when ok).
+  std::string diagnosis;
+  /// The stream engine's result (trace recorded), whatever the verdict.
+  RunResult scale;
+};
+
+/// Runs `spec` through scale::stream::StreamEngine on `jobs` workers and
+/// mirrors it through pob/async. Intended for n up to a few thousand: the
+/// async side re-simulates every transfer as an event and wakes all n nodes
+/// per completion.
+StreamMirrorReport stream_mirror_check(const scale::stream::StreamSpec& spec,
+                                       unsigned jobs = 1);
+
+}  // namespace pob::check

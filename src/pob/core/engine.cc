@@ -15,6 +15,16 @@ double RunResult::mean_client_completion() const {
   return static_cast<double>(sum) / static_cast<double>(client_completion.size());
 }
 
+double RunResult::deadline_miss_fraction() const {
+  if (deadline_checks == 0) return 0.0;
+  return static_cast<double>(deadline_misses) /
+         static_cast<double>(deadline_checks);
+}
+
+Count RunResult::total_rebuffer_ticks() const {
+  return std::accumulate(rebuffer_ticks.begin(), rebuffer_ticks.end(), Count{0});
+}
+
 double RunResult::utilization(Tick t, const EngineConfig& cfg) const {
   if (t == 0 || t > uploads_per_tick.size()) return 0.0;
   if (t <= active_slots_per_tick.size()) {

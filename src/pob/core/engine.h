@@ -120,9 +120,38 @@ struct RunResult {
   std::vector<Count> active_slots_per_tick;
   std::vector<std::vector<Transfer>> trace;     ///< per tick, if recorded
 
+  // --- Streaming-demand metrics (pob/scale/stream) ----------------------
+  // Filled only by streaming drives; empty / zero for plain runs, so plain
+  // results (and their digests) are unaffected by these fields existing.
+
+  /// Per client (index 0 = node 1): ticks from the client's arrival until
+  /// its playback prefix first reached startup_blocks. NaN = never started
+  /// (the censored-client convention client_completion uses tick 0 for).
+  std::vector<double> startup_latency;
+
+  /// Per client: ticks the playback cursor spent paused after startup
+  /// because the next in-order block had not arrived yet.
+  std::vector<Count> rebuffer_ticks;
+
+  Count deadline_misses = 0;  ///< playback deadlines that fired unmet
+  Count deadline_checks = 0;  ///< playback deadlines evaluated in total
+
+  /// Clients that never reached startup before the run was cut off
+  /// (startup_latency NaN) vs clients that started but paused at least
+  /// once. Disjoint by construction: a never-started client has no playback
+  /// cursor to pause, so it accrues no rebuffer ticks.
+  std::uint32_t never_started = 0;
+  std::uint32_t rebuffered_clients = 0;
+
   /// Mean client completion tick ("average time for nodes to finish",
   /// §3.2.4 remarks on it being less dramatic than the maximum).
   double mean_client_completion() const;
+
+  /// deadline_misses / deadline_checks (0 when no deadlines were checked).
+  double deadline_miss_fraction() const;
+
+  /// Sum of rebuffer_ticks over all clients.
+  Count total_rebuffer_ticks() const;
 
   /// Fraction of upload slots used in tick t (1-based). Uses the recorded
   /// per-tick active capacity when available, so departures shrink the

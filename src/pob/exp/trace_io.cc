@@ -24,12 +24,18 @@ EngineConfig LoadedTrace::to_config() const {
 }
 
 void write_trace(std::ostream& os, const EngineConfig& config, const RunResult& result) {
+  write_trace(os, config, result, TraceEvents{});
+}
+
+void write_trace(std::ostream& os, const EngineConfig& config, const RunResult& result,
+                 const TraceEvents& events) {
   const bool extended = !config.upload_capacities.empty() ||
                         !config.download_capacities.empty() ||
                         !config.departures.empty() ||
                         config.drop_transfers_involving_inactive ||
                         config.depart_on_complete;
-  os << "pobtrace " << (extended ? 2 : 1) << ' ' << config.num_nodes << ' '
+  const int version = !events.empty() ? 3 : (extended ? 2 : 1);
+  os << "pobtrace " << version << ' ' << config.num_nodes << ' '
      << config.num_blocks << ' ' << config.upload_capacity << ' '
      << (config.download_capacity == kUnlimited ? 0 : config.download_capacity) << ' '
      << config.server_upload_capacity << '\n';
@@ -56,6 +62,13 @@ void write_trace(std::ostream& os, const EngineConfig& config, const RunResult& 
     if (config.drop_transfers_involving_inactive) os << "!drop\n";
     if (config.depart_on_complete) os << "!depart-on-complete\n";
   }
+  for (const auto& [tick, node] : events.arrivals) {
+    os << "!arrive " << tick << ' ' << node << '\n';
+  }
+  for (const RateChange& rc : events.rate_changes) {
+    os << "!rate " << rc.tick << ' ' << rc.node << ' ' << rc.up << ' '
+       << (rc.down == kUnlimited ? 0 : rc.down) << '\n';
+  }
   for (const auto& tick : result.trace) {
     bool first = true;
     for (const Transfer& tr : tick) {
@@ -69,10 +82,39 @@ void write_trace(std::ostream& os, const EngineConfig& config, const RunResult& 
 
 namespace {
 
-void parse_directive(const std::string& line, LoadedTrace& trace) {
+void parse_directive(const std::string& line, LoadedTrace& trace, int version) {
   std::istringstream in(line);
   std::string word;
   in >> word;
+  if (word == "!arrive" || word == "!rate") {
+    if (version < 3) {
+      throw std::invalid_argument("pobtrace: " + word +
+                                  " is a v3 directive, trace is v" +
+                                  std::to_string(version));
+    }
+    if (word == "!arrive") {
+      Tick tick = 0;
+      NodeId node = 0;
+      in >> tick >> node;
+      if (!in || tick < 1 || node == 0 || node >= trace.num_nodes) {
+        throw std::invalid_argument("pobtrace: bad arrival: " + line);
+      }
+      trace.events.arrivals.emplace_back(tick, node);
+    } else {
+      RateChange rc;
+      in >> rc.tick >> rc.node >> rc.up >> rc.down;
+      if (!in || rc.tick < 1 || rc.node >= trace.num_nodes) {
+        throw std::invalid_argument("pobtrace: bad rate change: " + line);
+      }
+      if (rc.down == 0) rc.down = kUnlimited;
+      trace.events.rate_changes.push_back(rc);
+    }
+    std::string extra;
+    if (in >> extra) {
+      throw std::invalid_argument("pobtrace: trailing fields: " + line);
+    }
+    return;
+  }
   if (word == "!up" || word == "!down") {
     auto& caps = word == "!up" ? trace.upload_capacities : trace.download_capacities;
     std::uint32_t c = 0;
@@ -123,7 +165,7 @@ LoadedTrace read_trace(std::istream& is) {
     std::uint32_t download = 0;
     header >> magic >> version >> trace.num_nodes >> trace.num_blocks >>
         trace.upload_capacity >> download >> trace.server_upload_capacity;
-    if (!header || magic != "pobtrace" || (version != 1 && version != 2)) {
+    if (!header || magic != "pobtrace" || version < 1 || version > 3) {
       throw std::invalid_argument("pobtrace: bad header: " + line);
     }
     trace.download_capacity = download == 0 ? kUnlimited : download;
@@ -135,7 +177,7 @@ LoadedTrace read_trace(std::istream& is) {
       if (version < 2 || !in_preamble) {
         throw std::invalid_argument("pobtrace: unexpected directive: " + line);
       }
-      parse_directive(line, trace);
+      parse_directive(line, trace, version);
       continue;
     }
     in_preamble = false;

@@ -25,6 +25,20 @@
 //
 // write_trace emits version 1 when none of the extensions are present, so
 // existing v1 traces and consumers are unaffected.
+//
+// Version 3 adds the stream layer's event preamble (pob/scale/stream): one
+// directive per event, 0 = unlimited for the rate's download column:
+//
+//   pobtrace 3 <n> <k> <upload> <download> <server_upload>
+//   !arrive <tick> <node>
+//   !rate <tick> <node> <up> <down>
+//
+// A node named by !arrive is absent until the start of that tick. Replaying
+// a v3 trace through the core engine (which has no arrival concept) is
+// still legal — a node present early simply has more freedom than the
+// recorded schedule used — so the golden-corpus differential replay keeps
+// working on stream traces. Version 2 traces containing !arrive/!rate are
+// rejected: the directives are a v3 feature, not a v2 one.
 
 #pragma once
 
@@ -36,6 +50,25 @@
 #include "pob/core/scheduler.h"
 
 namespace pob {
+
+/// One mid-run capacity change (v3 `!rate` directive).
+struct RateChange {
+  Tick tick = 0;
+  NodeId node = 0;
+  std::uint32_t up = 0;
+  std::uint32_t down = 0;
+
+  friend bool operator==(const RateChange&, const RateChange&) = default;
+};
+
+/// The v3 event preamble a stream run hands write_trace alongside its
+/// config and result.
+struct TraceEvents {
+  std::vector<std::pair<Tick, NodeId>> arrivals;
+  std::vector<RateChange> rate_changes;
+
+  bool empty() const { return arrivals.empty() && rate_changes.empty(); }
+};
 
 struct LoadedTrace {
   std::uint32_t num_nodes = 0;
@@ -49,6 +82,10 @@ struct LoadedTrace {
   std::vector<std::pair<Tick, NodeId>> departures;
   bool drop_transfers_involving_inactive = false;
   bool depart_on_complete = false;
+  // v3 extensions (empty in v1/v2 traces). to_config() ignores them: the
+  // core engine has no arrival concept, and replaying with every node
+  // present from tick 0 only grants the schedule more freedom.
+  TraceEvents events;
   std::vector<std::vector<Transfer>> ticks;
 
   EngineConfig to_config() const;
@@ -56,6 +93,10 @@ struct LoadedTrace {
 
 /// Writes the run's trace (config.record_trace must have been set).
 void write_trace(std::ostream& os, const EngineConfig& config, const RunResult& result);
+
+/// As above, with a v3 event preamble; a non-empty `events` forces v3.
+void write_trace(std::ostream& os, const EngineConfig& config, const RunResult& result,
+                 const TraceEvents& events);
 
 /// Parses a trace; throws std::invalid_argument on malformed input.
 LoadedTrace read_trace(std::istream& is);

@@ -212,6 +212,11 @@ Engine::Engine(const EngineConfig& config, std::shared_ptr<const Topology> topol
   // per rule), never silently produce garbage intents.
   if (opt_.scheduler != SchedKind::kRandomized) {
     const char* sname = sched_kind_name(opt_.scheduler);
+    if (opt_.stream_window != 0) {
+      throw EngineViolation(std::string("scale: ") + sname +
+                            " emits a fixed schedule; sequential stream "
+                            "demand (stream_window) is randomized-only");
+    }
     if (!std::has_single_bit(n)) {
       throw EngineViolation(std::string("scale: ") + sname +
                             " requires power-of-two num_nodes (got " +
@@ -520,7 +525,25 @@ bool Engine::scan_pair(NodeId u, NodeId v, DiffScan& scan, bool guided) const {
   return total != 0;
 }
 
+bool Engine::window_admits(NodeId v, const DiffScan& scan) const {
+  // Sequential demand: viable only if the lowest deliverable block lies in
+  // v's sliding window. Every diff bit is >= first_missing(v) — v holds its
+  // whole prefix — so only the scan's first recorded bit matters. The
+  // verdict is a pure function of both possession rows (the window bound of
+  // v's row, the lowest diff of both), so a failure may be probe-cached
+  // under the same (ver_u, ver_v) key as an empty diff.
+  const std::uint32_t lowest =
+      (scan.widx[0] << 6) + static_cast<std::uint32_t>(std::countr_zero(scan.words[0]));
+  return lowest < static_cast<std::uint64_t>(first_missing(v)) + opt_.stream_window;
+}
+
 BlockId Engine::pick_from_scan(const DiffScan& scan, Rng& rng) const {
+  if (opt_.stream_window != 0) {
+    // In-order priority: always the lowest deliverable block, no RNG draw.
+    // (The caller verified it is inside the receiver's window.)
+    return static_cast<BlockId>(
+        (scan.widx[0] << 6) + static_cast<std::uint32_t>(std::countr_zero(scan.words[0])));
+  }
   if (opt_.policy == BlockPolicy::kRandom) {
     // Rank-select over the recorded per-word popcounts; one rng draw, as
     // BlockSet::pick_random_useful.
@@ -649,14 +672,19 @@ void Engine::generate_node(NodeId u, Rng& rng, NodeId first_probe,
       const bool maybe_useless =
           static_cast<std::uint64_t>(ver_u) * (k_ - ver_v) <
           (static_cast<std::uint64_t>(k_) << 3);
+      const std::uint32_t window = opt_.stream_window;
       if (maybe_useless) {
         if (!summary_overlap(u, v)) continue;
         if (cache.is_useless(u, v, ver_u, ver_v)) continue;
-        if (!scan_pair(u, v, scan, /*guided=*/true)) {
+        if (!scan_pair(u, v, scan, /*guided=*/true) ||
+            (window != 0 && !window_admits(v, scan))) {
+          // Both rejections are pure functions of the two rows, so both are
+          // cacheable under the version-pinned key.
           cache.note_useless(u, v, ver_u, ver_v);
           continue;
         }
-      } else if (!scan_pair(u, v, scan, /*guided=*/false)) {
+      } else if (!scan_pair(u, v, scan, /*guided=*/false) ||
+                 (window != 0 && !window_admits(v, scan))) {
         continue;  // a rare dense-pair miss: not worth cache bookkeeping
       }
       target = v;
@@ -667,7 +695,12 @@ void Engine::generate_node(NodeId u, Rng& rng, NodeId first_probe,
       // target AND the whole neighborhood is provably non-viable, stamp the
       // node sated so future ticks skip it outright until it receives a
       // block (the stamp encodes ver+1 so any delivery invalidates it).
-      if (out.size() == first_intent && neighborhood_exhausted(u, scan, cache)) {
+      // The stamp is unsound under sequential windows: a RECEIVER's prefix
+      // growth slides its window forward over u's held blocks, creating
+      // viability without u's version changing — so window mode never
+      // stamps (the version-keyed probe cache carries the load instead).
+      if (out.size() == first_intent && opt_.stream_window == 0 &&
+          neighborhood_exhausted(u, scan, cache)) {
         sated_ver_[u] = ver_u + 1;
       }
       break;
@@ -764,6 +797,15 @@ void Engine::plan_phases(Tick tick, std::vector<Transfer>& out, ThreadPool* pool
   const bool timing = opt_.collect_phase_timings;
   auto stamp = std::chrono::steady_clock::time_point{};
   if (timing) stamp = std::chrono::steady_clock::now();
+
+  // Arrivals since the last plan added fresh targets, so every "no viable
+  // neighbor" stamp is suspect: wipe them all, once, serially. O(n) per
+  // arrival-bearing tick — a flash crowd of m arrivals costs O(n + m), not
+  // O(n * m), and tick streams without arrivals never pay it.
+  if (sated_dirty_) {
+    std::fill(sated_ver_.begin(), sated_ver_.end(), 0u);
+    sated_dirty_ = false;
+  }
 
   // Phase 1: intent generation, sharded by sender node range. Shards only
   // read the (frozen) swarm state and write their own vector + scheduler-
@@ -1116,6 +1158,86 @@ void Engine::deactivate(NodeId node) {
   // No summary/version/cache bookkeeping: a departure removes viability, it
   // never creates any, so cached "useless" verdicts and sated stamps about
   // the survivors stay valid.
+}
+
+void Engine::activate(NodeId node) {
+  if (node == kServer || node >= n_) {
+    throw std::invalid_argument("scale: cannot activate node " + std::to_string(node));
+  }
+  if (active_[node] != 0) return;
+  active_[node] = 1;
+  --num_departed_;
+  active_slots_ += up_caps_[node];
+  const std::uint64_t* r = row(node);
+  for (std::uint32_t w = 0; w < stride_; ++w) {
+    std::uint64_t held = r[w];
+    while (held != 0) {
+      const auto b = (w << 6) + static_cast<std::uint32_t>(std::countr_zero(held));
+      held &= held - 1;
+      ++freq_[b];
+    }
+  }
+  if (count_[node] < k_) ++num_incomplete_;
+  // Unlike deactivate, an arrival CREATES viability: the new node is a fresh
+  // target, so "no viable neighbor" verdicts about its neighbors are stale.
+  // Sated stamps are not version-keyed (that is their point), so they must
+  // go; the wipe is batched to once per plan, keeping a flash crowd of m
+  // arrivals at O(n + m), not O(n * m). Probe-cache entries survive: they
+  // are exact functions of both endpoints' rows, pinned by versions, and no
+  // entry about an inactive node is ever written.
+  sated_dirty_ = true;
+}
+
+void Engine::set_capacity(NodeId node, std::uint32_t up, std::uint32_t down) {
+  if (node >= n_) {
+    throw std::invalid_argument("scale: set_capacity on node " + std::to_string(node));
+  }
+  if (down == 0 || (node != kServer && down != kUnlimited && down < up)) {
+    throw EngineViolation("scale: set_capacity requires d >= u and d >= 1");
+  }
+  if (active_[node] != 0) {
+    active_slots_ = active_slots_ - up_caps_[node] + up;
+  }
+  up_caps_[node] = up;
+  if (down_caps_[node] != down) {
+    down_caps_[node] = down;
+    // Demote the all-unlimited fast path once any finite cap appears; never
+    // re-promoted (a scan per change is not worth a perf-only flag).
+    if (down != kUnlimited) down_caps_unlimited_ = false;
+  }
+  // No sated invalidation: a sated verdict says "no neighbor has a useful
+  // block for me to send", which is about possession, not slots.
+}
+
+std::span<const Transfer> Engine::step(ThreadPool* pool) {
+  lockstep_ = true;  // the stream driver owns the loop; run() is poisoned
+  ++tick_;
+  // Same loop head as run(): due config departures, then the depart-on-
+  // complete queue, both at the START of the tick.
+  while (next_departure_ < departures_.size() &&
+         departures_[next_departure_].first <= tick_) {
+    deactivate(departures_[next_departure_].second);
+    ++next_departure_;
+  }
+  if (cfg_.depart_on_complete) {
+    for (const NodeId c : leaving_) deactivate(c);
+    leaving_.clear();
+  }
+  accepted_.clear();
+  plan_phases(tick_, accepted_, pool);
+  apply_merged(tick_, accepted_, pool);
+  return accepted_;
+}
+
+BlockId Engine::first_missing(NodeId node) const {
+  const std::uint64_t* miss = summary_missing_row(node);
+  for (std::uint32_t g = 0; g < sum_stride_; ++g) {
+    if (miss[g] == 0) continue;
+    const auto w = (g << 6) + static_cast<std::uint32_t>(std::countr_zero(miss[g]));
+    const std::uint64_t gap = ~row(node)[w] & word_full_mask(w);
+    return (w << 6) + static_cast<std::uint32_t>(std::countr_zero(gap));
+  }
+  return k_;  // complete
 }
 
 RunResult Engine::run(unsigned jobs) {

@@ -140,6 +140,20 @@ struct ScaleOptions {
   /// Word-diff kernel selection; see ScanKernel. Results are identical
   /// either way — kScalar exists so tests and CI can prove exactly that.
   ScanKernel scan_kernel = ScanKernel::kAuto;
+
+  /// 0 = the paper's random block demand. >= 1 enables SEQUENTIAL demand
+  /// with a sliding playback window (the pob/scale/stream VoD mode): a
+  /// probe u -> v is viable only if the lowest block of su \ sv lies inside
+  /// v's window [first_missing(v), first_missing(v) + stream_window), and
+  /// the pick is always that lowest block (in-order priority, no RNG draw —
+  /// the draw sequence differs from random mode by design; within one mode
+  /// the stream stays bit-identical at any job count). Because a receiver's
+  /// window advances when its prefix grows, a previously useless sender can
+  /// become useful without the SENDER's version changing — so the sated-
+  /// node skip is disabled in this mode (the probe cache stays sound: its
+  /// entries are keyed on both endpoints' versions, and the window bound is
+  /// a pure function of the receiver's row). Randomized schedulers only.
+  std::uint32_t stream_window = 0;
 };
 
 /// Wall-clock seconds accumulated per tick phase (see
@@ -202,6 +216,44 @@ class Engine {
   /// leaves the active upload slots, its replicas stop counting, and it no
   /// longer needs to complete.
   void deactivate(NodeId node);
+
+  // --- Stream-driver API (pob/scale/stream) ----------------------------
+  // The hybrid tick+event layer constructs the engine with every late
+  // arrival pre-deactivated, then drives variable-population ticks through
+  // step() while injecting arrivals and rate changes between ticks. All
+  // mutators below are serial, called only between ticks.
+
+  /// (Re)admits a node (idempotent; no-op for an active node): its capacity
+  /// rejoins the active upload slots, its held blocks count as replicas
+  /// again, and — because a fresh incomplete target appeared — every sated
+  /// stamp in the swarm is invalidated (batched: cleared once at the next
+  /// plan, not per arrival).
+  void activate(NodeId node);
+
+  /// Changes a node's capacities mid-run (client rule d >= u enforced,
+  /// d >= 1; the server's download capacity is ignored as always). Takes
+  /// effect at the next planned tick.
+  void set_capacity(NodeId node, std::uint32_t up, std::uint32_t down);
+
+  /// One variable-population tick on a caller-owned pool (nullptr = the
+  /// calling thread): applies due config departures and the depart-on-
+  /// complete queue exactly like run()'s loop head, then runs the sharded
+  /// plan and the sharded commit. Returns the tick's accepted stream (valid
+  /// until the next step/plan call). Like plan(), poisons run().
+  std::span<const Transfer> step(ThreadPool* pool);
+
+  /// Lowest block `node` is missing, or k if complete — O(summary words)
+  /// via the missing-summary, then one possession word. The playback prefix
+  /// of the sequential-demand mode: every block below it is held.
+  BlockId first_missing(NodeId node) const;
+
+  Tick current_tick() const { return tick_; }
+  std::uint32_t blocks_held(NodeId node) const { return count_[node]; }
+  /// Completion tick of `node` (0 = not complete yet).
+  Tick node_completion(NodeId node) const { return completion_[node]; }
+  std::uint64_t active_upload_slots() const { return active_slots_; }
+  std::uint32_t num_departed() const { return num_departed_; }
+  Count node_uploads(NodeId node) const { return uploads_per_node_[node]; }
 
   bool is_active(NodeId node) const { return active_[node] != 0; }
   bool is_complete(NodeId node) const { return count_[node] >= k_; }
@@ -383,9 +435,15 @@ class Engine {
   /// path records identical entries, so the choice is perf-only.
   bool scan_pair(NodeId u, NodeId v, DiffScan& scan, bool guided) const;
 
+  /// Sequential-demand viability (opt_.stream_window != 0): true iff the
+  /// lowest block of the recorded diff lies inside v's sliding playback
+  /// window [first_missing(v), first_missing(v) + stream_window).
+  bool window_admits(NodeId v, const DiffScan& scan) const;
+
   /// Picks a block from a non-empty DiffScan; consumes the identical RNG
   /// draws (one below(total), or the rarest-first reservoir sequence) as
-  /// the historical two-pass pick_block.
+  /// the historical two-pass pick_block. Sequential-demand mode always
+  /// picks the lowest recorded bit and draws nothing.
   BlockId pick_from_scan(const DiffScan& scan, Rng& rng) const;
 
   /// Deterministic sweep of u's whole neighborhood: true iff no neighbor is
@@ -444,6 +502,7 @@ class Engine {
   HugeBuffer<std::uint64_t> summary_has_;      // n * sum_stride hierarchy
   HugeBuffer<std::uint64_t> summary_missing_;  // n * sum_stride hierarchy
   std::vector<std::uint32_t> sated_ver_;  // version+1 stamp when exhausted
+  bool sated_dirty_ = false;  // an arrival added targets; clear stamps at next plan
   HugeBuffer<std::uint32_t> count_;       // blocks held per node
   std::vector<Tick> completion_;          // completion tick per node (0 = not)
   HugeBuffer<std::uint8_t> active_;       // 0 once departed

@@ -1,0 +1,121 @@
+// Calendar queue for the hybrid tick+event stream layer (stream_engine.h):
+// integer-tick buckets in a power-of-two ring, with a far-future overflow
+// list migrated in ring-sized windows. Push and collect are O(1) amortized
+// per event — a million arrival events cost a million bucket appends, not a
+// million heap sifts.
+//
+// Determinism contract: collect(t) returns the tick's events sorted by
+// (node, kind, payload), so the order the driver applies them in is a pure
+// function of the event SET — independent of push order, which in turn is
+// independent of the job count (events are only pushed from the serial
+// driver loop and the serial workload build).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "pob/core/types.h"
+
+namespace pob::scale::stream {
+
+enum class EventKind : std::uint8_t {
+  kArrive = 0,   ///< node joins the swarm at the start of the tick
+  kRate = 1,     ///< node's (up, down) capacities change
+  kDeadline = 2, ///< playback deadline timer (DemandTracker)
+};
+
+struct StreamEvent {
+  Tick time = 0;
+  NodeId node = kNoNode;
+  EventKind kind = EventKind::kArrive;
+  std::uint32_t up = 0;      ///< kRate payload
+  std::uint32_t down = 0;    ///< kRate payload
+  BlockId block = kNoBlock;  ///< kDeadline payload: block under check
+
+  /// Total order within a tick: node id first (the ISSUE's "timestamp then
+  /// node id"), then kind, then the payload fields so even degenerate
+  /// duplicate events sort deterministically.
+  friend bool operator<(const StreamEvent& a, const StreamEvent& b) {
+    if (a.node != b.node) return a.node < b.node;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.block != b.block) return a.block < b.block;
+    if (a.up != b.up) return a.up < b.up;
+    return a.down < b.down;
+  }
+};
+
+class CalendarQueue {
+ public:
+  /// `ring_bits`: log2 of the ring width (default 1024 buckets). Width only
+  /// affects how often the overflow list is touched, never the result.
+  explicit CalendarQueue(std::uint32_t ring_bits = 10)
+      : mask_((std::size_t{1} << ring_bits) - 1), ring_(std::size_t{1} << ring_bits) {}
+
+  /// Schedules an event. `ev.time` must not precede a tick already
+  /// collected (the driver only schedules into the future).
+  void push(const StreamEvent& ev) {
+    if (ev.time < base_) {
+      throw std::logic_error("CalendarQueue: push into the past");
+    }
+    ++size_;
+    if (ev.time < base_ + width()) {
+      ring_[ev.time & mask_].push_back(ev);
+    } else {
+      overflow_.push_back(ev);
+    }
+  }
+
+  /// Removes and returns all events with time == t, sorted (see
+  /// StreamEvent::operator<). Ticks must be collected in non-decreasing
+  /// order; the returned reference is valid until the next collect().
+  const std::vector<StreamEvent>& collect(Tick t) {
+    // Advance the ring window first, migrating newly in-range overflow.
+    while (t >= base_ + width()) {
+      base_ += static_cast<Tick>(width());
+      if (!overflow_.empty()) {
+        auto keep = overflow_.begin();
+        for (auto it = overflow_.begin(); it != overflow_.end(); ++it) {
+          if (it->time < base_ + width()) {
+            ring_[it->time & mask_].push_back(*it);
+          } else {
+            *keep++ = *it;
+          }
+        }
+        overflow_.erase(keep, overflow_.end());
+      }
+    }
+    due_.clear();
+    std::vector<StreamEvent>& bucket = ring_[t & mask_];
+    // Within the current window a bucket holds exactly one tick's events
+    // (times are congruent mod width and in [base_, base_ + width)).
+    due_.swap(bucket);
+    size_ -= due_.size();
+    std::sort(due_.begin(), due_.end());
+    return due_;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::uint64_t size() const { return size_; }
+
+  std::uint64_t memory_bytes() const {
+    std::uint64_t bytes = overflow_.capacity() * sizeof(StreamEvent);
+    bytes += due_.capacity() * sizeof(StreamEvent);
+    for (const auto& bucket : ring_) bytes += bucket.capacity() * sizeof(StreamEvent);
+    return bytes;
+  }
+
+ private:
+  std::size_t width() const { return mask_ + 1; }
+
+  std::size_t mask_;
+  std::vector<std::vector<StreamEvent>> ring_;  // window [base_, base_ + width)
+  std::vector<StreamEvent> overflow_;           // events at or past base_ + width
+  std::vector<StreamEvent> due_;
+  Tick base_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace pob::scale::stream

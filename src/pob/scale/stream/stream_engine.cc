@@ -1,0 +1,132 @@
+#include "pob/scale/stream/stream_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace pob::scale::stream {
+
+StreamEngine::StreamEngine(StreamSpec spec)
+    : spec_(std::move(spec)),
+      plan_(build_workload(spec_.workload, spec_.config, spec_.seed)),
+      tracker_(spec_.demand, spec_.config.num_nodes, spec_.config.num_blocks,
+               plan_.arrival) {
+  spec_.options.stream_window = spec_.demand.window;
+  engine_ = std::make_unique<Engine>(spec_.config, spec_.topology, spec_.options,
+                                     spec_.seed);
+  // Class capacities first (set_capacity on an active node keeps the slot
+  // total consistent, and a later deactivate subtracts the updated cap).
+  if (!plan_.initial_up.empty()) {
+    for (NodeId u = 0; u < spec_.config.num_nodes; ++u) {
+      engine_->set_capacity(u, plan_.initial_up[u], plan_.initial_down[u]);
+    }
+  }
+  for (NodeId c = 1; c < spec_.config.num_nodes; ++c) {
+    if (plan_.arrival[c] >= 1) engine_->deactivate(c);
+  }
+  for (const StreamEvent& ev : plan_.events) calendar_.push(ev);
+  pending_arrivals_ = plan_.pending_arrivals;
+}
+
+RunResult StreamEngine::run(unsigned jobs) {
+  if (ran_) throw std::logic_error("stream: run() is one-shot");
+  ran_ = true;
+  ThreadPool pool(jobs);
+  const EngineConfig& cfg = spec_.config;
+
+  // The default cap budgets for a swarm that is all present at tick 0; a
+  // stream run cannot even see its last client before last_arrival, so the
+  // budget starts there.
+  const Tick cap =
+      cfg.max_ticks != 0
+          ? cfg.max_ticks
+          : default_tick_cap(cfg.num_nodes, cfg.num_blocks) + plan_.last_arrival;
+
+  RunResult result;
+  std::uint64_t window_sum = 0;
+  std::uint64_t window_slots_sum = 0;
+  std::vector<Count> steady_uploads;      // stall window, arrivals-done ticks only
+  std::vector<std::uint64_t> steady_slots;
+
+  Tick executed = 0;
+  while ((pending_arrivals_ != 0 || !engine_->all_complete()) && executed < cap) {
+    const Tick t = engine_->current_tick() + 1;
+    // Inject this tick's events before the tick plans: an arrival at t
+    // participates in tick t (it can receive immediately), matching the
+    // async mirror where the node exists from time t-1 onward.
+    if (!calendar_.empty()) {
+      for (const StreamEvent& ev : calendar_.collect(t)) {
+        switch (ev.kind) {
+          case EventKind::kArrive:
+            engine_->activate(ev.node);
+            --pending_arrivals_;
+            break;
+          case EventKind::kRate:
+            engine_->set_capacity(ev.node, ev.up, ev.down);
+            break;
+          case EventKind::kDeadline:
+            break;  // deadline timers live in the tracker's own calendar
+        }
+      }
+    }
+
+    const std::span<const Transfer> accepted = engine_->step(&pool);
+    ++executed;
+
+    result.total_transfers += accepted.size();
+    result.uploads_per_tick.push_back(accepted.size());
+    result.active_slots_per_tick.push_back(engine_->active_upload_slots());
+    if (cfg.record_trace) {
+      result.trace.emplace_back(accepted.begin(), accepted.end());
+    }
+    for (const Transfer& tr : accepted) tracker_.on_delivery(tr.to, tr.block, t);
+    tracker_.end_tick(t);
+
+    // Stall detection runs only once every client has arrived: before that,
+    // low utilization is the workload (a thin pre-spike swarm), not a stall.
+    if (cfg.stall_window != 0 && pending_arrivals_ == 0) {
+      steady_uploads.push_back(accepted.size());
+      steady_slots.push_back(engine_->active_upload_slots());
+      window_sum += accepted.size();
+      window_slots_sum += engine_->active_upload_slots();
+      const std::size_t steady = steady_uploads.size();
+      if (steady > cfg.stall_window) {
+        window_sum -= steady_uploads[steady - cfg.stall_window - 1];
+        window_slots_sum -= steady_slots[steady - cfg.stall_window - 1];
+      }
+      if (steady >= cfg.stall_window &&
+          static_cast<double>(window_sum) <
+              cfg.stall_utilization * static_cast<double>(window_slots_sum)) {
+        result.stalled = true;
+        break;
+      }
+    }
+  }
+
+  result.ticks_executed = executed;
+  result.completed = pending_arrivals_ == 0 && engine_->all_complete();
+  result.departed = engine_->num_departed();
+  const std::uint32_t n = cfg.num_nodes;
+  result.client_completion.resize(n - 1);
+  result.uploads_per_node.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (u != kServer) result.client_completion[u - 1] = engine_->node_completion(u);
+    result.uploads_per_node[u] = engine_->node_uploads(u);
+  }
+  if (result.completed) {
+    result.completion_tick = *std::max_element(result.client_completion.begin(),
+                                               result.client_completion.end());
+  }
+  tracker_.finalize(engine_->current_tick(), result);
+  return result;
+}
+
+std::uint64_t StreamEngine::state_bytes() const {
+  return engine_->state_bytes() + calendar_.memory_bytes() + tracker_.memory_bytes() +
+         plan_.arrival.capacity() * sizeof(Tick) +
+         plan_.events.capacity() * sizeof(StreamEvent) +
+         (plan_.initial_up.capacity() + plan_.initial_down.capacity()) *
+             sizeof(std::uint32_t);
+}
+
+}  // namespace pob::scale::stream

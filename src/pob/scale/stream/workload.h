@@ -1,0 +1,92 @@
+// Workload generators for the stream layer: arrival processes (Poisson
+// trickle, flash-crowd spike, periodic bursts), heterogeneous rate classes,
+// and mid-run rate churn. build_workload is a PURE function of (workload,
+// config, seed) — all sampling is integer-only (Bernoulli subtick gaps, no
+// libm), so the plan is bit-identical across platforms, runs and job counts.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pob/core/engine.h"
+#include "pob/core/types.h"
+#include "pob/scale/stream/calendar.h"
+
+namespace pob::scale::stream {
+
+enum class ArrivalPattern : std::uint8_t {
+  kAllAtStart = 0,  ///< the classic batch swarm: every client present at t=0
+  kPoisson = 1,     ///< steady trickle, geometric inter-arrival gaps
+  kFlashCrowd = 2,  ///< a spike window absorbs most clients, thin background
+  kBurst = 3,       ///< fixed-size cohorts every period ticks
+};
+
+const char* arrival_pattern_name(ArrivalPattern pattern);
+
+/// One heterogeneous capacity class; clients draw a class weighted by
+/// `weight`. Must satisfy the model rule down >= up (down == kUnlimited ok).
+struct RateClass {
+  std::uint32_t weight = 1;
+  std::uint32_t up = 1;
+  std::uint32_t down = kUnlimited;
+};
+
+struct StreamWorkload {
+  ArrivalPattern arrivals = ArrivalPattern::kAllAtStart;
+
+  /// kPoisson: inter-arrival gap between consecutive clients (node-id
+  /// order) is geometric with success probability 1/mean_gap16 per
+  /// 1/16-tick subtick — mean gap (mean_gap16 - 1)/16 ticks. 17 = about
+  /// one tick between arrivals; 2 = ~16 arrivals per tick (the densest
+  /// non-degenerate trickle); 1 degenerates to everyone at tick 1. Gaps
+  /// are capped at 64x mean_gap16 subticks so a pathological draw cannot
+  /// push an arrival past any horizon.
+  std::uint32_t mean_gap16 = 16;
+
+  /// kFlashCrowd: `flash_pct`% of clients arrive uniformly inside
+  /// [flash_start, flash_start + flash_width); the rest arrive uniformly
+  /// over the background window [1, flash_start + 4 * flash_width].
+  Tick flash_start = 8;
+  std::uint32_t flash_width = 4;
+  std::uint32_t flash_pct = 90;
+
+  /// kBurst: clients 1..burst_size at tick 1, the next cohort at
+  /// 1 + burst_period, and so on.
+  std::uint32_t burst_period = 4;
+  std::uint32_t burst_size = 64;
+
+  /// Heterogeneous capacity classes; empty keeps the config capacities.
+  /// Classes are assigned per client up front (set_capacity before the
+  /// run), so a late arrival lands with its class already in place.
+  std::vector<RateClass> rate_classes;
+
+  /// Mid-run rate churn: this many clients re-draw a class at a uniform
+  /// tick in [1, rate_change_horizon] (kRate events). Requires
+  /// rate_classes; 0 disables.
+  std::uint32_t rate_changes = 0;
+  Tick rate_change_horizon = 64;
+};
+
+struct WorkloadPlan {
+  /// Per node: arrival tick (0 = present from the start; server always 0).
+  std::vector<Tick> arrival;
+
+  /// kArrive + kRate events, times >= 1, ready for CalendarQueue::push.
+  std::vector<StreamEvent> events;
+
+  /// Per-node class capacities (empty when rate_classes is empty). The
+  /// driver applies these via Engine::set_capacity before the first tick.
+  std::vector<std::uint32_t> initial_up;
+  std::vector<std::uint32_t> initial_down;
+
+  std::uint32_t pending_arrivals = 0;  ///< arrivals with tick >= 1
+  Tick last_arrival = 0;
+};
+
+/// Pure function of its arguments; throws std::invalid_argument on a
+/// malformed workload (zero weights, up > down classes, zero mean gap).
+WorkloadPlan build_workload(const StreamWorkload& workload, const EngineConfig& config,
+                            std::uint64_t seed);
+
+}  // namespace pob::scale::stream

@@ -105,7 +105,7 @@ TEST(TraceIo, RejectsMalformedInput) {
     EXPECT_THROW(read_trace(in), std::invalid_argument);
   }
   {
-    std::stringstream in("pobtrace 3 3 2 1 0 0\n");  // unknown version
+    std::stringstream in("pobtrace 4 3 2 1 0 0\n");  // unknown version
     EXPECT_THROW(read_trace(in), std::invalid_argument);
   }
   {
@@ -161,6 +161,79 @@ TEST(TraceIo, V2RoundTripsChurnAndHeterogeneousConfigs) {
   EXPECT_EQ(back.download_capacities, cfg.download_capacities);
   EXPECT_EQ(back.departures, cfg.departures);
   EXPECT_TRUE(back.drop_transfers_involving_inactive);
+}
+
+TEST(TraceIo, V3RoundTripsArrivalsAndRateChanges) {
+  EngineConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.num_blocks = 3;
+  cfg.record_trace = true;
+
+  TraceEvents events;
+  events.arrivals = {{2, 1}, {2, 3}, {7, 4}};
+  events.rate_changes = {{3, 2, 2, 4}, {5, 1, 1, kUnlimited}};
+
+  RunResult fake;
+  fake.trace = {{{0, 2, 0}}, {{0, 2, 1}}};
+  std::stringstream buffer;
+  write_trace(buffer, cfg, fake, events);
+  EXPECT_NE(buffer.str().find("pobtrace 3"), std::string::npos);
+  // kUnlimited download encodes as 0 on the wire.
+  EXPECT_NE(buffer.str().find("!rate 5 1 1 0"), std::string::npos);
+
+  const LoadedTrace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.events.arrivals, events.arrivals);
+  EXPECT_EQ(loaded.events.rate_changes, events.rate_changes);
+  ASSERT_EQ(loaded.ticks.size(), 2u);
+
+  // to_config() deliberately ignores the events: the core engine has no
+  // arrival concept, and a node present early only has more freedom.
+  const RunResult replayed = replay_trace(loaded);
+  EXPECT_EQ(replayed.total_transfers, 2u);
+
+  // An empty event preamble must NOT force v3.
+  std::stringstream plain;
+  write_trace(plain, cfg, fake, TraceEvents{});
+  EXPECT_NE(plain.str().find("pobtrace 1"), std::string::npos);
+}
+
+TEST(TraceIo, V3RejectsMalformedEventDirectives) {
+  {  // !arrive is a v3 directive, not a v2 one
+    std::stringstream in("pobtrace 2 3 2 1 0 0\n!arrive 2 1\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {  // !rate is a v3 directive, not a v2 one
+    std::stringstream in("pobtrace 2 3 2 1 0 0\n!rate 2 1 1 0\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {  // the server cannot arrive
+    std::stringstream in("pobtrace 3 3 2 1 0 0\n!arrive 2 0\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {  // arrival node out of range
+    std::stringstream in("pobtrace 3 3 2 1 0 0\n!arrive 2 3\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {  // arrivals happen at tick >= 1 (tick 0 means "present from the start")
+    std::stringstream in("pobtrace 3 3 2 1 0 0\n!arrive 0 1\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {  // missing !rate fields
+    std::stringstream in("pobtrace 3 3 2 1 0 0\n!rate 2 1\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {  // trailing fields
+    std::stringstream in("pobtrace 3 3 2 1 0 0\n!arrive 2 1 9\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {  // rate-change node out of range
+    std::stringstream in("pobtrace 3 3 2 1 0 0\n!rate 2 7 1 0\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {  // directives still must precede the first tick
+    std::stringstream in("pobtrace 3 3 2 1 0 0\n0:1:0\n!arrive 2 1\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
 }
 
 TEST(TraceIo, ReplayCatchesTamperedTraces) {

@@ -1,0 +1,109 @@
+// CalendarQueue unit tests: tick-bucket collection order, the overflow
+// window migration, and the push-into-the-past guard. The queue's total
+// order within a tick is what makes the stream driver's event application a
+// pure function of the event SET — these tests pin that contract.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pob/scale/stream/calendar.h"
+
+namespace pob::scale::stream {
+namespace {
+
+StreamEvent arrive(Tick t, NodeId node) {
+  StreamEvent ev;
+  ev.time = t;
+  ev.node = node;
+  ev.kind = EventKind::kArrive;
+  return ev;
+}
+
+StreamEvent rate(Tick t, NodeId node, std::uint32_t up, std::uint32_t down) {
+  StreamEvent ev;
+  ev.time = t;
+  ev.node = node;
+  ev.kind = EventKind::kRate;
+  ev.up = up;
+  ev.down = down;
+  return ev;
+}
+
+TEST(CalendarQueue, CollectsATickSortedByNodeThenKind) {
+  CalendarQueue q;
+  // Push in scrambled order; collect must return (node, kind) order.
+  q.push(rate(3, 2, 2, 4));
+  q.push(arrive(3, 7));
+  q.push(arrive(3, 2));
+  q.push(arrive(4, 1));
+  ASSERT_EQ(q.size(), 4u);
+
+  const std::vector<StreamEvent>& t3 = q.collect(3);
+  ASSERT_EQ(t3.size(), 3u);
+  EXPECT_EQ(t3[0].node, 2u);
+  EXPECT_EQ(t3[0].kind, EventKind::kArrive);
+  EXPECT_EQ(t3[1].node, 2u);
+  EXPECT_EQ(t3[1].kind, EventKind::kRate);
+  EXPECT_EQ(t3[2].node, 7u);
+
+  const std::vector<StreamEvent>& t4 = q.collect(4);
+  ASSERT_EQ(t4.size(), 1u);
+  EXPECT_EQ(t4[0].node, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, EmptyTicksCollectNothing) {
+  CalendarQueue q;
+  q.push(arrive(10, 1));
+  EXPECT_TRUE(q.collect(1).empty());
+  EXPECT_TRUE(q.collect(9).empty());
+  EXPECT_EQ(q.collect(10).size(), 1u);
+  EXPECT_TRUE(q.collect(11).empty());
+}
+
+TEST(CalendarQueue, OverflowMigratesAcrossRingWindows) {
+  // A 4-bucket ring: anything past tick 3 starts in the overflow list and
+  // must migrate into the ring as collection advances the window.
+  CalendarQueue q(/*ring_bits=*/2);
+  q.push(arrive(2, 1));
+  q.push(arrive(5, 2));    // one window out
+  q.push(arrive(103, 3));  // far future, several windows out
+  ASSERT_EQ(q.size(), 3u);
+
+  EXPECT_EQ(q.collect(2).size(), 1u);
+  EXPECT_EQ(q.collect(5).size(), 1u);
+  for (Tick t = 6; t < 103; ++t) EXPECT_TRUE(q.collect(t).empty()) << t;
+  const std::vector<StreamEvent>& far = q.collect(103);
+  ASSERT_EQ(far.size(), 1u);
+  EXPECT_EQ(far[0].node, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, ManyEventsPerBucketStayTogether) {
+  CalendarQueue q(/*ring_bits=*/2);
+  // Ticks 1 and 5 share bucket 1 in a 4-wide ring; only tick-1 events may
+  // come out at t = 1.
+  q.push(arrive(1, 4));
+  q.push(arrive(5, 5));
+  q.push(arrive(1, 3));
+  const std::vector<StreamEvent>& t1 = q.collect(1);
+  ASSERT_EQ(t1.size(), 2u);
+  EXPECT_EQ(t1[0].node, 3u);
+  EXPECT_EQ(t1[1].node, 4u);
+  const std::vector<StreamEvent>& t5 = q.collect(5);
+  ASSERT_EQ(t5.size(), 1u);
+  EXPECT_EQ(t5[0].node, 5u);
+}
+
+TEST(CalendarQueue, RejectsPushIntoThePast) {
+  CalendarQueue q(/*ring_bits=*/2);
+  q.push(arrive(1, 1));
+  EXPECT_EQ(q.collect(1).size(), 1u);
+  for (Tick t = 2; t <= 9; ++t) EXPECT_TRUE(q.collect(t).empty());
+  // The window now starts past tick 1; scheduling there must fail loudly.
+  EXPECT_THROW(q.push(arrive(1, 2)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pob::scale::stream

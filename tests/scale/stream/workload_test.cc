@@ -1,0 +1,169 @@
+// Workload generator tests: purity (a plan is a function of (workload,
+// config, seed)), the shape of each arrival pattern, rate-class assignment,
+// and the malformed-workload guards.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pob/scale/stream/workload.h"
+
+namespace pob::scale::stream {
+namespace {
+
+EngineConfig swarm(std::uint32_t n, std::uint32_t k) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  return cfg;
+}
+
+TEST(StreamWorkload, PlanIsAPureFunctionOfItsInputs) {
+  StreamWorkload wl;
+  wl.arrivals = ArrivalPattern::kPoisson;
+  wl.mean_gap16 = 8;
+  wl.rate_classes = {{2, 1, kUnlimited}, {1, 2, 4}};
+  wl.rate_changes = 5;
+
+  const EngineConfig cfg = swarm(64, 8);
+  const WorkloadPlan a = build_workload(wl, cfg, 42);
+  const WorkloadPlan b = build_workload(wl, cfg, 42);
+  EXPECT_EQ(a.arrival, b.arrival);
+  EXPECT_EQ(a.initial_up, b.initial_up);
+  EXPECT_EQ(a.initial_down, b.initial_down);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].node, b.events[i].node);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+  }
+
+  // A different seed moves the arrivals (overwhelmingly likely at n = 64).
+  const WorkloadPlan c = build_workload(wl, cfg, 43);
+  EXPECT_NE(a.arrival, c.arrival);
+}
+
+TEST(StreamWorkload, AllAtStartHasNoEvents) {
+  const WorkloadPlan plan = build_workload({}, swarm(32, 4), 7);
+  EXPECT_TRUE(plan.events.empty());
+  EXPECT_EQ(plan.pending_arrivals, 0u);
+  EXPECT_EQ(plan.last_arrival, 0u);
+  for (const Tick t : plan.arrival) EXPECT_EQ(t, 0u);
+}
+
+TEST(StreamWorkload, PoissonArrivalsAreMonotoneInNodeId) {
+  StreamWorkload wl;
+  wl.arrivals = ArrivalPattern::kPoisson;
+  wl.mean_gap16 = 4;  // four arrivals per tick on average
+  const WorkloadPlan plan = build_workload(wl, swarm(256, 4), 11);
+  EXPECT_EQ(plan.arrival[kServer], 0u);
+  for (NodeId c = 2; c < 256; ++c) {
+    EXPECT_GE(plan.arrival[c], plan.arrival[c - 1]) << c;
+  }
+  EXPECT_GE(plan.arrival[1], 1u);
+  EXPECT_EQ(plan.pending_arrivals, 255u);
+  EXPECT_EQ(plan.last_arrival, plan.arrival[255]);
+}
+
+TEST(StreamWorkload, FlashCrowdConcentratesInTheSpikeWindow) {
+  StreamWorkload wl;
+  wl.arrivals = ArrivalPattern::kFlashCrowd;
+  wl.flash_start = 10;
+  wl.flash_width = 4;
+  wl.flash_pct = 90;
+  const WorkloadPlan plan = build_workload(wl, swarm(512, 4), 3);
+
+  std::uint32_t in_spike = 0;
+  for (NodeId c = 1; c < 512; ++c) {
+    const Tick t = plan.arrival[c];
+    ASSERT_GE(t, 1u);
+    ASSERT_LE(t, wl.flash_start + 4 * wl.flash_width);  // background bound
+    if (t >= wl.flash_start && t < wl.flash_start + wl.flash_width) ++in_spike;
+  }
+  // 90% of 511 in expectation; even a very unlucky draw clears 75%.
+  EXPECT_GT(in_spike, 511u * 3 / 4);
+}
+
+TEST(StreamWorkload, BurstCohortsFollowTheFormula) {
+  StreamWorkload wl;
+  wl.arrivals = ArrivalPattern::kBurst;
+  wl.burst_size = 8;
+  wl.burst_period = 5;
+  const WorkloadPlan plan = build_workload(wl, swarm(30, 4), 3);
+  for (NodeId c = 1; c < 30; ++c) {
+    EXPECT_EQ(plan.arrival[c], 1 + ((c - 1) / 8) * 5) << c;
+  }
+}
+
+TEST(StreamWorkload, RateClassesAssignEveryClientAndSpareTheServer) {
+  StreamWorkload wl;
+  wl.rate_classes = {{3, 1, kUnlimited}, {1, 2, 4}, {1, 3, 6}};
+  EngineConfig cfg = swarm(128, 4);
+  cfg.server_upload_capacity = 4;
+  const WorkloadPlan plan = build_workload(wl, cfg, 5);
+
+  ASSERT_EQ(plan.initial_up.size(), 128u);
+  EXPECT_EQ(plan.initial_up[kServer], 4u);
+  EXPECT_EQ(plan.initial_down[kServer], kUnlimited);
+  bool saw_other_than_first = false;
+  for (NodeId c = 1; c < 128; ++c) {
+    const std::uint32_t up = plan.initial_up[c];
+    ASSERT_TRUE(up == 1 || up == 2 || up == 3) << c;
+    if (up != 1) saw_other_than_first = true;
+    const std::uint32_t down = plan.initial_down[c];
+    EXPECT_TRUE(down == kUnlimited || down >= up);
+  }
+  EXPECT_TRUE(saw_other_than_first);  // the weighted draw uses all classes
+}
+
+TEST(StreamWorkload, RateChurnEmitsKRateEventsWithinTheHorizon) {
+  StreamWorkload wl;
+  wl.rate_classes = {{1, 1, kUnlimited}, {1, 2, 4}};
+  wl.rate_changes = 10;
+  wl.rate_change_horizon = 16;
+  const WorkloadPlan plan = build_workload(wl, swarm(64, 4), 9);
+
+  std::uint32_t rates = 0;
+  for (const StreamEvent& ev : plan.events) {
+    if (ev.kind != EventKind::kRate) continue;
+    ++rates;
+    EXPECT_GE(ev.time, 1u);
+    EXPECT_LE(ev.time, 16u);
+    EXPECT_NE(ev.node, kServer);
+    EXPECT_TRUE(ev.down == kUnlimited || ev.down >= ev.up);
+  }
+  EXPECT_EQ(rates, 10u);
+}
+
+TEST(StreamWorkload, RejectsMalformedWorkloads) {
+  {  // Poisson needs a nonzero mean gap
+    StreamWorkload wl;
+    wl.arrivals = ArrivalPattern::kPoisson;
+    wl.mean_gap16 = 0;
+    EXPECT_THROW(build_workload(wl, swarm(8, 4), 1), std::invalid_argument);
+  }
+  {  // flash crowd needs a nonzero spike width
+    StreamWorkload wl;
+    wl.arrivals = ArrivalPattern::kFlashCrowd;
+    wl.flash_width = 0;
+    EXPECT_THROW(build_workload(wl, swarm(8, 4), 1), std::invalid_argument);
+  }
+  {  // the model rule: class download must cover class upload
+    StreamWorkload wl;
+    wl.rate_classes = {{1, 3, 2}};
+    EXPECT_THROW(build_workload(wl, swarm(8, 4), 1), std::invalid_argument);
+  }
+  {  // all-zero weights have no class to draw
+    StreamWorkload wl;
+    wl.rate_classes = {{0, 1, kUnlimited}};
+    EXPECT_THROW(build_workload(wl, swarm(8, 4), 1), std::invalid_argument);
+  }
+  {  // rate churn without classes has nothing to re-draw
+    StreamWorkload wl;
+    wl.rate_changes = 3;
+    EXPECT_THROW(build_workload(wl, swarm(8, 4), 1), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace pob::scale::stream

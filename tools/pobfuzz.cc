@@ -14,10 +14,12 @@
 //       Inject the off-by-one forwarding fault into every scenario's
 //       scheduler — a self-test that the oracle actually catches bugs.
 //
-//   pobfuzz ... --engine=core|scale|mixed
+//   pobfuzz ... --engine=core|scale|stream|mixed
 //       Restrict which engine the scenarios run on. `scale` forces every
 //       scenario through the mega-swarm engine (serial vs threaded vs
-//       core-mirrored cross-check); default `mixed` is the sampler's blend.
+//       core-mirrored cross-check); `stream` forces the hybrid tick+event
+//       layer (arrivals, rate churn, playback demand, async-mirrored);
+//       default `mixed` is the sampler's blend.
 //
 //   pobfuzz --write-corpus=tests/check/corpus
 //       Regenerate the golden trace corpus in place.
@@ -92,9 +94,11 @@ int main(int argc, char** argv) {
       engines = EngineFilter::kCoreOnly;
     } else if (engine == "scale") {
       engines = EngineFilter::kScaleOnly;
+    } else if (engine == "stream") {
+      engines = EngineFilter::kStreamOnly;
     } else if (engine != "mixed") {
       std::cerr << "pobfuzz: unknown --engine=" << engine
-                << " (known: core, scale, mixed)\n";
+                << " (known: core, scale, stream, mixed)\n";
       return 2;
     }
 

@@ -9,8 +9,8 @@
 //   pobsim --algo=riffle --mechanism=strict --n=100 --k=99 --download=2
 //
 // Flags:
-//   --engine     core (default) | scale. The scale engine is the SoA
-//                mega-swarm path (src/pob/scale): randomized / credit-
+//   --engine     core (default) | scale | stream. The scale engine is the
+//                SoA mega-swarm path (src/pob/scale): randomized / credit-
 //                randomized protocol plus the deterministic mechanisms
 //                (--algo=binomial-pipeline | riffle | triangular), sized for
 //                n up to 10^6+. --jobs then parallelizes ticks *within* one
@@ -20,6 +20,18 @@
 //                    pobsim --engine=scale --n=1000000 --k=512
 //                           --overlay=regular --degree=16 --jobs=0
 //                    pobsim --engine=scale --algo=riffle --n=1048576 --k=512
+//                The stream engine layers event-driven arrivals, rate churn
+//                and streaming demand over the scale engine (randomized
+//                protocol only):
+//                  --arrivals=batch|poisson|flash|burst  arrival process
+//                  --gap16 (poisson, 1/16-tick mean gap)  --flash-start
+//                  --flash-width --flash-pct  --burst-size --burst-period
+//                  --classes=N (heterogeneous rate classes) --churn=N
+//                  --horizon (churn window)  --window=W (sequential demand)
+//                  --startup (blocks buffered before playback) --interval
+//                  --deadlines --slack (hard per-block deadlines)
+//                    pobsim --engine=stream --n=200000 --k=64
+//                           --overlay=regular --arrivals=flash --deadlines
 //   --jobs       worker threads for repeated runs (0 = all cores; results
 //                are identical at any value)
 //   --algo       pipeline | tree | binomial-tree | binomial-pipeline |
@@ -35,6 +47,7 @@
 //   --trace --csv
 
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -61,6 +74,7 @@
 #include "pob/sched/riffle_pipeline.h"
 #include "pob/sched/striped_trees.h"
 #include "pob/scale/engine.h"
+#include "pob/scale/stream/stream_engine.h"
 
 namespace pob {
 namespace {
@@ -224,6 +238,119 @@ int run_scale(const Args& args, const EngineConfig& cfg, std::uint32_t n,
   return 0;
 }
 
+/// The --engine=stream path: one StreamEngine run (randomized protocol with
+/// event-driven arrivals, optional rate classes / churn / sequential demand /
+/// deadlines), reporting the streaming metrics alongside the usual table.
+int run_stream(const Args& args, const EngineConfig& cfg, std::uint32_t n,
+               std::uint32_t k, std::uint64_t seed, unsigned jobs) {
+  scale::stream::StreamSpec spec;
+  spec.config = cfg;
+  spec.seed = seed;
+  Rng topo_rng = Rng(seed).split(0);
+  spec.topology = make_scale_topology(args, n, topo_rng);
+  spec.options.policy = parse_policy(args);
+  spec.options.max_probes = static_cast<std::uint32_t>(args.get_int("probes", 16));
+  spec.options.scan_kernel = args.get_string("simd", "auto") == "off"
+                                 ? scale::ScanKernel::kScalar
+                                 : scale::ScanKernel::kAuto;
+
+  const std::string arrivals = args.get_string("arrivals", "batch");
+  if (arrivals == "poisson") {
+    spec.workload.arrivals = scale::stream::ArrivalPattern::kPoisson;
+    spec.workload.mean_gap16 = static_cast<std::uint32_t>(args.get_int("gap16", 16));
+  } else if (arrivals == "flash" || arrivals == "flash-crowd") {
+    spec.workload.arrivals = scale::stream::ArrivalPattern::kFlashCrowd;
+    spec.workload.flash_start = static_cast<Tick>(args.get_int("flash-start", 8));
+    spec.workload.flash_width =
+        static_cast<std::uint32_t>(args.get_int("flash-width", 4));
+    spec.workload.flash_pct =
+        static_cast<std::uint32_t>(args.get_int("flash-pct", 90));
+  } else if (arrivals == "burst") {
+    spec.workload.arrivals = scale::stream::ArrivalPattern::kBurst;
+    spec.workload.burst_size =
+        static_cast<std::uint32_t>(args.get_int("burst-size", 64));
+    spec.workload.burst_period =
+        static_cast<std::uint32_t>(args.get_int("burst-period", 4));
+  } else if (arrivals != "batch") {
+    throw std::invalid_argument("unknown --arrivals=" + arrivals +
+                                " (batch | poisson | flash | burst)");
+  }
+  const auto classes = static_cast<std::uint32_t>(args.get_int("classes", 0));
+  for (std::uint32_t i = 0; i < classes; ++i) {
+    spec.workload.rate_classes.push_back(
+        {classes - i, 1 + i, i == 0 ? kUnlimited : 2 * (1 + i)});
+  }
+  spec.workload.rate_changes =
+      static_cast<std::uint32_t>(args.get_int("churn", 0));
+  spec.workload.rate_change_horizon =
+      static_cast<Tick>(args.get_int("horizon", 64));
+  spec.demand.window = static_cast<std::uint32_t>(args.get_int("window", 0));
+  spec.demand.startup_blocks =
+      static_cast<std::uint32_t>(args.get_int("startup", 4));
+  spec.demand.interval = static_cast<Tick>(args.get_int("interval", 1));
+  spec.demand.deadlines = args.has("deadlines");
+  spec.demand.deadline_slack = static_cast<Tick>(args.get_int("slack", 2));
+  spec.config.record_trace = args.has("trace") || args.has("save-trace");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  scale::stream::StreamEngine engine(spec);
+  const std::uint64_t state_bytes = engine.state_bytes();
+  const RunResult r = engine.run(jobs);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  if (args.has("save-trace")) {
+    std::ofstream out(args.get_string("save-trace", ""));
+    if (!out) throw std::invalid_argument("cannot open trace output file");
+    TraceEvents events;
+    const std::vector<Tick>& arrival = engine.arrivals();
+    for (NodeId c = 1; c < n; ++c) {
+      if (arrival[c] >= 1) events.arrivals.emplace_back(arrival[c], c);
+    }
+    for (const scale::stream::StreamEvent& ev : engine.plan().events) {
+      if (ev.kind == scale::stream::EventKind::kRate) {
+        events.rate_changes.push_back({ev.time, ev.node, ev.up, ev.down});
+      }
+    }
+    write_trace(out, spec.config, r, events);
+  }
+
+  Table table({"algo", "n", "k", "arrivals", "T", "mean-finish", "coop-bound"});
+  const double cap = cfg.max_ticks != 0 ? static_cast<double>(cfg.max_ticks)
+                                        : static_cast<double>(default_tick_cap(n, k));
+  table.add_row({"stream:randomized", std::to_string(n), std::to_string(k), arrivals,
+                 r.completed ? fmt(static_cast<double>(r.completion_tick), 0)
+                             : (r.stalled ? "stall" : ">" + fmt(cap, 0)),
+                 r.completed ? fmt(r.mean_client_completion()) : "-",
+                 std::to_string(cooperative_lower_bound(n, k))});
+  if (args.has("csv")) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  // The streaming metrics the stream layer adds on top of RunResult.
+  std::uint64_t started = 0;
+  double latency_sum = 0.0;
+  for (const double lat : r.startup_latency) {
+    if (!std::isnan(lat)) {
+      ++started;
+      latency_sum += lat;
+    }
+  }
+  std::cout << "# startup: " << started << " started / " << r.never_started
+            << " censored, mean latency "
+            << fmt(started != 0 ? latency_sum / static_cast<double>(started) : 0.0, 2)
+            << "; rebuffer " << r.total_rebuffer_ticks() << " ticks over "
+            << r.rebuffered_clients << " clients; deadline misses "
+            << r.deadline_misses << "/" << r.deadline_checks << " ("
+            << fmt(r.deadline_miss_fraction(), 4) << ")\n";
+  std::cout << "# stream engine: 1 run in " << fmt(seconds, 2) << " s, state "
+            << state_bytes / (1024 * 1024) << " MiB, jobs="
+            << (jobs == 0 ? default_jobs() : jobs) << "\n";
+  return 0;
+}
+
 int main_impl(int argc, char** argv) {
   const Args args(argc, argv);
 
@@ -280,6 +407,7 @@ int main_impl(int argc, char** argv) {
 
   const std::string engine = args.get_string("engine", "core");
   if (engine == "scale") return run_scale(args, cfg, n, k, runs, seed, jobs);
+  if (engine == "stream") return run_stream(args, cfg, n, k, seed, jobs);
   if (engine != "core") throw std::invalid_argument("unknown engine: " + engine);
 
   RandomizedOptions opt;
