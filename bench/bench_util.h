@@ -93,6 +93,12 @@ class JsonReport {
     fields_.emplace_back(key, value ? "true" : "false");
     return *this;
   }
+  /// The certificate pair every certified bench emits under the same keys,
+  /// so CI can grep `certified_price` out of any BENCH_*.json: the pob/flow
+  /// oracle's lower bound T* and the simulated-T / T* ratio.
+  JsonReport& certified(std::uint64_t lower_bound, double price) {
+    return count("certified_lower_bound", lower_bound).num("certified_price", price);
+  }
 
   /// Writes to the --json=<path> flag's target, or to `fallback` when the
   /// flag is absent and a fallback is given. Returns false (with a note on

@@ -36,6 +36,7 @@
 
 #include "bench_util.h"
 #include "pob/analysis/bounds.h"
+#include "pob/flow/certify.h"
 #include "pob/scale/engine.h"
 
 #if __has_include(<sys/resource.h>)
@@ -209,6 +210,19 @@ int main_impl(int argc, char** argv) {
             << coop_bound << ", strict-barter bound " << strict_bound
             << ", price of barter " << fmt(price, 3) << "\n";
 
+  // The pob/flow certificate on the exact topology this run used: riffle is
+  // the only scheduler here bound by strict barter's same-tick coupling.
+  const flow::CompletionCertificate cert = flow::certify_completion_bound(
+      cfg, *topo,
+      sched == scale::SchedKind::kRifflePipeline ? flow::BarterModel::kStrictBarter
+                                                 : flow::BarterModel::kCooperative);
+  const double certified = head.result.completed
+                               ? flow::certified_price(head.result.completion_tick,
+                                                       cert.lower_bound)
+                               : 0.0;
+  std::cout << "# certificate: T*=" << cert.lower_bound << ", certified price "
+            << fmt(certified, 3) << "\n";
+
   bench::JsonReport json;
   json.str("bench", "scale_throughput")
       .count("n", n)
@@ -219,6 +233,7 @@ int main_impl(int argc, char** argv) {
       .count("coop_lower_bound", coop_bound)
       .count("strict_barter_bound", strict_bound)
       .num("price_of_barter", price)
+      .certified(cert.lower_bound, certified)
       .count("credit_limit", opt.credit_limit)
       .str("policy", opt.policy == BlockPolicy::kRandom ? "random" : "rarest")
       .str("scan_kernel", scale::scan_kernel_name(opt.scan_kernel))

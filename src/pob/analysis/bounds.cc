@@ -53,6 +53,37 @@ Tick strict_barter_lower_bound_ramp(std::uint32_t num_nodes, std::uint32_t num_b
   return std::max<Tick>(t, num_nodes - 1);
 }
 
+Tick strict_barter_lower_bound_general(std::uint32_t num_nodes, std::uint32_t num_blocks,
+                                       std::uint32_t upload, std::uint32_t download,
+                                       std::uint32_t server_upload) {
+  if (server_upload < 1 || download < 1) {
+    throw std::invalid_argument("strict barter general: server_upload, download >= 1");
+  }
+  if (num_nodes < 2 || num_blocks == 0) return 0;
+  const std::uint32_t clients = num_nodes - 1;
+
+  // Seeding: the server hands out first blocks at server_upload per tick.
+  const std::uint64_t seed_ticks = (clients + server_upload - 1) / server_upload;
+  const std::uint64_t rate =
+      std::min<std::uint64_t>(download, std::uint64_t{upload} + server_upload);
+  const std::uint64_t tail =
+      num_blocks == 1 ? 0 : (num_blocks - 1 + rate - 1) / rate;
+  const std::uint64_t seed_bound = seed_ticks + tail;
+
+  // Pairing ramp: cumulative deliveries must cover (n - 1) * k receptions.
+  const std::uint64_t needed = static_cast<std::uint64_t>(clients) * num_blocks;
+  std::uint64_t delivered = 0;
+  Tick t = 0;
+  while (delivered < needed) {
+    ++t;
+    const std::uint64_t capable =
+        std::min<std::uint64_t>(std::uint64_t{server_upload} * (t - 1), clients);
+    delivered += server_upload + 2 * (std::uint64_t{upload} * capable / 2);
+    if (t > 0x7fffffffu) throw std::logic_error("general ramp bound diverged");
+  }
+  return static_cast<Tick>(std::max<std::uint64_t>(seed_bound, t));
+}
+
 double price_of_barter(std::uint32_t num_nodes, std::uint32_t num_blocks) {
   return static_cast<double>(strict_barter_lower_bound_equal_bw(num_nodes, num_blocks)) /
          static_cast<double>(cooperative_lower_bound(num_nodes, num_blocks));

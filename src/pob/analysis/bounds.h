@@ -22,8 +22,11 @@ Tick pipeline_completion(std::uint32_t num_nodes, std::uint32_t num_blocks);
 Tick binomial_tree_completion(std::uint32_t num_nodes, std::uint32_t num_blocks);
 
 /// §2.2.2's estimate for the d-ary multicast tree,
-/// d * (k + ceil(log_d(n)) - 1) — an upper-bound-flavored approximation; the
-/// simulated schedule may finish slightly earlier for ragged trees.
+/// d * (k + ceil(log_d(n)) - 1). This is an upper-bound-flavored
+/// approximation of the tree schedule's completion, NOT a lower bound on
+/// optimal schedules: the simulated tree may finish earlier for ragged
+/// trees, and non-tree schedules finish far earlier still. For certified
+/// per-overlay lower bounds use pob/flow/certify.h instead.
 Tick multicast_tree_estimate(std::uint32_t num_nodes, std::uint32_t num_blocks,
                              std::uint32_t arity);
 
@@ -37,6 +40,21 @@ Tick strict_barter_lower_bound_equal_bw(std::uint32_t num_nodes, std::uint32_t n
 /// cumulative upload budget covers the (n - 1) * k blocks clients must
 /// receive.
 Tick strict_barter_lower_bound_ramp(std::uint32_t num_nodes, std::uint32_t num_blocks);
+
+/// Theorem 2 generalized to arbitrary uniform capacities: client upload u,
+/// client download d, and server upload us blocks per tick. Two independent
+/// counting arguments, combined by max:
+///  - seeding: under strict barter a client's first block can only come from
+///    the server, so the last-seeded client starts at ceil((n - 1) / us) and
+///    then needs k - 1 more blocks at rate min(d, u + us);
+///  - pairing ramp: at tick t at most min(us * (t - 1), n - 1) clients hold
+///    anything, barter transfers pair up (even count, bounded by the capable
+///    clients' aggregate upload u * capable), and the server adds us more.
+/// At u = d = us = 1 both the equal-bandwidth bound (n + k - 2) and the unit
+/// ramp above are special cases of this function.
+Tick strict_barter_lower_bound_general(std::uint32_t num_nodes, std::uint32_t num_blocks,
+                                       std::uint32_t upload, std::uint32_t download,
+                                       std::uint32_t server_upload);
 
 /// The "price of barter": strict-barter lower bound over cooperative lower
 /// bound, the paper's headline efficiency-loss ratio.

@@ -19,6 +19,7 @@
 #include "pob/sched/riffle_pipeline.h"
 #include "pob/sched/striped_trees.h"
 #include "pob/check/stream_check.h"
+#include "pob/flow/certify.h"
 #include "pob/scale/engine.h"
 #include "pob/scale/mirror.h"
 
@@ -819,6 +820,43 @@ scale::stream::StreamSpec make_stream_spec(const Scenario& sc) {
 
 namespace {
 
+/// The certificate soundness axis: a completed run's completion tick must
+/// never undercut the flow/counting certificate (pob/flow) for its scenario
+/// — T* <= T is the oracle's contract on every topology, capacity shape,
+/// churn pattern, and mechanism family the fuzzer samples. Violations fail
+/// the scenario and therefore minimize to a paste-ready gtest like every
+/// other axis. Only the strict-barter mechanism certifies against the
+/// barter-coupled model; credit and cyclic barter permit client seeding, so
+/// they (soundly) certify against the cooperative relaxation.
+ScenarioOutcome check_certificate_soundness(const Scenario& sc,
+                                            const EngineConfig& config,
+                                            const scale::Topology& topology,
+                                            const RunResult& r) {
+  if (!r.completed) return {true, ""};
+  const flow::BarterModel model =
+      sc.mechanism.kind == MechanismSpec::Kind::kStrictBarter
+          ? flow::BarterModel::kStrictBarter
+          : flow::BarterModel::kCooperative;
+  // Fuzz-tier options: the counting components always run; the flow search
+  // stays cheap enough to keep scenario throughput up.
+  flow::CertifyOptions opts;
+  opts.max_flow_sinks = 2;
+  opts.flow_arc_budget = 250'000;
+  const flow::CompletionCertificate cert =
+      flow::certify_completion_bound(config, topology, model, opts);
+  if (cert.lower_bound > r.completion_tick) {
+    std::ostringstream os;
+    os << "completion tick " << r.completion_tick
+       << " beats the certified lower bound " << cert.lower_bound
+       << " (last_block " << cert.last_block_bound << ", ramp " << cert.ramp_bound
+       << ", pipe " << cert.pipe_bound << " @" << cert.pipe_client << ", flow "
+       << cert.flow_bound << ", seed " << cert.seed_bound << ", strict_ramp "
+       << cert.strict_ramp_bound << "; demand " << cert.demand_clients << ")";
+    return {false, os.str()};
+  }
+  return {true, ""};
+}
+
 /// The scale-engine scenario check: the engine must agree with itself across
 /// job counts, and its mirrored transfer stream must be accepted by
 /// core::Engine + mechanism + reference oracle and reproduce the identical
@@ -879,6 +917,24 @@ ScenarioOutcome run_scale_scenario(const Scenario& sc) {
       return {false, "beats Theorem 1: completed at tick " +
                          std::to_string(r_serial.completion_tick) +
                          " < lower bound " + std::to_string(bound)};
+    }
+  }
+
+  // Certificate soundness, plus the per-tick flow predicate as a second,
+  // flow-flavored differential oracle over the recorded stream: every tick
+  // both engines accepted must route in the bipartite capacity network.
+  if (const ScenarioOutcome cert =
+          check_certificate_soundness(sc, config, *topo, r_serial);
+      !cert.ok) {
+    return cert;
+  }
+  if (sc.n <= 256) {
+    const flow::CapacityShape shape = flow::CapacityShape::from_config(config);
+    for (std::size_t t = 0; t < r_serial.trace.size(); ++t) {
+      if (const auto diag = flow::tick_flow_feasible(shape, *topo, r_serial.trace[t])) {
+        return {false, "tick " + std::to_string(t + 1) +
+                           " rejected by the flow predicate: " + *diag};
+      }
     }
   }
 
@@ -951,6 +1007,21 @@ ScenarioOutcome run_stream_scenario(const Scenario& sc) {
     }
   }
 
+  // Certificate soundness: arrivals only delay clients relative to the
+  // everyone-present-at-start relaxation the certifier assumes, so T* <= T
+  // must hold for completed stream runs too. Rate classes raise capacities
+  // above the scalar config the certifier would read, so those scenarios
+  // are excluded (certifying them against understated capacities would be
+  // an unsound *upper* estimate of the bound).
+  if (sc.rate_class_count == 0) {
+    const scale::stream::StreamSpec spec = make_stream_spec(sc);
+    if (const ScenarioOutcome cert = check_certificate_soundness(
+            sc, spec.config, *spec.topology, r_serial);
+        !cert.ok) {
+      return cert;
+    }
+  }
+
   // Metric sanity on top of the mirror's field-for-field agreement: a
   // completed run has no censored startup latencies, and the deadline
   // counters are consistent.
@@ -999,6 +1070,25 @@ ScenarioOutcome run_scenario(const Scenario& sc) {
       return {false, "beats Theorem 1: completed at tick " +
                          std::to_string(r.completion_tick) + " < lower bound " +
                          std::to_string(bound)};
+    }
+  }
+
+  // Certificate soundness. Core schedulers other than the overlay-driven
+  // randomized family ignore their sampled overlay (the rotating scheduler
+  // draws its own rotation graphs), so they certify against the complete
+  // topology — the only edge set that provably contains every transfer
+  // they plan.
+  {
+    const bool overlay_respected = is_randomized_family(sc.scheduler) &&
+                                   sc.scheduler != SchedulerKind::kRotating;
+    const std::shared_ptr<const scale::Topology> cert_topo =
+        overlay_respected
+            ? make_scale_topology(sc)
+            : std::make_shared<scale::Topology>(scale::Topology::complete(sc.n));
+    if (const ScenarioOutcome cert =
+            check_certificate_soundness(sc, built.config, *cert_topo, r);
+        !cert.ok) {
+      return cert;
     }
   }
 

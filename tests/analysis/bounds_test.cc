@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace pob {
 namespace {
 
@@ -54,6 +56,42 @@ TEST(Bounds, RampBoundIsMonotone) {
     EXPECT_GE(t, prev);
     prev = t;
   }
+}
+
+TEST(Bounds, GeneralStrictBarterReducesToUnitClosedForms) {
+  // At u = d = us = 1 the general bound collapses to the max of Theorem 2's
+  // two unit-capacity regimes.
+  for (const std::uint32_t n : {2u, 3u, 4u, 10u, 50u, 128u, 1000u}) {
+    for (const std::uint32_t k : {1u, 2u, 5u, 50u, 512u}) {
+      EXPECT_EQ(strict_barter_lower_bound_general(n, k, 1, 1, 1),
+                std::max(strict_barter_lower_bound_equal_bw(n, k),
+                         strict_barter_lower_bound_ramp(n, k)))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Bounds, GeneralStrictBarterRespondsToCapacities) {
+  // Extra download can only help (d = 2u lowers the seeding tail)...
+  EXPECT_LE(strict_barter_lower_bound_general(64, 63, 1, 2, 1),
+            strict_barter_lower_bound_general(64, 63, 1, 1, 1));
+  // ...as does a faster server.
+  EXPECT_LE(strict_barter_lower_bound_general(64, 63, 1, 1, 2),
+            strict_barter_lower_bound_general(64, 63, 1, 1, 1));
+  // Monotone in k at fixed capacities.
+  Tick prev = 0;
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const Tick t = strict_barter_lower_bound_general(20, k, 1, 2, 1);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  // n = 2: a lone client gets everything from the server, so download and
+  // pairing are irrelevant — the bound is ceil-free k at us = 1.
+  EXPECT_EQ(strict_barter_lower_bound_general(2, 512, 1, 2, 1), 512u);
+  EXPECT_THROW(strict_barter_lower_bound_general(8, 4, 1, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW(strict_barter_lower_bound_general(8, 4, 1, 0, 1),
+               std::invalid_argument);
 }
 
 TEST(Bounds, PriceOfBarterGrowsWithN) {

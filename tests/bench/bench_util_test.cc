@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 namespace pob::bench {
 namespace {
 
@@ -31,6 +35,24 @@ TEST(BenchUtil, SweepBaselineFallsBackToTheFirstPoint) {
 
 TEST(BenchUtil, SweepBaselineHandlesSingletonSerial) {
   EXPECT_EQ(sweep_baseline_index({1u}), 0u);
+}
+
+TEST(BenchUtil, JsonReportEmitsTheCertifiedPairUnderStableKeys) {
+  // CI greps `certified_price` out of the archived BENCH_*.json files, so the
+  // helper's key names are a contract, not a convenience.
+  const std::string path = ::testing::TempDir() + "pob_bench_util_certified.json";
+  const char* argv[] = {"bench", "--json", path.c_str()};
+  const Args args(3, argv);
+  JsonReport json;
+  json.str("bench", "t").certified(37, 1.5);
+  ASSERT_TRUE(json.write(args));
+  std::ifstream in(path);
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_EQ(body.str(),
+            "{\"bench\": \"t\", \"certified_lower_bound\": 37, "
+            "\"certified_price\": 1.500000}\n");
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,227 @@
+// Pins the certificate oracle to the paper's closed forms on the complete
+// grid (Theorem 1 exactly; Theorem 2 under the barter model), and to the
+// overlays where a deterministic scheduler in the repo achieves the
+// certified bound exactly (hypercube, chain/tree); the ring gets an exact
+// arithmetic pin plus a soundness sandwich against a legal schedule.
+
+#include "pob/flow/certify.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+
+#include "pob/analysis/bounds.h"
+#include "pob/core/engine.h"
+#include "pob/overlay/builders.h"
+#include "pob/sched/binomial_pipeline.h"
+#include "pob/sched/binomial_tree.h"
+#include "pob/sched/multicast_tree.h"
+#include "pob/sched/pipeline.h"
+#include "pob/sched/riffle_pipeline.h"
+#include "pob/scale/engine.h"
+
+namespace pob::flow {
+namespace {
+
+using scale::Topology;
+
+EngineConfig unit_cfg(std::uint32_t n, std::uint32_t k, std::uint32_t down = 1) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.download_capacity = down;
+  return cfg;
+}
+
+class CertifyGrid
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(CertifyGrid, CompleteCooperativeMatchesTheoremOne) {
+  const auto [n, k] = GetParam();
+  const Topology topo = Topology::complete(n);
+  const CompletionCertificate cert =
+      certify_completion_bound(unit_cfg(n, k), topo, BarterModel::kCooperative);
+  EXPECT_EQ(cert.lower_bound, cooperative_lower_bound(n, k)) << "n=" << n << " k=" << k;
+  EXPECT_EQ(cert.last_block_bound, cooperative_lower_bound(n, k));
+  EXPECT_FALSE(cert.flow_evaluated);  // complete graphs skip the unrolling
+  EXPECT_EQ(cert.demand_clients, n - 1);
+}
+
+TEST_P(CertifyGrid, CompleteStrictBarterMatchesTheoremTwoEqualBandwidth) {
+  const auto [n, k] = GetParam();
+  const Topology topo = Topology::complete(n);
+  const CompletionCertificate cert =
+      certify_completion_bound(unit_cfg(n, k), topo, BarterModel::kStrictBarter);
+  const Tick expected = std::max(strict_barter_lower_bound_equal_bw(n, k),
+                                 strict_barter_lower_bound_ramp(n, k));
+  EXPECT_EQ(cert.lower_bound, expected) << "n=" << n << " k=" << k;
+  EXPECT_EQ(cert.lower_bound, strict_barter_lower_bound_general(n, k, 1, 1, 1));
+  EXPECT_GE(cert.lower_bound, cooperative_lower_bound(n, k));
+}
+
+TEST_P(CertifyGrid, CompleteStrictBarterMatchesTheoremTwoRampRegime) {
+  const auto [n, k] = GetParam();
+  const Topology topo = Topology::complete(n);
+  const CompletionCertificate cert = certify_completion_bound(
+      unit_cfg(n, k, /*down=*/2), topo, BarterModel::kStrictBarter);
+  EXPECT_EQ(cert.lower_bound,
+            std::max(cooperative_lower_bound(n, k),
+                     strict_barter_lower_bound_general(n, k, 1, 2, 1)))
+      << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CertifyGrid,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u, 5u, 8u, 16u, 17u, 31u, 32u, 64u,
+                                         100u, 128u, 256u, 512u, 1000u, 1024u, 2048u,
+                                         4095u, 4096u),
+                       ::testing::Values(1u, 63u, 64u, 65u, 512u)));
+
+TEST(Certify, HypercubeBinomialPipelineAchievesTheCertificate) {
+  // §2.3.2-2.3.3: the binomial pipeline runs on the materialized hypercube
+  // overlay and still finishes at Theorem 1's bound — so the certificate on
+  // that overlay (flow component included) must equal it exactly.
+  constexpr std::uint32_t n = 64, k = 19;
+  const EngineConfig cfg = unit_cfg(n, k, kUnlimited);
+  auto topo = std::make_shared<Topology>(
+      Topology::from_graph(make_hypercube_overlay(n)));
+  const CompletionCertificate cert =
+      certify_completion_bound(cfg, *topo, BarterModel::kCooperative);
+  EXPECT_TRUE(cert.flow_evaluated);
+  EXPECT_EQ(cert.lower_bound, cooperative_lower_bound(n, k));
+
+  scale::ScaleOptions opt;
+  opt.scheduler = scale::SchedKind::kBinomialPipeline;
+  scale::Engine engine(cfg, topo, opt, 1);
+  const RunResult r = engine.run(1);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, cert.lower_bound);
+  EXPECT_DOUBLE_EQ(certified_price(r.completion_tick, cert.lower_bound), 1.0);
+}
+
+TEST(Certify, ChainPipelineAchievesTheCertificate) {
+  // The chain (a 1-ary tree) is the pipeline's native overlay: the farthest
+  // client pins pipe_bound at n + k - 2 and the schedule meets it.
+  constexpr std::uint32_t n = 16, k = 8;
+  const Topology chain = Topology::from_graph(make_kary_tree(n, 1));
+  const CompletionCertificate cert =
+      certify_completion_bound(unit_cfg(n, k), chain, BarterModel::kCooperative);
+  EXPECT_EQ(cert.lower_bound, n + k - 2);
+  EXPECT_EQ(cert.pipe_bound, n + k - 2);
+  EXPECT_EQ(cert.pipe_client, n - 1);
+
+  PipelineScheduler sched(n, k);
+  const RunResult r = run(unit_cfg(n, k), sched);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_tick, cert.lower_bound);
+}
+
+TEST(Certify, RingCertificateIsExactAndSandwiched) {
+  // Ring of 16: the antipodal client sits 8 hops out with unit inflow, so
+  // T* = n/2 - 1 + k; strictly above the complete-graph optimum, and at
+  // most the chain pipeline's k + n - 2 (a legal schedule on the ring,
+  // which contains the chain).
+  constexpr std::uint32_t n = 16, k = 8;
+  const Topology ring = Topology::from_graph(make_ring(n));
+  const CompletionCertificate cert =
+      certify_completion_bound(unit_cfg(n, k), ring, BarterModel::kCooperative);
+  EXPECT_EQ(cert.lower_bound, n / 2 - 1 + k);
+  EXPECT_GT(cert.lower_bound, cooperative_lower_bound(n, k));
+
+  PipelineScheduler sched(n, k);
+  const RunResult r = run(unit_cfg(n, k), sched);
+  ASSERT_TRUE(r.completed);
+  EXPECT_LE(cert.lower_bound, r.completion_tick);
+}
+
+TEST(Certify, NeverExceedsDeterministicSchedulesOnTheCompleteGraph) {
+  constexpr std::uint32_t n = 32, k = 16;
+  const Topology topo = Topology::complete(n);
+  const auto check = [&](Scheduler& sched, const EngineConfig& cfg, BarterModel model) {
+    const RunResult r = run(cfg, sched);
+    ASSERT_TRUE(r.completed);
+    const CompletionCertificate cert = certify_completion_bound(cfg, topo, model);
+    EXPECT_LE(cert.lower_bound, r.completion_tick);
+    EXPECT_GE(certified_price(r.completion_tick, cert.lower_bound), 1.0);
+  };
+  PipelineScheduler pipe(n, k);
+  check(pipe, unit_cfg(n, k), BarterModel::kCooperative);
+  MulticastTreeScheduler tree(n, k, 2);
+  check(tree, unit_cfg(n, k), BarterModel::kCooperative);
+  BinomialTreeScheduler btree(n, k);
+  check(btree, unit_cfg(n, k), BarterModel::kCooperative);
+  BinomialPipelineScheduler bp(n, k);
+  check(bp, unit_cfg(n, k), BarterModel::kCooperative);
+  RifflePipelineScheduler riffle(n, k, 1, 2);
+  check(riffle, unit_cfg(n, k, /*down=*/2), BarterModel::kStrictBarter);
+}
+
+TEST(Certify, BinomialPipelineIsCertifiedOptimal) {
+  // The full optimality certificate in one assertion: simulated == T*.
+  constexpr std::uint32_t n = 64, k = 64;
+  BinomialPipelineScheduler bp(n, k);
+  const RunResult r = run(unit_cfg(n, k), bp);
+  ASSERT_TRUE(r.completed);
+  const CompletionCertificate cert = certify_completion_bound(
+      unit_cfg(n, k), Topology::complete(n), BarterModel::kCooperative);
+  EXPECT_EQ(r.completion_tick, cert.lower_bound);
+}
+
+TEST(Certify, DepartingClientsShrinkDemand) {
+  EngineConfig cfg = unit_cfg(8, 4);
+  cfg.departures = {{2, 3}, {5, 6}};
+  const CompletionCertificate cert = certify_completion_bound(
+      cfg, Topology::complete(8), BarterModel::kCooperative);
+  EXPECT_EQ(cert.demand_clients, 5u);
+  // Fewer clients can only lower (never raise) the certified bound.
+  EXPECT_LE(cert.lower_bound, cooperative_lower_bound(8, 4));
+  EXPECT_GT(cert.lower_bound, 0u);
+}
+
+TEST(Certify, DegenerateScenariosCertifyZero) {
+  EXPECT_EQ(certify_completion_bound(unit_cfg(4, 0), Topology::complete(4),
+                                     BarterModel::kCooperative)
+                .lower_bound,
+            0u);
+  EngineConfig all_leave = unit_cfg(3, 2);
+  all_leave.departures = {{1, 1}, {1, 2}};
+  EXPECT_EQ(certify_completion_bound(all_leave, Topology::complete(3),
+                                     BarterModel::kCooperative)
+                .lower_bound,
+            0u);
+}
+
+TEST(Certify, ArcBudgetGatesTheFlowComponentOnly) {
+  constexpr std::uint32_t n = 16, k = 8;
+  const Topology ring = Topology::from_graph(make_ring(n));
+  CertifyOptions opts;
+  opts.flow_arc_budget = 10;  // far below any unrolling
+  const CompletionCertificate cert =
+      certify_completion_bound(unit_cfg(n, k), ring, BarterModel::kCooperative, opts);
+  EXPECT_FALSE(cert.flow_evaluated);
+  EXPECT_EQ(cert.flow_bound, 0u);
+  // The counting components alone still pin the ring exactly (see above).
+  EXPECT_EQ(cert.lower_bound, n / 2 - 1 + k);
+}
+
+TEST(Certify, ZeroServerUploadClampsToTheHorizonCap) {
+  EngineConfig cfg = unit_cfg(4, 2);
+  cfg.upload_capacities = {0, 1, 1, 1};
+  CertifyOptions opts;
+  opts.horizon_cap = 99;
+  const CompletionCertificate cert = certify_completion_bound(
+      cfg, Topology::complete(4), BarterModel::kCooperative, opts);
+  EXPECT_EQ(cert.lower_bound, 99u);
+  EXPECT_EQ(cert.last_block_bound, 99u);
+}
+
+TEST(CertifiedPrice, RatioAndGuards) {
+  EXPECT_DOUBLE_EQ(certified_price(30, 15), 2.0);
+  EXPECT_DOUBLE_EQ(certified_price(0, 15), 0.0);
+  EXPECT_DOUBLE_EQ(certified_price(30, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace pob::flow

@@ -1,0 +1,172 @@
+#include "pob/flow/time_expanded.h"
+
+#include <gtest/gtest.h>
+
+#include "pob/overlay/builders.h"
+
+namespace pob::flow {
+namespace {
+
+using scale::Topology;
+
+EngineConfig unit_cfg(std::uint32_t n, std::uint32_t k) {
+  EngineConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_blocks = k;
+  cfg.download_capacity = 1;
+  return cfg;
+}
+
+TEST(CapacityShape, ResolvesScalarCapacities) {
+  const CapacityShape shape = CapacityShape::from_config(unit_cfg(4, 3));
+  ASSERT_EQ(shape.n, 4u);
+  EXPECT_EQ(shape.k, 3u);
+  EXPECT_EQ(shape.server_up, 1u);
+  EXPECT_EQ(shape.up, (std::vector<std::uint64_t>{1, 1, 1, 1}));
+  EXPECT_EQ(shape.down, (std::vector<std::uint64_t>{1, 1, 1, 1}));
+  EXPECT_EQ(shape.demand_clients, 3u);
+  EXPECT_FALSE(shape.demand[kServer]);
+}
+
+TEST(CapacityShape, ServerUploadOverridesTheScalar) {
+  EngineConfig cfg = unit_cfg(4, 3);
+  cfg.server_upload_capacity = 5;
+  const CapacityShape shape = CapacityShape::from_config(cfg);
+  EXPECT_EQ(shape.server_up, 5u);
+  EXPECT_EQ(shape.up[1], 1u);
+}
+
+TEST(CapacityShape, PerNodeVectorsBeatScalarsIncludingTheServer) {
+  EngineConfig cfg = unit_cfg(3, 2);
+  cfg.upload_capacities = {7, 2, 3};
+  cfg.download_capacities = {1, 4, 5};
+  cfg.server_upload_capacity = 9;  // ignored: the vector wins
+  const CapacityShape shape = CapacityShape::from_config(cfg);
+  EXPECT_EQ(shape.server_up, 7u);
+  EXPECT_EQ(shape.up, (std::vector<std::uint64_t>{7, 2, 3}));
+  EXPECT_EQ(shape.down, (std::vector<std::uint64_t>{1, 4, 5}));
+}
+
+TEST(CapacityShape, DepartingClientsLeaveTheDemandSet) {
+  EngineConfig cfg = unit_cfg(5, 2);
+  cfg.departures = {{3, 2}, {7, 4}};
+  const CapacityShape shape = CapacityShape::from_config(cfg);
+  EXPECT_EQ(shape.demand_clients, 2u);
+  EXPECT_FALSE(shape.demand[2]);
+  EXPECT_FALSE(shape.demand[4]);
+  EXPECT_TRUE(shape.demand[1]);
+  EXPECT_TRUE(shape.demand[3]);
+}
+
+TEST(CapacityShape, DegenerateConfigsResolveEmpty) {
+  EXPECT_EQ(CapacityShape::from_config(unit_cfg(1, 3)).demand_clients, 0u);
+  EXPECT_EQ(CapacityShape::from_config(unit_cfg(4, 0)).demand_clients, 0u);
+}
+
+TEST(TimeExpanded, ArcCountBoundsTheBuiltGraph) {
+  const CapacityShape shape = CapacityShape::from_config(unit_cfg(4, 2));
+  const Topology topo = Topology::complete(4);
+  for (const BarterModel model :
+       {BarterModel::kCooperative, BarterModel::kStrictBarter}) {
+    const TimeExpandedGraph g = build_time_expanded(shape, topo, 3, 2, model);
+    EXPECT_LE(g.net.num_arcs(), time_expanded_arc_count(shape, topo, 3, model));
+    if (model == BarterModel::kCooperative) {
+      // No conditional arcs skipped in the unit cooperative case: the
+      // formula is exact.
+      EXPECT_EQ(g.net.num_arcs(), time_expanded_arc_count(shape, topo, 3, model));
+    }
+  }
+}
+
+TEST(TimeExpanded, PathFeasibilityThresholdIsDistancePlusPipeline) {
+  // Chain 0-1-2-3: block b leaves the server at tick b+1 and needs 3 hops,
+  // so client 3 holds both blocks first at horizon 4.
+  const CapacityShape shape = CapacityShape::from_config(unit_cfg(4, 2));
+  const Topology topo = Topology::from_graph(make_kary_tree(4, 1));
+  EXPECT_FALSE(horizon_feasible(shape, topo, 3, 3, BarterModel::kCooperative));
+  EXPECT_TRUE(horizon_feasible(shape, topo, 4, 3, BarterModel::kCooperative));
+  // Monotone in the horizon.
+  EXPECT_TRUE(horizon_feasible(shape, topo, 9, 3, BarterModel::kCooperative));
+}
+
+TEST(TimeExpanded, ServerReleaseScheduleSerializesBlocks) {
+  // Complete n=2: the single client downloads one block per tick from the
+  // server, but even with download 2 the server's unit upload serializes.
+  EngineConfig cfg = unit_cfg(2, 4);
+  cfg.download_capacity = 2;
+  const CapacityShape shape = CapacityShape::from_config(cfg);
+  const Topology topo = Topology::complete(2);
+  EXPECT_FALSE(horizon_feasible(shape, topo, 3, 1, BarterModel::kCooperative));
+  EXPECT_TRUE(horizon_feasible(shape, topo, 4, 1, BarterModel::kCooperative));
+}
+
+TEST(TimeExpanded, StrictCouplingCapsClientSourcedInflow) {
+  // Diamond 0-1, 0-2, 1-3, 2-3 with server upload 2 and download 2: the
+  // cooperative relaxation finishes client 3 at horizon 2 (both blocks land
+  // simultaneously), but strict barter pairs client-client transfers, so
+  // client 3 (upload 1) can absorb only one per tick.
+  EngineConfig cfg = unit_cfg(4, 2);
+  cfg.download_capacity = 2;
+  cfg.server_upload_capacity = 2;
+  const CapacityShape shape = CapacityShape::from_config(cfg);
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.finalize();
+  const Topology topo = Topology::from_graph(g);
+  EXPECT_TRUE(horizon_feasible(shape, topo, 2, 3, BarterModel::kCooperative));
+  EXPECT_FALSE(horizon_feasible(shape, topo, 2, 3, BarterModel::kStrictBarter));
+  EXPECT_TRUE(horizon_feasible(shape, topo, 3, 3, BarterModel::kStrictBarter));
+}
+
+TEST(TimeExpanded, MinCostFlowCountsTransferVolume) {
+  // Chain 0-1-2, one block to client 2: two transfers minimum, and the unit
+  // upload-arc costs make min-cost flow report exactly that.
+  const CapacityShape shape = CapacityShape::from_config(unit_cfg(3, 1));
+  const Topology topo = Topology::from_graph(make_kary_tree(3, 1));
+  TimeExpandedGraph g = build_time_expanded(shape, topo, 2, 2, BarterModel::kCooperative);
+  const auto result = g.net.min_cost_max_flow(g.source, g.sink, g.demand);
+  EXPECT_EQ(result.flow, 1);
+  EXPECT_EQ(result.cost, 2);
+}
+
+TEST(TickFlow, AcceptsARealizableTransferSet) {
+  const CapacityShape shape = CapacityShape::from_config(unit_cfg(4, 2));
+  const Topology topo = Topology::complete(4);
+  const std::vector<Transfer> transfers = {{0, 1, 0}, {2, 3, 1}};
+  EXPECT_EQ(tick_flow_feasible(shape, topo, transfers), std::nullopt);
+  EXPECT_EQ(tick_flow_feasible(shape, topo, {}), std::nullopt);
+}
+
+TEST(TickFlow, RejectsUploadOverCapacity) {
+  const CapacityShape shape = CapacityShape::from_config(unit_cfg(4, 2));
+  const Topology topo = Topology::complete(4);
+  const std::vector<Transfer> transfers = {{0, 1, 0}, {0, 2, 1}};
+  const auto diag = tick_flow_feasible(shape, topo, transfers);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_NE(diag->find("1 of 2 transfers route"), std::string::npos);
+}
+
+TEST(TickFlow, RejectsDownloadOverCapacity) {
+  const CapacityShape shape = CapacityShape::from_config(unit_cfg(4, 2));
+  const Topology topo = Topology::complete(4);
+  const std::vector<Transfer> transfers = {{0, 3, 0}, {1, 3, 1}};
+  EXPECT_TRUE(tick_flow_feasible(shape, topo, transfers).has_value());
+}
+
+TEST(TickFlow, RejectsNonOverlayEdgesAndMalformedEndpoints) {
+  const CapacityShape shape = CapacityShape::from_config(unit_cfg(4, 2));
+  const Topology ring = Topology::from_graph(make_ring(4));
+  const auto non_edge = tick_flow_feasible(shape, ring, {{0, 2, 0}});
+  ASSERT_TRUE(non_edge.has_value());
+  EXPECT_NE(non_edge->find("not an overlay edge"), std::string::npos);
+  const auto loop = tick_flow_feasible(shape, ring, {{1, 1, 0}});
+  ASSERT_TRUE(loop.has_value());
+  EXPECT_NE(loop->find("malformed"), std::string::npos);
+  EXPECT_TRUE(tick_flow_feasible(shape, ring, {{0, 9, 0}}).has_value());
+}
+
+}  // namespace
+}  // namespace pob::flow

@@ -42,6 +42,8 @@
 //   --n --k --degree --arity --credit --cycle-len --policy --upload --download
 //   --servers (multi-server m) --period (rotation) --stripes --runs --seed --cap
 //   --leave-pct (random client departures in the first half, lossy mode)
+//   --certify (print the pob/flow lower-bound certificate T* for the exact
+//              scenario simulated, the run's T, and the certified price T/T*)
 //   --fairness (print per-client upload-load stats)
 //   --save-trace=<file> (record run 0) --replay=<file> (validate a saved trace)
 //   --trace --csv
@@ -60,6 +62,7 @@
 #include "pob/exp/sweep.h"
 #include "pob/exp/table.h"
 #include "pob/exp/trace_io.h"
+#include "pob/flow/certify.h"
 #include "pob/mech/barter.h"
 #include "pob/overlay/builders.h"
 #include "pob/overlay/overlay.h"
@@ -145,6 +148,31 @@ std::shared_ptr<const scale::Topology> make_scale_topology(const Args& args,
   throw std::invalid_argument("unknown overlay: " + kind);
 }
 
+/// The --certify report: the pob/flow lower-bound oracle evaluated on the
+/// exact scenario just simulated. T* is sound for every legal schedule of
+/// the scenario, so simulated-T / T* is a certified price — 1.00 means the
+/// run is provably optimal on its topology.
+void print_certificate(const EngineConfig& cfg, const scale::Topology& topo,
+                       flow::BarterModel model, bool completed, Tick simulated) {
+  const flow::CompletionCertificate cert =
+      flow::certify_completion_bound(cfg, topo, model);
+  std::cout << "# certificate: T*=" << cert.lower_bound << " simulated-T=";
+  if (completed) {
+    std::cout << simulated << " certified-price="
+              << fmt(flow::certified_price(simulated, cert.lower_bound), 3);
+  } else {
+    std::cout << "DNF";
+  }
+  std::cout << " (last-block " << cert.last_block_bound << ", ramp "
+            << cert.ramp_bound << ", pipe " << cert.pipe_bound;
+  if (cert.flow_evaluated) std::cout << ", flow " << cert.flow_bound;
+  if (model == flow::BarterModel::kStrictBarter) {
+    std::cout << ", seed " << cert.seed_bound << ", strict-ramp "
+              << cert.strict_ramp_bound;
+  }
+  std::cout << "; demand " << cert.demand_clients << ")\n";
+}
+
 /// The --engine=scale path: trials run serially, each tick parallelized
 /// inside the engine, so --jobs speeds up one giant run instead of
 /// oversubscribing cores with concurrent mega-swarms.
@@ -187,12 +215,21 @@ int run_scale(const Args& args, const EngineConfig& cfg, std::uint32_t n,
 
   const auto sweep_start = std::chrono::steady_clock::now();
   std::uint64_t state_bytes = 0;
+  std::shared_ptr<const scale::Topology> first_topo;
+  bool first_completed = false;
+  Tick first_tick = 0;
   const TrialStats stats = repeat_trials_parallel(runs, 1, [&](std::uint32_t i) {
     const std::uint64_t run_seed = trial_seed(seed, i);
     Rng topo_rng = Rng(run_seed).split(0);
-    scale::Engine engine(cfg, make_scale_topology(args, n, topo_rng), opt, run_seed);
+    std::shared_ptr<const scale::Topology> topo = make_scale_topology(args, n, topo_rng);
+    if (i == 0) first_topo = topo;
+    scale::Engine engine(cfg, topo, opt, run_seed);
     if (i == 0) state_bytes = engine.state_bytes();
     const RunResult r = engine.run(jobs);
+    if (i == 0) {
+      first_completed = r.completed;
+      first_tick = r.completion_tick;
+    }
     if (args.has("save-trace") && i == 0) {
       std::ofstream out(args.get_string("save-trace", ""));
       if (!out) throw std::invalid_argument("cannot open trace output file");
@@ -235,6 +272,14 @@ int run_scale(const Args& args, const EngineConfig& cfg, std::uint32_t n,
   std::cout << "# scale engine: " << runs << " run(s) in " << fmt(sweep_seconds, 2)
             << " s, state " << state_bytes / (1024 * 1024) << " MiB, jobs="
             << (jobs == 0 ? default_jobs() : jobs) << "\n";
+  if (args.has("certify")) {
+    // Certify run 0's exact scenario: same topology draw, same config. Riffle
+    // is the only scale scheduler bound by strict barter's coupling.
+    const flow::BarterModel model = opt.scheduler == scale::SchedKind::kRifflePipeline
+                                        ? flow::BarterModel::kStrictBarter
+                                        : flow::BarterModel::kCooperative;
+    print_certificate(cfg, *first_topo, model, first_completed, first_tick);
+  }
   return 0;
 }
 
@@ -348,6 +393,16 @@ int run_stream(const Args& args, const EngineConfig& cfg, std::uint32_t n,
   std::cout << "# stream engine: 1 run in " << fmt(seconds, 2) << " s, state "
             << state_bytes / (1024 * 1024) << " MiB, jobs="
             << (jobs == 0 ? default_jobs() : jobs) << "\n";
+  if (args.has("certify")) {
+    if (classes != 0) {
+      // Rate classes raise per-node capacities above the config scalars the
+      // certifier sees, so a bound computed here would not be sound.
+      std::cout << "# certificate: skipped (--classes overrides capacities)\n";
+    } else {
+      print_certificate(spec.config, *spec.topology, flow::BarterModel::kCooperative,
+                        r.completed, r.completion_tick);
+    }
+  }
   return 0;
 }
 
@@ -416,6 +471,8 @@ int main_impl(int argc, char** argv) {
   opt.download_capacity = cfg.download_capacity;
 
   const auto sweep_start = std::chrono::steady_clock::now();
+  bool first_completed = false;
+  Tick first_tick = 0;
   const TrialStats stats = repeat_trials_parallel(runs, jobs, [&](std::uint32_t i) -> TrialOutcome {
     Rng run_rng(trial_seed(seed, i));
     std::unique_ptr<Mechanism> mech = make_mechanism(args);
@@ -470,6 +527,10 @@ int main_impl(int argc, char** argv) {
     }
 
     const RunResult r = run(cfg, *sched, mech.get());
+    if (i == 0) {
+      first_completed = r.completed;
+      first_tick = r.completion_tick;
+    }
     if (args.has("save-trace") && i == 0) {
       std::ofstream out(args.get_string("save-trace", ""));
       if (!out) throw std::invalid_argument("cannot open trace output file");
@@ -517,6 +578,21 @@ int main_impl(int argc, char** argv) {
   std::cout << "# sweep: " << runs << " trials in " << fmt(sweep_seconds, 2) << " s ("
             << fmt(sweep_seconds > 0.0 ? runs / sweep_seconds : 0.0, 1)
             << " trials/s, jobs=" << (jobs == 0 ? default_jobs() : jobs) << ")\n";
+  if (args.has("certify")) {
+    // Only the overlay-sampling schedulers are bound by --overlay; everything
+    // else may pair any two nodes, so the complete graph is the sound base.
+    const bool overlay_bound =
+        algo == "randomized" || algo == "credit-randomized" || algo == "tit-for-tat";
+    Rng cert_rng(trial_seed(seed, 0));  // run 0's overlay draw, re-derived
+    const std::shared_ptr<const scale::Topology> cert_topo =
+        overlay_bound ? make_scale_topology(args, n, cert_rng)
+                      : std::make_shared<scale::Topology>(scale::Topology::complete(n));
+    const flow::BarterModel model =
+        (algo == "riffle" || args.get_string("mechanism", "none") == "strict")
+            ? flow::BarterModel::kStrictBarter
+            : flow::BarterModel::kCooperative;
+    print_certificate(cfg, *cert_topo, model, first_completed, first_tick);
+  }
   return 0;
 }
 
